@@ -1,0 +1,114 @@
+(* battle_sim — run the Section 3.2 battle simulation from the command
+   line, with either aggregate evaluator.
+
+     dune exec bin/battle_sim.exe -- --units 1000 --ticks 100 --evaluator indexed
+*)
+
+open Cmdliner
+open Sgl
+
+let run units ticks evaluator density seed optimize resurrect verbose ascii trace =
+  let evaluator_kind =
+    match evaluator with
+    | "naive" -> Simulation.Naive
+    | "indexed" -> Simulation.Indexed
+    | other -> Fmt.failwith "unknown evaluator %S (expected naive or indexed)" other
+  in
+  let scenario =
+    Battle.Scenario.setup ~density ~per_side:(Battle.Scenario.standard_mix (units / 2)) ()
+  in
+  Fmt.pr "battlefield %dx%d, %d units, density %.1f%%, evaluator %s@."
+    scenario.Battle.Scenario.width scenario.Battle.Scenario.height
+    (Array.length scenario.Battle.Scenario.units)
+    (density *. 100.) evaluator;
+  let sim =
+    Battle.Scenario.simulation ~optimize ~seed ~resurrect ~evaluator:evaluator_kind scenario
+  in
+  let s = Simulation.schema sim in
+  let draw () =
+    let w = min 100 scenario.Battle.Scenario.width
+    and h = min 30 scenario.Battle.Scenario.height in
+    let sx = float_of_int scenario.Battle.Scenario.width /. float_of_int w in
+    let sy = float_of_int scenario.Battle.Scenario.height /. float_of_int h in
+    let canvas = Array.make_matrix h w ' ' in
+    Array.iter
+      (fun u ->
+        let x, y = Battle.Unit_types.pos_of s u in
+        let cx = min (w - 1) (int_of_float (x /. sx)) in
+        let cy = min (h - 1) (int_of_float (y /. sy)) in
+        let c =
+          match (Battle.Unit_types.player_of s u, Battle.Unit_types.klass_of s u) with
+          | 0, Battle.D20.Knight -> 'K'
+          | 0, Battle.D20.Archer -> 'a'
+          | 0, Battle.D20.Healer -> '+'
+          | _, Battle.D20.Knight -> 'X'
+          | _, Battle.D20.Archer -> 'x'
+          | _, Battle.D20.Healer -> '*'
+        in
+        canvas.(cy).(cx) <- c)
+      (Simulation.units sim);
+    Array.iter (fun row -> Fmt.pr "%s@." (String.init w (Array.get row))) canvas
+  in
+  let tracer =
+    Option.map
+      (fun path ->
+        Trace.create ~path ~schema:s
+          ~attrs:[ "key"; "player"; "kind"; "posx"; "posy"; "health" ])
+      trace
+  in
+  Option.iter (fun t -> Trace.record t ~tick:0 (Simulation.units sim)) tracer;
+  let wall = Timer.create () in
+  Timer.start wall;
+  for t = 1 to ticks do
+    Simulation.step sim;
+    Option.iter (fun tr -> Trace.record tr ~tick:t (Simulation.units sim)) tracer;
+    if verbose && t mod (max 1 (ticks / 10)) = 0 then begin
+      let r = Simulation.report sim in
+      Fmt.pr "tick %4d: %d units, %d deaths so far, %.3fs elapsed@." t r.Simulation.n_units
+        r.Simulation.deaths (Timer.elapsed wall)
+    end
+  done;
+  Timer.stop wall;
+  Option.iter
+    (fun tr ->
+      Trace.close tr;
+      Fmt.pr "trace: %d rows written to %s@." (Trace.rows tr) (Option.get trace))
+    tracer;
+  if ascii then draw ();
+  let r = Simulation.report sim in
+  Fmt.pr "@.%a@." Simulation.pp_report r;
+  Fmt.pr "wall clock: %.3fs (%.1f ticks/s)@." (Timer.elapsed wall)
+    (float_of_int ticks /. Timer.elapsed wall);
+  0
+
+let units_arg = Arg.(value & opt int 500 & info [ "units"; "n" ] ~doc:"Total units across both armies.")
+let ticks_arg = Arg.(value & opt int 100 & info [ "ticks"; "t" ] ~doc:"Clock ticks to simulate.")
+
+let evaluator_arg =
+  Arg.(value & opt string "indexed" & info [ "evaluator"; "e" ] ~doc:"Aggregate evaluator: naive or indexed.")
+
+let density_arg =
+  Arg.(value & opt float 0.01 & info [ "density" ] ~doc:"Fraction of grid squares occupied.")
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Root random seed.")
+let optimize_arg = Arg.(value & flag & info [ "no-optimize" ] ~doc:"Disable plan rewriting.")
+let resurrect_arg = Arg.(value & flag & info [ "no-resurrect" ] ~doc:"Let the dead stay dead.")
+let verbose_arg = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Progress every ~10% of ticks.")
+let ascii_arg = Arg.(value & flag & info [ "draw" ] ~doc:"Draw the final battlefield as ASCII art.")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE" ~doc:"Record a per-tick CSV trace of every unit to $(docv).")
+
+let cmd =
+  let doc = "run the SGL battle simulation (knights, archers, healers)" in
+  Cmd.v
+    (Cmd.info "battle_sim" ~version:Sgl.version ~doc)
+    Term.(
+      const (fun u t e d s no_opt no_res v a tr -> run u t e d s (not no_opt) (not no_res) v a tr)
+      $ units_arg $ ticks_arg $ evaluator_arg $ density_arg $ seed_arg $ optimize_arg
+      $ resurrect_arg $ verbose_arg $ ascii_arg $ trace_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,102 @@
+(* sgl_check — the SGL compiler driver.
+
+   Parses, type-checks, normalizes and resolves an .sgl file against the
+   battle schema (the default) and reports what the optimizer would do:
+   the aggregate instance table with chosen index strategies and the
+   optimized per-script plans.
+
+     dune exec bin/sgl_check.exe -- examples/scripts/patrol.sgl --explain
+*)
+
+open Cmdliner
+open Sgl
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+type dump = Summary | Tokens | Ast | Normal | Core | Explain
+
+let run (path : string) (dump : dump) : int =
+  let source = read_file path in
+  let schema = Battle.Unit_types.schema () in
+  let consts = Battle.Scripts.constants in
+  try
+    match dump with
+    | Tokens ->
+      List.iter
+        (fun (lx : Lexer.lexed) ->
+          Fmt.pr "%3d:%-3d %s@." lx.Lexer.line lx.Lexer.col (Lexer.token_name lx.Lexer.token))
+        (Lexer.tokenize source);
+      0
+    | Ast ->
+      Fmt.pr "%s@." (Pretty.program_to_string (Compile.parse source));
+      0
+    | Normal ->
+      let ast = Compile.parse source in
+      Typecheck.check ~consts ~schema ast;
+      Fmt.pr "%s@." (Pretty.program_to_string (Normalize.normalize ast));
+      0
+    | Core ->
+      let prog = compile ~consts ~schema source in
+      Array.iteri
+        (fun i agg -> Fmt.pr "agg#%d = %a@." i Aggregate.pp agg)
+        prog.Core_ir.aggregates;
+      List.iter
+        (fun (s : Core_ir.script) ->
+          Fmt.pr "@.script %s:@.%a@." s.Core_ir.name Core_ir.pp s.Core_ir.body)
+        prog.Core_ir.scripts;
+      0
+    | Explain ->
+      Fmt.pr "%s@." (explain ~consts ~schema source);
+      0
+    | Summary ->
+      let prog = compile ~consts ~schema source in
+      let n_scripts = List.length prog.Core_ir.scripts in
+      let n_aggs = Array.length prog.Core_ir.aggregates in
+      let strategies =
+        Array.to_list prog.Core_ir.aggregates
+        |> List.map (fun agg -> Agg_plan.strategy_name (Agg_plan.analyze schema agg))
+        |> List.sort_uniq compare
+      in
+      Fmt.pr "%s: OK (%d entry scripts, %d aggregate instances; strategies: %s)@." path n_scripts
+        n_aggs
+        (String.concat ", " strategies);
+      0
+  with
+  | Compile.Compile_error e ->
+    Fmt.epr "%s: %s@." path (Compile.error_to_string e);
+    1
+  | Typecheck.Type_error m ->
+    Fmt.epr "%s: type error: %s@." path m;
+    1
+  | Lexer.Lex_error m ->
+    Fmt.epr "%s: lexical error: %s@." path m;
+    1
+  | Parser.Parse_error m ->
+    Fmt.epr "%s: parse error: %s@." path m;
+    1
+
+let path_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"SGL source file")
+
+let dump_arg =
+  let flags =
+    [
+      (Tokens, Arg.info [ "dump-tokens" ] ~doc:"Print the token stream.");
+      (Ast, Arg.info [ "dump-ast" ] ~doc:"Pretty-print the parsed program.");
+      (Normal, Arg.info [ "dump-normal" ] ~doc:"Pretty-print the normal form (aggregates hoisted into lets).");
+      (Core, Arg.info [ "dump-core" ] ~doc:"Print the resolved core IR and aggregate instances.");
+      (Explain, Arg.info [ "explain" ] ~doc:"Print optimized plans and index strategies.");
+    ]
+  in
+  Arg.(value & vflag Summary flags)
+
+let cmd =
+  let doc = "check and explain SGL scripts (Scalable Games Language)" in
+  Cmd.v (Cmd.info "sgl_check" ~version:Sgl.version ~doc) Term.(const run $ path_arg $ dump_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,149 @@
+(* Absolute "set" effects with priorities (Section 2.2):
+
+     "a freeze spell may set a character's speed to 0.  In these instances,
+      the effect is given a priority.  Thus they are nonstackable effects
+      determined by maximum priority."
+
+   Frost mages freeze every enemy in a cone of cold (priority 1, speed 0);
+   one archmage casts Greater Haste on the same targets (priority 2, speed
+   3).  The combination operator keeps only the highest-priority effect per
+   unit, so hasted units outrun the freeze no matter how many mages overlap
+   them — order-independently, which is what lets the engine process all
+   casters simultaneously.
+
+   Run with:  dune exec examples/frost_mage.exe *)
+
+open Sgl
+
+let schema =
+  Schema.create
+    [
+      Schema.attr "key" Value.TInt;
+      Schema.attr "player" Value.TInt;
+      Schema.attr "rank" Value.TInt; (* 0 = grunt, 1 = frost mage, 2 = archmage *)
+      Schema.attr "posx" Value.TFloat;
+      Schema.attr "posy" Value.TFloat;
+      Schema.attr "speed" Value.TFloat;
+      Schema.attr "base_speed" Value.TFloat;
+      Schema.attr ~tag:Schema.Sum "movevect_x" Value.TFloat;
+      Schema.attr ~tag:Schema.Sum "movevect_y" Value.TFloat;
+      Schema.attr ~tag:Schema.Pmax "setspeed" Value.TVec; (* (priority, value) *)
+    ]
+
+let behaviour =
+  {|
+action ConeOfCold(u) {
+  on all(e.player <> u.player
+         and e.posx >= u.posx - 8.0 and e.posx <= u.posx + 8.0
+         and e.posy >= u.posy - 8.0 and e.posy <= u.posy + 8.0) {
+    setspeed <- (1.0, 0.0);     # priority 1: frozen solid
+  }
+}
+
+action GreaterHaste(u) {
+  on all(e.player <> u.player and e.rank = 0
+         and e.posx >= u.posx - 6.0 and e.posx <= u.posx + 6.0
+         and e.posy >= u.posy - 3.0 and e.posy <= u.posy + 3.0) {
+    setspeed <- (2.0, 3.0);     # priority 2 overrides any freeze
+  }
+}
+
+action March(u) {
+  on self { movevect_x <- 5; }
+}
+
+script grunt(u) { perform March(u); }
+script frost_mage(u) { perform ConeOfCold(u); }
+script archmage(u) { perform GreaterHaste(u); }
+|}
+
+let make ~key ~player ~rank ~x ~y =
+  Tuple.of_list schema
+    [
+      Value.Int key; Value.Int player; Value.Int rank; Value.Float x; Value.Float y;
+      Value.Float 2.; Value.Float 2.; Value.Float 0.; Value.Float 0.;
+      Value.Vec (Vec2.make 0. 0.);
+    ]
+
+let () =
+  let units =
+    [|
+      (* player 0: marching grunts at x = 10 *)
+      make ~key:0 ~player:0 ~rank:0 ~x:10. ~y:4.; (* frozen only *)
+      make ~key:1 ~player:0 ~rank:0 ~x:10. ~y:8.; (* frozen AND hasted *)
+      make ~key:2 ~player:0 ~rank:0 ~x:10. ~y:40.; (* out of everyone's range *)
+      (* player 1: two overlapping frost mages and one archmage *)
+      make ~key:10 ~player:1 ~rank:1 ~x:14. ~y:5.;
+      make ~key:11 ~player:1 ~rank:1 ~x:13. ~y:7.;
+      make ~key:12 ~player:1 ~rank:2 ~x:12. ~y:8.;
+    |]
+  in
+  (* the frost cones cover grunts 0 and 1; the archmage's tighter haste
+     window covers only grunt 1, whose priority-2 effect beats the freeze *)
+  let speed = Schema.find schema "speed" and setspeed = Schema.find schema "setspeed" in
+  let base_speed = Schema.find schema "base_speed" in
+  let open Expr in
+  (* speed := base when no set-effect arrived (priority 0), else the set
+     value; hit = min(1, max(0, priority)) *)
+  let hit = MinOf (Const (Value.Float 1.), MaxOf (Const (Value.Float 0.), VecX (EAttr setspeed))) in
+  let new_speed =
+    Binop
+      ( Add,
+        Binop (Mul, UAttr base_speed, Binop (Sub, Const (Value.Float 1.), hit)),
+        Binop (Mul, VecY (EAttr setspeed), hit) )
+  in
+  let post =
+    Postprocess.make ~schema ~updates:[ (speed, new_speed) ]
+      ~remove_when:(Const (Value.Bool false))
+  in
+  let rank = Schema.find schema "rank" in
+  let config =
+    {
+      Simulation.prog = compile ~schema behaviour;
+      script_of =
+        (fun u ->
+          Some
+            (match Value.to_int (Tuple.get u rank) with
+            | 1 -> "frost_mage"
+            | 2 -> "archmage"
+            | _ -> "grunt"));
+      postprocess = post;
+      movement =
+        Some
+          {
+            Movement.posx = Schema.find schema "posx";
+            posy = Schema.find schema "posy";
+            mvx = Schema.find schema "movevect_x";
+            mvy = Schema.find schema "movevect_y";
+            speed = 3.;
+            speed_attr = Some speed;
+            width = 80;
+            height = 48;
+          };
+      death = Simulation.Remove;
+      seed = 8;
+      optimize = true;
+    }
+  in
+  let sim = Simulation.create config ~evaluator:Simulation.Indexed ~units in
+  let describe label =
+    Fmt.pr "%s@." label;
+    Array.iter
+      (fun u ->
+        if Value.to_int (Tuple.get u rank) = 0 then begin
+          let x, _ = (Value.to_float (Tuple.get u 3), ()) in
+          Fmt.pr "  grunt %d: x=%4.0f speed=%g@."
+            (Value.to_int (Tuple.get u 0))
+            x
+            (Value.to_float (Tuple.get u speed))
+        end)
+      (Simulation.units sim)
+  in
+  describe "before:";
+  for _ = 1 to 2 do
+    Simulation.step sim
+  done;
+  describe "after 2 ticks (freeze p1, haste p2, max priority wins):";
+  Fmt.pr
+    "@.grunt 0 froze in place; grunt 1 was in both auras but haste (priority 2)@.\
+     overrode the freeze (priority 1); grunt 2 marched at its own pace.@."

@@ -1,0 +1,106 @@
+(* d20-style combat mechanics (Section 3.2: "we use the game mechanics in
+   the pen-and-paper d20 system").
+
+   The SGL scripts encode the same rules arithmetically; this module is the
+   single source of truth for the numbers, exported to the scripts as SGL
+   constants so the OCaml mechanics and the scripted mechanics can never
+   drift apart.  Armor class is 10 + armor; an attack hits when
+   d20 + attack bonus >= AC; damage is a weapon die plus a strength bonus,
+   reduced by the target's damage reduction (armored units "take less
+   damage from the attacks of others"). *)
+
+type unit_class = Knight | Archer | Healer
+
+let class_id = function
+  | Knight -> 0
+  | Archer -> 1
+  | Healer -> 2
+
+let class_of_id = function
+  | 0 -> Knight
+  | 1 -> Archer
+  | 2 -> Healer
+  | n -> invalid_arg (Printf.sprintf "D20.class_of_id: %d" n)
+
+let class_name = function
+  | Knight -> "knight"
+  | Archer -> "archer"
+  | Healer -> "healer"
+
+type profile = {
+  klass : unit_class;
+  max_health : int;
+  armor : int; (* adds to AC and to damage reduction *)
+  attack_bonus : int;
+  damage_die : int; (* dX weapon die; 0 = cannot attack *)
+  damage_bonus : int;
+  attack_range : float; (* arm's reach for knights, long for archers *)
+  sight : float;
+  reload : int; (* cooldown ticks after acting *)
+  morale : int;
+}
+
+let knight =
+  {
+    klass = Knight;
+    max_health = 60;
+    armor = 4;
+    attack_bonus = 4;
+    damage_die = 8;
+    damage_bonus = 3;
+    attack_range = 2.;
+    sight = 16.;
+    reload = 1;
+    morale = 8;
+  }
+
+let archer =
+  {
+    klass = Archer;
+    max_health = 36;
+    armor = 1;
+    attack_bonus = 3;
+    damage_die = 6;
+    damage_bonus = 1;
+    attack_range = 12.;
+    sight = 20.;
+    reload = 2;
+    morale = 4;
+  }
+
+let healer =
+  {
+    klass = Healer;
+    max_health = 30;
+    armor = 1;
+    attack_bonus = 0;
+    damage_die = 0;
+    damage_bonus = 0;
+    attack_range = 0.;
+    sight = 16.;
+    reload = 3;
+    morale = 3;
+  }
+
+let profile_of = function
+  | Knight -> knight
+  | Archer -> archer
+  | Healer -> healer
+
+let armor_class armor = 10 + armor
+
+(* Resolve one attack given two rolls in [0, 999999] (the SGL Random
+   stream): returns the damage dealt.  Mirrors the formula inside the
+   MeleeStrike / ArcherShot actions exactly. *)
+let attack_damage ~(attack_bonus : int) ~(damage_die : int) ~(damage_bonus : int)
+    ~(target_armor : int) ~(roll_hit : int) ~(roll_damage : int) : int =
+  let d20 = (roll_hit mod 20) + 1 in
+  let hit = if d20 + attack_bonus >= armor_class target_armor then 1 else 0 in
+  let dmg = (roll_damage mod damage_die) + 1 + damage_bonus - (target_armor / 2) in
+  hit * max 1 dmg
+
+let heal_aura_strength = 8
+let heal_range = 6.
+let melee_threat_range = 3.
+let walk_dist_per_tick = 2.
+let wounded_fraction_num = 7 (* wounded when health * 10 < max_health * 7 *)

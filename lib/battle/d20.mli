@@ -1,0 +1,53 @@
+(** d20-style combat mechanics (Section 3.2): the single source of truth
+    for the case study's numbers, exported to the SGL scripts as constants
+    so scripted and OCaml-side mechanics cannot drift. *)
+
+type unit_class = Knight | Archer | Healer
+
+val class_id : unit_class -> int
+
+(** Raises [Invalid_argument] on an unknown id. *)
+val class_of_id : int -> unit_class
+
+val class_name : unit_class -> string
+
+type profile = {
+  klass : unit_class;
+  max_health : int;
+  armor : int;
+  attack_bonus : int;
+  damage_die : int; (* 0 = cannot attack *)
+  damage_bonus : int;
+  attack_range : float;
+  sight : float;
+  reload : int;
+  morale : int;
+}
+
+val knight : profile
+val archer : profile
+val healer : profile
+val profile_of : unit_class -> profile
+
+(** AC = 10 + armor. *)
+val armor_class : int -> int
+
+(** Resolve one attack from two raw random rolls; mirrors the arithmetic
+    encoding inside the MeleeStrike / ArcherShot actions exactly (property-
+    tested equal). *)
+val attack_damage :
+  attack_bonus:int ->
+  damage_die:int ->
+  damage_bonus:int ->
+  target_armor:int ->
+  roll_hit:int ->
+  roll_damage:int ->
+  int
+
+val heal_aura_strength : int
+val heal_range : float
+val melee_threat_range : float
+val walk_dist_per_tick : float
+
+(** A unit is wounded when health * 10 < max_health * this. *)
+val wounded_fraction_num : int

@@ -1,0 +1,285 @@
+(* The battle simulation's SGL program (Section 3.2).
+
+   Every behaviour from the case study is here: knights strike the weakest
+   enemy in arm's reach and close ranks using the positional standard
+   deviation; archers fire at range and keep the knight centroid between
+   themselves and the enemy centroid; healers project a non-stackable
+   healing aura over wounded allies and retreat from danger.  Wounded
+   knights seek the nearest allied healer (the paper's "find the nearest
+   healer" kD-tree query).
+
+   The numeric constants come from {!D20}, injected through the compiler's
+   [consts] parameter so OCaml-side mechanics and scripts cannot drift. *)
+
+open Sgl_relalg
+
+let constants : (string * Value.t) list =
+  let p c = D20.profile_of c in
+  [
+    ("KIND_KNIGHT", Value.Int (D20.class_id D20.Knight));
+    ("KIND_ARCHER", Value.Int (D20.class_id D20.Archer));
+    ("KIND_HEALER", Value.Int (D20.class_id D20.Healer));
+    ("K_ATTACK_BONUS", Value.Int (p D20.Knight).D20.attack_bonus);
+    ("K_DAMAGE_DIE", Value.Int (p D20.Knight).D20.damage_die);
+    ("K_DAMAGE_BONUS", Value.Int (p D20.Knight).D20.damage_bonus);
+    ("A_ATTACK_BONUS", Value.Int (p D20.Archer).D20.attack_bonus);
+    ("A_DAMAGE_DIE", Value.Int (p D20.Archer).D20.damage_die);
+    ("A_DAMAGE_BONUS", Value.Int (p D20.Archer).D20.damage_bonus);
+    ("MELEE_RANGE", Value.Float (p D20.Knight).D20.attack_range);
+    ("ARCHER_RANGE", Value.Float (p D20.Archer).D20.attack_range);
+    ("MELEE_THREAT_RANGE", Value.Float D20.melee_threat_range);
+    ("HEAL_RANGE", Value.Float D20.heal_range);
+    ("HEAL_DANGER_RANGE", Value.Float 4.);
+    ("HEAL_AURA", Value.Int D20.heal_aura_strength);
+    ("WOUNDED_NUM", Value.Int D20.wounded_fraction_num);
+  ]
+
+let source =
+  {|
+# ---------------------------------------------------------------- aggregates
+
+aggregate CountEnemiesInSight(u) {
+  count(*)
+  where e.player <> u.player
+    and e.posx >= u.posx - u.sight and e.posx <= u.posx + u.sight
+    and e.posy >= u.posy - u.sight and e.posy <= u.posy + u.sight
+}
+
+aggregate EnemyCentroidInSight(u) {
+  (avg(e.posx), avg(e.posy))
+  where e.player <> u.player
+    and e.posx >= u.posx - u.sight and e.posx <= u.posx + u.sight
+    and e.posy >= u.posy - u.sight and e.posy <= u.posy + u.sight
+  default (u.posx, u.posy)
+}
+
+aggregate WeakestEnemyInMelee(u) {
+  argmin(e.health; e.key)
+  where e.player <> u.player
+    and e.posx >= u.posx - MELEE_RANGE and e.posx <= u.posx + MELEE_RANGE
+    and e.posy >= u.posy - MELEE_RANGE and e.posy <= u.posy + MELEE_RANGE
+  default -1
+}
+
+aggregate WeakestEnemyInArcherRange(u) {
+  argmin(e.health; e.key)
+  where e.player <> u.player
+    and e.posx >= u.posx - ARCHER_RANGE and e.posx <= u.posx + ARCHER_RANGE
+    and e.posy >= u.posy - ARCHER_RANGE and e.posy <= u.posy + ARCHER_RANGE
+  default -1
+}
+
+aggregate CountEnemiesInMelee(u) {
+  count(*)
+  where e.player <> u.player
+    and e.posx >= u.posx - MELEE_THREAT_RANGE and e.posx <= u.posx + MELEE_THREAT_RANGE
+    and e.posy >= u.posy - MELEE_THREAT_RANGE and e.posy <= u.posy + MELEE_THREAT_RANGE
+}
+
+aggregate EnemyCentroidInMelee(u) {
+  (avg(e.posx), avg(e.posy))
+  where e.player <> u.player
+    and e.posx >= u.posx - MELEE_THREAT_RANGE and e.posx <= u.posx + MELEE_THREAT_RANGE
+    and e.posy >= u.posy - MELEE_THREAT_RANGE and e.posy <= u.posy + MELEE_THREAT_RANGE
+  default (u.posx, u.posy)
+}
+
+aggregate KnightCentroid(u) {
+  (avg(e.posx), avg(e.posy))
+  where e.player = u.player and e.kind = KIND_KNIGHT
+  default (u.posx, u.posy)
+}
+
+aggregate KnightSpreadX(u) {
+  stddev(e.posx) where e.player = u.player and e.kind = KIND_KNIGHT default 0.0
+}
+
+aggregate KnightSpreadY(u) {
+  stddev(e.posy) where e.player = u.player and e.kind = KIND_KNIGHT default 0.0
+}
+
+aggregate KnightCount(u) {
+  count(*) where e.player = u.player and e.kind = KIND_KNIGHT
+}
+
+aggregate KnightsNear(u, cx, cy, r) {
+  count(*)
+  where e.player = u.player and e.kind = KIND_KNIGHT
+    and e.posx >= cx - r and e.posx <= cx + r
+    and e.posy >= cy - r and e.posy <= cy + r
+}
+
+aggregate NearestAlliedHealer(u) {
+  nearest(e.posx, e.posy, u.posx, u.posy; (e.posx, e.posy))
+  where e.player = u.player and e.kind = KIND_HEALER
+  default (u.posx, u.posy)
+}
+
+aggregate CountWoundedAlliesInHealRange(u) {
+  count(*)
+  where e.player = u.player
+    and e.posx >= u.posx - HEAL_RANGE and e.posx <= u.posx + HEAL_RANGE
+    and e.posy >= u.posy - HEAL_RANGE and e.posy <= u.posy + HEAL_RANGE
+    and e.health * 10 < e.max_health * WOUNDED_NUM
+}
+
+aggregate WoundedAllyCentroidInSight(u) {
+  (avg(e.posx), avg(e.posy))
+  where e.player = u.player
+    and e.posx >= u.posx - u.sight and e.posx <= u.posx + u.sight
+    and e.posy >= u.posy - u.sight and e.posy <= u.posy + u.sight
+    and e.health * 10 < e.max_health * WOUNDED_NUM
+  default (u.posx, u.posy)
+}
+
+aggregate CountEnemiesNear(u, r) {
+  count(*)
+  where e.player <> u.player
+    and e.posx >= u.posx - r and e.posx <= u.posx + r
+    and e.posy >= u.posy - r and e.posy <= u.posy + r
+}
+
+aggregate EnemyCentroidNear(u, r) {
+  (avg(e.posx), avg(e.posy))
+  where e.player <> u.player
+    and e.posx >= u.posx - r and e.posx <= u.posx + r
+    and e.posy >= u.posy - r and e.posy <= u.posy + r
+  default (u.posx, u.posy)
+}
+
+# ------------------------------------------------------------------ actions
+
+action MeleeStrike(u, tkey) {
+  on key(tkey) {
+    damage <- max(0, min(1, (random(1) mod 20) + 2 + K_ATTACK_BONUS - (10 + e.armor)))
+              * max(1, (random(2) mod K_DAMAGE_DIE) + 1 + K_DAMAGE_BONUS - e.armor / 2);
+  }
+  on self { weaponused <- 1; }
+}
+
+action ArcherShot(u, tkey) {
+  on key(tkey) {
+    damage <- max(0, min(1, (random(3) mod 20) + 2 + A_ATTACK_BONUS - (10 + e.armor)))
+              * max(1, (random(4) mod A_DAMAGE_DIE) + 1 + A_DAMAGE_BONUS - e.armor / 2);
+  }
+  on self { weaponused <- 1; }
+}
+
+action HealAura(u) {
+  on all(u.player = e.player
+         and e.posx >= u.posx - HEAL_RANGE and e.posx <= u.posx + HEAL_RANGE
+         and e.posy >= u.posy - HEAL_RANGE and e.posy <= u.posy + HEAL_RANGE) {
+    inaura <- HEAL_AURA;
+  }
+  on self { weaponused <- 1; }
+}
+
+action MoveToward(u, tx, ty) {
+  on self {
+    movevect_x <- tx - u.posx;
+    movevect_y <- ty - u.posy;
+  }
+}
+
+action MoveAwayFrom(u, tx, ty) {
+  on self {
+    movevect_x <- u.posx - tx;
+    movevect_y <- u.posy - ty;
+  }
+}
+
+# ------------------------------------------------------------------ scripts
+
+script knight(u) {
+  if u.cooldown = 0 then {
+    let target = WeakestEnemyInMelee(u);
+    if target >= 0 then {
+      perform MeleeStrike(u, target);
+    } else {
+      perform knight_move(u);
+    }
+  } else {
+    perform knight_move(u);
+  }
+}
+
+script knight_move(u) {
+  # wounded knights fall back toward the nearest allied healer
+  if u.health * 10 < u.max_health * WOUNDED_NUM then {
+    let hpos = NearestAlliedHealer(u);
+    perform MoveToward(u, hpos.x, hpos.y);
+  } else {
+    let seen = CountEnemiesInSight(u);
+    if seen > 0 then {
+      let ec = EnemyCentroidInSight(u);
+      perform MoveToward(u, ec.x, ec.y);
+    } else {
+      # close ranks (Section 3.2): if fewer than half the knights stand
+      # within two standard deviations of the centroid, regroup
+      let kc = KnightCentroid(u);
+      let sx = KnightSpreadX(u);
+      let sy = KnightSpreadY(u);
+      let r = 2.0 * max(sx, sy);
+      let near = KnightsNear(u, kc.x, kc.y, r);
+      let total = KnightCount(u);
+      if near * 2 < total then {
+        perform MoveToward(u, kc.x, kc.y);
+      }
+    }
+  }
+}
+
+script archer(u) {
+  let threat = CountEnemiesInMelee(u);
+  if threat > 0 then {
+    let ec = EnemyCentroidInMelee(u);
+    perform MoveAwayFrom(u, ec.x, ec.y);
+  } else {
+    if u.cooldown = 0 then {
+      let target = WeakestEnemyInArcherRange(u);
+      if target >= 0 then {
+        perform ArcherShot(u, target);
+      } else {
+        perform archer_reposition(u);
+      }
+    } else {
+      perform archer_reposition(u);
+    }
+  }
+}
+
+script archer_reposition(u) {
+  # stand on the line enemy centroid -> knight centroid, behind the knights
+  let ec = EnemyCentroidInSight(u);
+  let kc = KnightCentroid(u);
+  let goal = kc + (kc - ec) * 0.5;
+  perform MoveToward(u, goal.x, goal.y);
+}
+
+script healer(u) {
+  let danger = CountEnemiesNear(u, HEAL_DANGER_RANGE);
+  if danger > 0 then {
+    let ec = EnemyCentroidNear(u, HEAL_DANGER_RANGE);
+    perform MoveAwayFrom(u, ec.x, ec.y);
+  } else {
+    let wounded = CountWoundedAlliesInHealRange(u);
+    if wounded > 0 and u.cooldown = 0 then {
+      perform HealAura(u);
+    } else {
+      let wc = WoundedAllyCentroidInSight(u);
+      perform MoveToward(u, wc.x, wc.y);
+    }
+  }
+}
+|}
+
+(* The entry script each unit class runs. *)
+let script_for (klass : D20.unit_class) : string =
+  match klass with
+  | D20.Knight -> "knight"
+  | D20.Archer -> "archer"
+  | D20.Healer -> "healer"
+
+(* Compile the battle program against the battle schema. *)
+let compile () : Sgl_lang.Core_ir.program =
+  Sgl_lang.Compile.compile ~consts:constants ~schema:(Unit_types.schema ()) source

@@ -1,0 +1,19 @@
+(** The Section 3.2 battle behaviours, written in SGL: knights strike the
+    weakest enemy in reach and close ranks by positional standard
+    deviation; archers fire at range and shelter behind the knight
+    centroid; healers project non-stackable auras; wounded knights seek the
+    nearest allied healer. *)
+
+open Sgl_relalg
+
+(** Engine constants injected into the compiler (derived from {!D20}). *)
+val constants : (string * Value.t) list
+
+(** The full SGL program text. *)
+val source : string
+
+(** Entry script per unit class. *)
+val script_for : D20.unit_class -> string
+
+(** Compile {!source} against {!Unit_types.schema}. *)
+val compile : unit -> Sgl_lang.Core_ir.program

@@ -1,0 +1,15 @@
+(** The battle simulation's environment schema and unit construction.
+    Positions live on an integer lattice so every aggregate is exact and
+    the naive and indexed engines stay bit-for-bit identical. *)
+
+open Sgl_relalg
+
+val schema : unit -> Schema.t
+
+val make_unit :
+  Schema.t -> key:int -> player:int -> klass:D20.unit_class -> x:int -> y:int -> Tuple.t
+
+val klass_of : Schema.t -> Tuple.t -> D20.unit_class
+val player_of : Schema.t -> Tuple.t -> int
+val health_of : Schema.t -> Tuple.t -> float
+val pos_of : Schema.t -> Tuple.t -> float * float

@@ -1,0 +1,117 @@
+(* The movement phase (Section 6): "Units attempt to move in directions
+   they have decided on earlier.  This is done in random order, with
+   collision detection and very simple pathfinding rules."
+
+   The world is an integer grid with at most one unit per cell (the paper's
+   density experiments measure "percent of game grid squares occupied").
+   Each unit's decided movement vector is clamped to its per-tick speed and
+   rounded to a destination cell; if the cell is taken, simple pathfinding
+   tries shorter and axis-aligned alternatives before giving up.  Positions
+   therefore remain integral, which keeps every float computation exact and
+   the naive and indexed evaluators bit-for-bit identical. *)
+
+open Sgl_util
+open Sgl_relalg
+
+type config = {
+  posx : int; (* state attributes *)
+  posy : int;
+  mvx : int; (* effect attributes carrying the decided vector *)
+  mvy : int;
+  speed : float; (* WALK_DIST_PER_TICK *)
+  speed_attr : int option; (* per-unit speed override (e.g. a freeze effect) *)
+  width : int; (* grid bounds: cells [0, width) x [0, height) *)
+  height : int;
+}
+
+type grid = {
+  config : config;
+  cells : (int, int) Hashtbl.t; (* (x, y) encoded -> unit key *)
+}
+
+let encode g x y = (y * g.config.width) + x
+
+let in_bounds g x y = x >= 0 && x < g.config.width && y >= 0 && y < g.config.height
+
+let occupied g x y = Hashtbl.mem g.cells (encode g x y)
+
+let make_grid (config : config) ~(schema : Schema.t) (units : Tuple.t array) : grid =
+  let g = { config; cells = Hashtbl.create (Array.length units * 2) } in
+  Array.iter
+    (fun u ->
+      let x = Value.to_int (Tuple.get u config.posx) and y = Value.to_int (Tuple.get u config.posy) in
+      Hashtbl.replace g.cells (encode g x y) (Tuple.key schema u))
+    units;
+  g
+
+let move_unit g ~key ~from_:(x0, y0) ~to_:(x1, y1) =
+  Hashtbl.remove g.cells (encode g x0 y0);
+  Hashtbl.replace g.cells (encode g x1 y1) key
+
+(* A free random cell, for resurrection (Section 6).  Rejection-samples
+   deterministically from the tick PRNG; gives up (returning None) on a
+   full grid. *)
+let random_free_cell g (prng : Prng.t) ~(tick : int) ~(salt : int) : (int * int) option =
+  let rec try_ n =
+    if n > 10_000 then None
+    else begin
+      let x = Prng.int prng ~bound:g.config.width [ tick; salt; n; 11 ] in
+      let y = Prng.int prng ~bound:g.config.height [ tick; salt; n; 13 ] in
+      if occupied g x y then try_ (n + 1) else Some (x, y)
+    end
+  in
+  try_ 0
+
+(* Candidate destinations in decreasing preference: the full clamped step,
+   the half step, each axis alone, then staying put. *)
+let candidates ?speed (config : config) ~(x : int) ~(y : int) ~(vx : float) ~(vy : float) :
+    (int * int) list =
+  let speed = Option.value speed ~default:config.speed in
+  let v = Vec2.clamp_norm speed (Vec2.make vx vy) in
+  let full = (x + int_of_float (Float.round v.Vec2.x), y + int_of_float (Float.round v.Vec2.y)) in
+  let half =
+    ( x + int_of_float (Float.round (v.Vec2.x /. 2.)),
+      y + int_of_float (Float.round (v.Vec2.y /. 2.)) )
+  in
+  let x_only = (x + int_of_float (Float.round v.Vec2.x), y) in
+  let y_only = (x, y + int_of_float (Float.round v.Vec2.y)) in
+  List.filter (fun c -> c <> (x, y)) [ full; half; x_only; y_only ]
+
+(* Execute the phase: mutates the position attributes of [units] in place
+   and returns the grid (reused by death handling). *)
+let run (config : config) ~(schema : Schema.t) ~(prng : Prng.t) ~(tick : int)
+    ~(units : Tuple.t array) ~(acc : Combine.Acc.t) : grid =
+  let g = make_grid config ~schema units in
+  let order = Array.init (Array.length units) (fun i -> i) in
+  Prng.shuffle_in_place prng [ tick; 17 ] order;
+  Array.iter
+    (fun i ->
+      let u = units.(i) in
+      let key = Tuple.key schema u in
+      match Combine.Acc.find_opt acc key with
+      | None -> ()
+      | Some effects ->
+        let vx = Value.to_float (Tuple.get effects config.mvx) in
+        let vy = Value.to_float (Tuple.get effects config.mvy) in
+        if vx <> 0. || vy <> 0. then begin
+          let x = Value.to_int (Tuple.get u config.posx) in
+          let y = Value.to_int (Tuple.get u config.posy) in
+          let speed =
+            match config.speed_attr with
+            | None -> config.speed
+            | Some i -> Float.min config.speed (Value.to_float (Tuple.get u i))
+          in
+          let dest =
+            List.find_opt
+              (fun (cx, cy) -> in_bounds g cx cy && not (occupied g cx cy))
+              (candidates ~speed config ~x ~y ~vx ~vy)
+          in
+          match dest with
+          | None -> () (* blocked on every side: wait for the next tick *)
+          | Some (cx, cy) ->
+            move_unit g ~key ~from_:(x, y) ~to_:(cx, cy);
+            Tuple.set u config.posx (Value.Float (float_of_int cx));
+            Tuple.set u config.posy (Value.Float (float_of_int cy))
+        end)
+    order;
+  g

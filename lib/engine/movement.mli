@@ -1,0 +1,42 @@
+(** The movement phase (Section 6): random order, collision detection on an
+    integer grid, simple pathfinding. *)
+
+open Sgl_util
+open Sgl_relalg
+
+type config = {
+  posx : int;
+  posy : int;
+  mvx : int;
+  mvy : int;
+  speed : float; (* max cells per tick *)
+  speed_attr : int option; (* per-unit speed override (capped by [speed]) *)
+  width : int;
+  height : int;
+}
+
+(** Occupancy grid: at most one unit per cell. *)
+type grid
+
+val make_grid : config -> schema:Schema.t -> Tuple.t array -> grid
+val in_bounds : grid -> int -> int -> bool
+val occupied : grid -> int -> int -> bool
+val move_unit : grid -> key:int -> from_:int * int -> to_:int * int -> unit
+
+(** Deterministic rejection-sampled free cell, for resurrection; [None] on a
+    (nearly) full grid. *)
+val random_free_cell : grid -> Prng.t -> tick:int -> salt:int -> (int * int) option
+
+(** Candidate destinations in decreasing preference (full step, half step,
+    each axis alone). *)
+val candidates : ?speed:float -> config -> x:int -> y:int -> vx:float -> vy:float -> (int * int) list
+
+(** Execute the phase: mutate positions in place, return the grid. *)
+val run :
+  config ->
+  schema:Schema.t ->
+  prng:Prng.t ->
+  tick:int ->
+  units:Tuple.t array ->
+  acc:Combine.Acc.t ->
+  grid

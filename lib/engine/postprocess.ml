@@ -1,0 +1,90 @@
+(* The post-processing step (Example 4.1): apply the tick's combined
+   effects to the unit state.
+
+   The step is itself a query — "SELECT u.key, ..., u.health - u.damage +
+   u.inaura AS health ... FROM E u" — so we keep it programmable: each
+   state attribute gets an update expression over [u] (the old state) and
+   [e] (the unit's combined-effect row).  Movement is excluded here; the
+   movement phase (Section 6) owns positions. *)
+
+open Sgl_relalg
+
+type t = {
+  updates : (int * Expr.t) list; (* state attr := expr(u = old state, e = effects) *)
+  remove_when : Expr.t; (* e.g. health <= 0: the unit dies *)
+}
+
+exception Postprocess_error of string
+
+let make ~(schema : Schema.t) ~(updates : (int * Expr.t) list) ~(remove_when : Expr.t) : t =
+  List.iter
+    (fun (i, _) ->
+      if Schema.tag_at schema i <> Schema.Const then
+        raise
+          (Postprocess_error
+             (Fmt.str "post-processing writes state, but %S is an effect attribute"
+                (Schema.name_at schema i))))
+    updates;
+  { updates; remove_when }
+
+(* The unit's combined-effect row: initialized zeros folded with whatever
+   the accumulator collected (max-tagged attrs see max(0, contribution),
+   matching the paper's initialize-to-zero semantics). *)
+let effects_row (schema : Schema.t) (acc : Combine.Acc.t) (key : int) : Tuple.t =
+  let row = Tuple.create schema in
+  (match Combine.Acc.find_opt acc key with
+  | None -> ()
+  | Some contributions ->
+    List.iter
+      (fun i ->
+        let zero = Value.zero_of (Schema.ty_at schema i) in
+        Tuple.set row i (Schema.combine_values schema i zero (Tuple.get contributions i)))
+      (Schema.effect_indices schema));
+  row
+
+(* Apply the step.  Returns the new state row for each unit plus whether it
+   survived; effect attributes of the new state are reset to zero. *)
+let apply (t : t) ~(schema : Schema.t) ~(rand_for : key:int -> int -> int)
+    ~(units : Tuple.t array) ~(acc : Combine.Acc.t) : (Tuple.t * bool) array =
+  Array.map
+    (fun u ->
+      let key = Tuple.key schema u in
+      let effects = effects_row schema acc key in
+      let ctx = { Expr.u; e = Some effects; rand = rand_for ~key } in
+      let out = Tuple.copy u in
+      List.iter (fun (i, expr) -> Tuple.set out i (Expr.eval ctx expr)) t.updates;
+      let alive = not (Expr.eval_bool ctx t.remove_when) in
+      (out, alive))
+    units
+
+(* ------------------------------------------------------------------ *)
+(* A ready-made specification for battle-style schemas: the Example 4.1
+   query minus movement.  The cooldown restarts from the unit's own
+   "reload" attribute when it acted this tick. *)
+let battle_spec ~(schema : Schema.t) : t =
+  let a name = Schema.find schema name in
+  let health = a "health"
+  and max_health = a "max_health"
+  and cooldown = a "cooldown"
+  and damage = a "damage"
+  and inaura = a "inaura"
+  and reload = a "reload"
+  and weaponused = a "weaponused" in
+  let open Expr in
+  let new_health =
+    (* min(max_health, health - damage + inaura), never healed beyond the
+       initial health (Section 3.2) *)
+    MinOf
+      ( UAttr max_health,
+        Binop (Add, Binop (Sub, UAttr health, EAttr damage), EAttr inaura) )
+  in
+  let new_cooldown =
+    (* max(0, cooldown - 1) + weaponused * u.reload *)
+    Binop
+      ( Add,
+        MaxOf (Const (Value.Int 0), Binop (Sub, UAttr cooldown, Const (Value.Int 1))),
+        Binop (Mul, EAttr weaponused, UAttr reload) )
+  in
+  make ~schema
+    ~updates:[ (health, new_health); (cooldown, new_cooldown) ]
+    ~remove_when:(Cmp (Le, UAttr health, Binop (Add, EAttr damage, Neg (EAttr inaura))))

@@ -1,0 +1,35 @@
+(** The post-processing step (Example 4.1): a programmable query applying
+    the tick's combined effects to unit state. *)
+
+open Sgl_relalg
+
+type t
+
+exception Postprocess_error of string
+
+(** [make ~schema ~updates ~remove_when] builds a step.  Each update writes
+    a *state* (const-tagged) attribute from an expression over [u] (the old
+    state) and [e] (the unit's combined-effect row); [remove_when] decides
+    death.  Raises {!Postprocess_error} if an update targets an effect
+    attribute. *)
+val make : schema:Schema.t -> updates:(int * Expr.t) list -> remove_when:Expr.t -> t
+
+(** The unit's combined-effect row: initialized zeros folded with the
+    accumulator's contributions. *)
+val effects_row : Schema.t -> Combine.Acc.t -> int -> Tuple.t
+
+(** Apply the step to every unit; returns each new state row paired with
+    whether the unit survived. *)
+val apply :
+  t ->
+  schema:Schema.t ->
+  rand_for:(key:int -> int -> int) ->
+  units:Tuple.t array ->
+  acc:Combine.Acc.t ->
+  (Tuple.t * bool) array
+
+(** Ready-made battle-style step: health := min(max_health, health - damage
+    + inaura); cooldown := max(0, cooldown-1) + weaponused * reload; death
+    when health would drop to zero.  Requires attributes named health,
+    max_health, cooldown, damage, inaura, reload, weaponused. *)
+val battle_spec : schema:Schema.t -> t

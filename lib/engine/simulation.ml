@@ -1,0 +1,225 @@
+(* The discrete simulation engine (Sections 2.2 and 6).
+
+   Each clock tick runs the paper's phases:
+
+   1. decision + action — the optimized plans execute set-at-a-time over
+      every scripted unit; index building happens inside the pluggable
+      evaluator and is accounted separately (the paper's two index-building
+      phases);
+   2. post-processing — the Example 4.1 query applies combined effects to
+      unit state;
+   3. movement — random order, collision detection, simple pathfinding;
+   4. death — dead units are removed, or "resurrected at a position chosen
+      uniformly at random" to keep the workload constant (Section 6). *)
+
+open Sgl_util
+open Sgl_relalg
+open Sgl_lang
+open Sgl_qopt
+
+type death_rule =
+  | Remove
+  | Resurrect of { health : int; max_health : int }
+
+type config = {
+  prog : Core_ir.program;
+  script_of : Tuple.t -> string option; (* None: the unit acts as "empty" *)
+  postprocess : Postprocess.t;
+  movement : Movement.config option;
+  death : death_rule;
+  seed : int;
+  optimize : bool; (* run the Section 5.2 plan rewrites *)
+}
+
+type evaluator_kind = Naive | Indexed
+
+let evaluator_name = function
+  | Naive -> "naive"
+  | Indexed -> "indexed"
+
+type timings = {
+  decision : Timer.t; (* includes index building; see evaluator stats *)
+  post : Timer.t;
+  movement : Timer.t;
+  death : Timer.t;
+}
+
+type t = {
+  config : config;
+  compiled : Exec.compiled;
+  evaluator : Eval.t;
+  prng : Prng.t;
+  mutable units : Tuple.t array;
+  mutable tick : int;
+  timings : timings;
+  mutable deaths : int;
+  mutable resurrections : int;
+}
+
+let create (config : config) ~(evaluator : evaluator_kind) ~(units : Tuple.t array) : t =
+  let schema = config.prog.Core_ir.schema in
+  let ev =
+    match evaluator with
+    | Naive -> Eval.naive ~schema ~aggregates:config.prog.Core_ir.aggregates
+    | Indexed -> Eval.indexed ~schema ~aggregates:config.prog.Core_ir.aggregates ()
+  in
+  {
+    config;
+    compiled = Exec.compile ~optimize:config.optimize config.prog;
+    evaluator = ev;
+    prng = Prng.create config.seed;
+    units = Array.map Tuple.copy units;
+    tick = 0;
+    timings =
+      { decision = Timer.create (); post = Timer.create (); movement = Timer.create ();
+        death = Timer.create () };
+    deaths = 0;
+    resurrections = 0;
+  }
+
+let schema t = t.config.prog.Core_ir.schema
+let units t = t.units
+let tick_count t = t.tick
+
+(* Partition the current units into script groups. *)
+let groups (t : t) : Exec.group list =
+  let by_script : (string, int Varray.t) Hashtbl.t = Hashtbl.create 8 in
+  let order = ref [] in
+  Array.iteri
+    (fun i u ->
+      match t.config.script_of u with
+      | None -> ()
+      | Some name -> begin
+        match Hashtbl.find_opt by_script name with
+        | Some bucket -> Varray.push bucket i
+        | None ->
+          let bucket = Varray.create 0 in
+          Varray.push bucket i;
+          Hashtbl.add by_script name bucket;
+          order := name :: !order
+      end)
+    t.units;
+  List.rev_map
+    (fun name -> { Exec.script = name; members = Varray.to_array (Hashtbl.find by_script name) })
+    !order
+
+let step (t : t) : unit =
+  let sch = schema t in
+  let tick = t.tick in
+  let rand_for ~key i = Prng.script_random t.prng ~tick ~key i in
+  (* decision + action *)
+  let acc =
+    Timer.record t.timings.decision (fun () ->
+        Exec.run_tick t.compiled ~evaluator:t.evaluator ~units:t.units ~groups:(groups t)
+          ~rand_for)
+  in
+  (* post-processing *)
+  let results =
+    Timer.record t.timings.post (fun () ->
+        Postprocess.apply t.config.postprocess ~schema:sch ~rand_for ~units:t.units ~acc)
+  in
+  let alive = Varray.create [||] and dead = Varray.create [||] in
+  Array.iter
+    (fun (row, survived) -> if survived then Varray.push alive row else Varray.push dead row)
+    results;
+  let alive_units = Varray.to_array alive in
+  (* movement over the survivors *)
+  let grid =
+    Timer.record t.timings.movement (fun () ->
+        Option.map
+          (fun mconfig ->
+            Movement.run mconfig ~schema:sch ~prng:t.prng ~tick ~units:alive_units ~acc)
+          t.config.movement)
+  in
+  (* death handling *)
+  let final =
+    Timer.record t.timings.death (fun () ->
+        match t.config.death with
+        | Remove ->
+          t.deaths <- t.deaths + Varray.length dead;
+          alive_units
+        | Resurrect { health; max_health } ->
+          t.deaths <- t.deaths + Varray.length dead;
+          let revived =
+            Array.map
+              (fun row ->
+                let out = Tuple.copy row in
+                Tuple.set out health (Tuple.get out max_health);
+                (match (grid, t.config.movement) with
+                | Some g, Some mconfig -> begin
+                  let key = Tuple.key sch out in
+                  match Movement.random_free_cell g t.prng ~tick ~salt:key with
+                  | Some (x, y) ->
+                    Tuple.set out mconfig.Movement.posx (Value.Float (float_of_int x));
+                    Tuple.set out mconfig.Movement.posy (Value.Float (float_of_int y));
+                    Movement.move_unit g ~key
+                      ~from_:
+                        ( Value.to_int (Tuple.get row mconfig.Movement.posx),
+                          Value.to_int (Tuple.get row mconfig.Movement.posy) )
+                      ~to_:(x, y)
+                  | None -> ()
+                end
+                | _ -> ());
+                t.resurrections <- t.resurrections + 1;
+                out)
+              (Varray.to_array dead)
+          in
+          Array.append alive_units revived)
+  in
+  t.units <- final;
+  t.tick <- t.tick + 1
+
+let run (t : t) ~(ticks : int) : unit =
+  for _ = 1 to ticks do
+    step t
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Reporting *)
+
+type report = {
+  ticks : int;
+  n_units : int;
+  decision_s : float;
+  build_s : float; (* portion of decision spent building indexes *)
+  post_s : float;
+  movement_s : float;
+  death_s : float;
+  total_s : float;
+  index_builds : int;
+  index_probes : int;
+  naive_scans : int;
+  uniform_hits : int;
+  deaths : int;
+  resurrections : int;
+}
+
+let report (t : t) : report =
+  let s = t.evaluator.Eval.stats in
+  let decision_s = Timer.elapsed t.timings.decision in
+  let post_s = Timer.elapsed t.timings.post in
+  let movement_s = Timer.elapsed t.timings.movement in
+  let death_s = Timer.elapsed t.timings.death in
+  {
+    ticks = t.tick;
+    n_units = Array.length t.units;
+    decision_s;
+    build_s = s.Eval.build_seconds;
+    post_s;
+    movement_s;
+    death_s;
+    total_s = decision_s +. post_s +. movement_s +. death_s;
+    index_builds = s.Eval.index_builds;
+    index_probes = s.Eval.index_probes;
+    naive_scans = s.Eval.naive_scans;
+    uniform_hits = s.Eval.uniform_hits;
+    deaths = t.deaths;
+    resurrections = t.resurrections;
+  }
+
+let pp_report ppf (r : report) =
+  Fmt.pf ppf
+    "@[<v>ticks=%d units=%d total=%.3fs (decision=%.3fs [build=%.3fs] post=%.3fs move=%.3fs \
+     death=%.3fs)@,builds=%d probes=%d scans=%d uniform=%d deaths=%d resurrections=%d@]"
+    r.ticks r.n_units r.total_s r.decision_s r.build_s r.post_s r.movement_s r.death_s
+    r.index_builds r.index_probes r.naive_scans r.uniform_hits r.deaths r.resurrections

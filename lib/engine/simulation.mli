@@ -1,0 +1,65 @@
+(** The discrete simulation engine (Sections 2.2 and 6): per tick, the
+    decision+action phases (set-at-a-time, with index building inside the
+    pluggable evaluator), the post-processing query, the movement phase,
+    and death handling (removal or uniform-random resurrection). *)
+
+open Sgl_util
+open Sgl_relalg
+open Sgl_lang
+
+type death_rule =
+  | Remove
+  | Resurrect of { health : int; max_health : int }
+
+type config = {
+  prog : Core_ir.program;
+  script_of : Tuple.t -> string option; (* [None]: the unit performs the empty action *)
+  postprocess : Postprocess.t;
+  movement : Movement.config option;
+  death : death_rule;
+  seed : int;
+  optimize : bool;
+}
+
+type evaluator_kind = Naive | Indexed
+
+val evaluator_name : evaluator_kind -> string
+
+type t
+
+val create : config -> evaluator:evaluator_kind -> units:Tuple.t array -> t
+val schema : t -> Schema.t
+
+(** The current unit state (do not mutate). *)
+val units : t -> Tuple.t array
+
+val tick_count : t -> int
+val step : t -> unit
+val run : t -> ticks:int -> unit
+
+type timings = {
+  decision : Timer.t;
+  post : Timer.t;
+  movement : Timer.t;
+  death : Timer.t;
+}
+
+type report = {
+  ticks : int;
+  n_units : int;
+  decision_s : float;
+  build_s : float;
+  post_s : float;
+  movement_s : float;
+  death_s : float;
+  total_s : float;
+  index_builds : int;
+  index_probes : int;
+  naive_scans : int;
+  uniform_hits : int;
+  deaths : int;
+  resurrections : int;
+}
+
+val report : t -> report
+val pp_report : report Fmt.t

@@ -1,0 +1,73 @@
+(* Per-tick simulation traces.
+
+   Records selected attributes of every unit after each tick as CSV — the
+   raw material for replay tools, balance analysis, and the plots game
+   designers actually look at.  One header row, then one row per unit per
+   recorded tick. *)
+
+open Sgl_relalg
+
+type t = {
+  oc : out_channel;
+  schema : Schema.t;
+  attrs : int list;
+  mutable rows : int;
+  mutable closed : bool;
+}
+
+exception Trace_error of string
+
+let create ~(path : string) ~(schema : Schema.t) ~(attrs : string list) : t =
+  let indexes =
+    List.map
+      (fun name ->
+        match Schema.find_opt schema name with
+        | Some i -> i
+        | None -> raise (Trace_error (Fmt.str "trace: unknown attribute %S" name)))
+      attrs
+  in
+  let oc = open_out path in
+  output_string oc ("tick," ^ String.concat "," attrs ^ "\n");
+  { oc; schema; attrs = indexes; rows = 0; closed = false }
+
+let value_to_csv (v : Value.t) : string =
+  match v with
+  | Value.Int i -> string_of_int i
+  | Value.Float f -> Printf.sprintf "%g" f
+  | Value.Bool b -> if b then "1" else "0"
+  | Value.Vec v -> Printf.sprintf "%g:%g" v.Sgl_util.Vec2.x v.Sgl_util.Vec2.y
+
+let record (t : t) ~(tick : int) (units : Tuple.t array) : unit =
+  if t.closed then raise (Trace_error "trace: already closed");
+  Array.iter
+    (fun u ->
+      output_string t.oc (string_of_int tick);
+      List.iter
+        (fun i ->
+          output_char t.oc ',';
+          output_string t.oc (value_to_csv (Tuple.get u i)))
+        t.attrs;
+      output_char t.oc '\n';
+      t.rows <- t.rows + 1)
+    units
+
+let rows (t : t) = t.rows
+
+let close (t : t) : unit =
+  if not t.closed then begin
+    t.closed <- true;
+    close_out t.oc
+  end
+
+(* Convenience: attach a trace to a simulation and run it. *)
+let run_traced ~(path : string) ~(attrs : string list) (sim : Simulation.t) ~(ticks : int) : int =
+  let t = create ~path ~schema:(Simulation.schema sim) ~attrs in
+  Fun.protect
+    ~finally:(fun () -> close t)
+    (fun () ->
+      record t ~tick:0 (Simulation.units sim);
+      for i = 1 to ticks do
+        Simulation.step sim;
+        record t ~tick:i (Simulation.units sim)
+      done;
+      rows t)

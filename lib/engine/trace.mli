@@ -1,0 +1,23 @@
+(** CSV traces of simulation state, one row per unit per recorded tick. *)
+
+open Sgl_relalg
+
+type t
+
+exception Trace_error of string
+
+(** [create ~path ~schema ~attrs] opens the file and writes the header.
+    Raises {!Trace_error} on an unknown attribute name. *)
+val create : path:string -> schema:Schema.t -> attrs:string list -> t
+
+(** Append one row per unit for this tick. *)
+val record : t -> tick:int -> Tuple.t array -> unit
+
+(** Data rows written so far. *)
+val rows : t -> int
+
+val close : t -> unit
+
+(** Record the initial state, run [ticks] steps recording after each, close
+    the trace, and return the row count. *)
+val run_traced : path:string -> attrs:string list -> Simulation.t -> ticks:int -> int

@@ -1,0 +1,161 @@
+(* Two-dimensional range tree with fractional cascading (Section 5.3.1).
+
+   A balanced tree over the x-sorted points; each canonical node stores its
+   points sorted by y together with prefix statistic vectors, plus *bridge*
+   pointers into each child's y-array.  A box query binary-searches the y
+   interval once at the root and then follows bridges while decomposing the
+   x range, so a probe costs O(log n) instead of the plain layered tree's
+   O(log^2 n).  This is the structure behind all divisible aggregates in the
+   paper's experimental engine ("all such queries share the same range
+   tree", Section 6). *)
+
+type node = {
+  lo : int;
+  hi : int; (* x-sorted positions [lo, hi) *)
+  ys : float array; (* y-sorted coords of the node's points *)
+  prefix : float array; (* flattened (len+1) * m prefix statistic sums *)
+  bridge_l : int array; (* len+1 entries: lower-bound position in left.ys *)
+  bridge_r : int array;
+  left : node option;
+  right : node option;
+}
+
+type t = {
+  xs : float array; (* x-sorted coordinates *)
+  m : int;
+  root : node option;
+}
+
+(* Linear two-pointer pass: for each element of [parent] (plus a sentinel),
+   the first position in [child] holding a value >= it. *)
+let bridges parent child =
+  let np = Array.length parent and nc = Array.length child in
+  let out = Array.make (np + 1) nc in
+  let p = ref 0 in
+  for i = 0 to np - 1 do
+    while !p < nc && child.(!p) < parent.(i) do
+      incr p
+    done;
+    out.(i) <- !p
+  done;
+  out
+
+let build ~(x : int -> float) ~(y : int -> float) ~(stats : int -> float array) ~(m : int)
+    (ids : int array) : t =
+  let ids = Array.copy ids in
+  Array.sort (fun a b -> Float.compare (x a) (x b)) ids;
+  let xs = Array.map x ids in
+  (* Build bottom-up; every recursive call also returns the node's points in
+     y order so the parent is a linear merge (O(n log n) total). *)
+  let prefix_of yids =
+    let len = Array.length yids in
+    let prefix = Array.make ((len + 1) * m) 0. in
+    for i = 0 to len - 1 do
+      let s = stats yids.(i) in
+      for j = 0 to m - 1 do
+        prefix.(((i + 1) * m) + j) <- prefix.((i * m) + j) +. s.(j)
+      done
+    done;
+    prefix
+  in
+  let merge (ay : float array) (aids : int array) (by : float array) (bids : int array) =
+    let na = Array.length ay and nb = Array.length by in
+    let ys = Array.make (na + nb) 0. and yids = Array.make (na + nb) 0 in
+    let i = ref 0 and j = ref 0 in
+    for k = 0 to na + nb - 1 do
+      if !j >= nb || (!i < na && ay.(!i) <= by.(!j)) then begin
+        ys.(k) <- ay.(!i);
+        yids.(k) <- aids.(!i);
+        incr i
+      end
+      else begin
+        ys.(k) <- by.(!j);
+        yids.(k) <- bids.(!j);
+        incr j
+      end
+    done;
+    (ys, yids)
+  in
+  let rec build_node lo hi : node * float array * int array =
+    if hi - lo = 1 then begin
+      let ys = [| y ids.(lo) |] and yids = [| ids.(lo) |] in
+      let node =
+        {
+          lo;
+          hi;
+          ys;
+          prefix = prefix_of yids;
+          bridge_l = [||];
+          bridge_r = [||];
+          left = None;
+          right = None;
+        }
+      in
+      (node, ys, yids)
+    end
+    else begin
+      let mid = (lo + hi) / 2 in
+      let lnode, lys, lids = build_node lo mid in
+      let rnode, rys, rids = build_node mid hi in
+      let ys, yids = merge lys lids rys rids in
+      let node =
+        {
+          lo;
+          hi;
+          ys;
+          prefix = prefix_of yids;
+          bridge_l = bridges ys lys;
+          bridge_r = bridges ys rys;
+          left = Some lnode;
+          right = Some rnode;
+        }
+      in
+      (node, ys, yids)
+    end
+  in
+  let root =
+    if Array.length ids = 0 then None
+    else begin
+      let node, _, _ = build_node 0 (Array.length ids) in
+      Some node
+    end
+  in
+  { xs; m; root }
+
+(* Componentwise-sum the statistic vectors of the points in the box. *)
+let query (t : t) ~(x : Interval.t) ~(y : Interval.t) : float array =
+  let acc = Array.make t.m 0. in
+  match t.root with
+  | None -> acc
+  | Some root ->
+    let xa, xb = Interval.positions x t.xs in
+    if xb <= xa then acc
+    else begin
+      (* y positions at the root, as in a plain binary search ... *)
+      let ya, yb = Interval.positions y root.ys in
+      let add node ya yb =
+        if yb > ya then begin
+          let p = node.prefix and m = t.m in
+          for j = 0 to m - 1 do
+            acc.(j) <- acc.(j) +. p.((yb * m) + j) -. p.((ya * m) + j)
+          done
+        end
+      in
+      (* ... then carried down through the bridges: no further searches. *)
+      let rec visit node ya yb =
+        if xb <= node.lo || node.hi <= xa then ()
+        else if xa <= node.lo && node.hi <= xb then add node ya yb
+        else begin
+          (match node.left with
+          | Some l -> visit l node.bridge_l.(ya) node.bridge_l.(yb)
+          | None -> ());
+          match node.right with
+          | Some r -> visit r node.bridge_r.(ya) node.bridge_r.(yb)
+          | None -> ()
+        end
+      in
+      visit root ya yb;
+      acc
+    end
+
+let size t = Array.length t.xs

@@ -1,0 +1,14 @@
+(** 2-d range tree with fractional cascading and prefix-aggregate levels:
+    O(n log n) build, O(log n) per divisible-aggregate box query. *)
+
+type t
+
+(** [build ~x ~y ~stats ~m ids] indexes points [ids] with coordinates
+    [(x id, y id)] and m-dimensional statistic vectors [stats id]. *)
+val build : x:(int -> float) -> y:(int -> float) -> stats:(int -> float array) -> m:int -> int array -> t
+
+(** Componentwise sum of the statistic vectors of all points inside the
+    box. *)
+val query : t -> x:Interval.t -> y:Interval.t -> float array
+
+val size : t -> int

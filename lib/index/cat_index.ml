@@ -1,0 +1,57 @@
+(* Categorical partitioning: the hash-table levels of the layered index
+   (Section 5.3.1: "degenerate range components ... can be replaced by a
+   hashtable with O(1) look-up").
+
+   Points are split by an integer key vector (e.g. player, unit type); each
+   partition lazily builds its own continuous-attribute sub-index.  This is
+   how the paper arrives at "6 range trees - one for each player/unit type
+   combination". *)
+
+open Sgl_util
+
+type 'a t = {
+  partitions : (int list, int Varray.t) Hashtbl.t;
+  builder : int array -> 'a;
+  cache : (int list, 'a) Hashtbl.t;
+}
+
+let create ~(keys : int -> int list) ~(ids : int array) ~(builder : int array -> 'a) : 'a t =
+  let partitions = Hashtbl.create 16 in
+  Array.iter
+    (fun id ->
+      let k = keys id in
+      match Hashtbl.find_opt partitions k with
+      | Some bucket -> Varray.push bucket id
+      | None ->
+        let bucket = Varray.create 0 in
+        Varray.push bucket id;
+        Hashtbl.add partitions k bucket)
+    ids;
+  { partitions; builder; cache = Hashtbl.create 16 }
+
+let partition_keys t = Hashtbl.fold (fun k _ acc -> k :: acc) t.partitions []
+
+let members t key =
+  match Hashtbl.find_opt t.partitions key with
+  | None -> [||]
+  | Some bucket -> Varray.to_array bucket
+
+(* The sub-index of one partition, built on first use and cached. *)
+let find t key : 'a option =
+  match Hashtbl.find_opt t.cache key with
+  | Some sub -> Some sub
+  | None ->
+    Option.map
+      (fun bucket ->
+        let sub = t.builder (Varray.to_array bucket) in
+        Hashtbl.add t.cache key sub;
+        sub)
+      (Hashtbl.find_opt t.partitions key)
+
+(* Sub-indexes of every partition whose key satisfies [accept]; this is how
+   a disequality like [e.player <> u.player] probes "all other players". *)
+let find_matching t ~(accept : int list -> bool) : 'a list =
+  let keys = List.filter accept (partition_keys t) in
+  List.filter_map (fun k -> find t k) keys
+
+let partition_count t = Hashtbl.length t.partitions

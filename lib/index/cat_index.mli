@@ -1,0 +1,20 @@
+(** Categorical partitioning with lazily built per-partition sub-indexes:
+    the hash-table levels of the paper's layered indexes. *)
+
+type 'a t
+
+(** [create ~keys ~ids ~builder] partitions [ids] by their key vector;
+    [builder] constructs a partition's sub-index from its member ids. *)
+val create : keys:(int -> int list) -> ids:int array -> builder:(int array -> 'a) -> 'a t
+
+val partition_keys : 'a t -> int list list
+val members : 'a t -> int list -> int array
+
+(** Sub-index of a partition, built on first use; [None] if the partition is
+    empty. *)
+val find : 'a t -> int list -> 'a option
+
+(** Sub-indexes of every partition accepted by the predicate. *)
+val find_matching : 'a t -> accept:(int list -> bool) -> 'a list
+
+val partition_count : 'a t -> int

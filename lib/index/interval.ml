@@ -1,0 +1,52 @@
+(* One dimension of an orthogonal range query: a possibly-open interval.
+
+   The index planner compiles conjuncts like [e.posx >= u.posx - r] into
+   intervals per probing unit; strict bounds are preserved so the indexed
+   evaluators agree bit-for-bit with the naive scan. *)
+
+open Sgl_util
+
+type t = {
+  lo : float;
+  lo_strict : bool;
+  hi : float;
+  hi_strict : bool;
+}
+
+let make ?(lo = neg_infinity) ?(lo_strict = false) ?(hi = infinity) ?(hi_strict = false) () =
+  { lo; lo_strict; hi; hi_strict }
+
+let everything = make ()
+
+let mem t x =
+  (if t.lo_strict then x > t.lo else x >= t.lo)
+  && if t.hi_strict then x < t.hi else x <= t.hi
+
+let is_empty t = t.lo > t.hi || (t.lo = t.hi && (t.lo_strict || t.hi_strict))
+
+(* Half-open index range [a, b) of the members of [t] within the sorted
+   array [coords]. *)
+let positions t (coords : float array) : int * int =
+  let a = if t.lo_strict then Search.upper_bound coords t.lo else Search.lower_bound coords t.lo in
+  let b = if t.hi_strict then Search.lower_bound coords t.hi else Search.upper_bound coords t.hi in
+  (a, max a b)
+
+(* Intersect two intervals over the same attribute. *)
+let inter a b =
+  let lo, lo_strict =
+    if a.lo > b.lo then (a.lo, a.lo_strict)
+    else if b.lo > a.lo then (b.lo, b.lo_strict)
+    else (a.lo, a.lo_strict || b.lo_strict)
+  in
+  let hi, hi_strict =
+    if a.hi < b.hi then (a.hi, a.hi_strict)
+    else if b.hi < a.hi then (b.hi, b.hi_strict)
+    else (a.hi, a.hi_strict || b.hi_strict)
+  in
+  { lo; lo_strict; hi; hi_strict }
+
+let pp ppf t =
+  Fmt.pf ppf "%s%g, %g%s"
+    (if t.lo_strict then "(" else "[")
+    t.lo t.hi
+    (if t.hi_strict then ")" else "]")

@@ -1,0 +1,23 @@
+(** Possibly-open float intervals: one dimension of an orthogonal range
+    query. *)
+
+type t = {
+  lo : float;
+  lo_strict : bool;
+  hi : float;
+  hi_strict : bool;
+}
+
+val make : ?lo:float -> ?lo_strict:bool -> ?hi:float -> ?hi_strict:bool -> unit -> t
+
+(** The unbounded interval. *)
+val everything : t
+
+val mem : t -> float -> bool
+val is_empty : t -> bool
+
+(** Half-open index range [\[a, b)] of members within a sorted array. *)
+val positions : t -> float array -> int * int
+
+val inter : t -> t -> t
+val pp : t Fmt.t

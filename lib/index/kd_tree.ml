@@ -1,0 +1,95 @@
+(* 2-d kD-tree for nearest-neighbour aggregates (Section 5.3.2).
+
+   Built per categorical partition (player x unit type in the paper's
+   engine); supports an optional per-point filter for residual predicates
+   the planner could not push into the partitioning. *)
+
+type node = {
+  id : int; (* the splitting point *)
+  px : float;
+  py : float;
+  axis : int; (* 0 = x, 1 = y *)
+  left : node option;
+  right : node option;
+}
+
+type t = { root : node option; count : int }
+
+let build ~(x : int -> float) ~(y : int -> float) (ids : int array) : t =
+  let ids = Array.copy ids in
+  let coord axis id = if axis = 0 then x id else y id in
+  (* Median split by sorting the slice on the current axis.  O(n log^2 n)
+     build, O(log n) expected probes. *)
+  let rec go lo hi axis =
+    if hi <= lo then None
+    else begin
+      let slice = Array.sub ids lo (hi - lo) in
+      Array.sort (fun a b -> Float.compare (coord axis a) (coord axis b)) slice;
+      Array.blit slice 0 ids lo (hi - lo);
+      let mid = (lo + hi) / 2 in
+      let id = ids.(mid) in
+      Some
+        {
+          id;
+          px = x id;
+          py = y id;
+          axis;
+          left = go lo mid (1 - axis);
+          right = go (mid + 1) hi (1 - axis);
+        }
+    end
+  in
+  { root = go 0 (Array.length ids) 0; count = Array.length ids }
+
+let size t = t.count
+
+(* Nearest accepted point to (qx, qy); ties break toward the point visited
+   first, matching the naive scan only in distance (callers that need
+   deterministic tie-breaks compare ids; see Nearest_eval). *)
+let nearest ?(filter = fun _ -> true) t ~qx ~qy : (int * float) option =
+  let best = ref None in
+  let best_d2 () =
+    match !best with
+    | None -> infinity
+    | Some (_, d2) -> d2
+  in
+  let consider node =
+    if filter node.id then begin
+      let dx = node.px -. qx and dy = node.py -. qy in
+      let d2 = (dx *. dx) +. (dy *. dy) in
+      let better =
+        match !best with
+        | None -> true
+        | Some (bid, bd2) -> d2 < bd2 || (d2 = bd2 && node.id < bid)
+      in
+      if better then best := Some (node.id, d2)
+    end
+  in
+  let rec go = function
+    | None -> ()
+    | Some node ->
+      consider node;
+      let delta = if node.axis = 0 then qx -. node.px else qy -. node.py in
+      let near, far = if delta < 0. then (node.left, node.right) else (node.right, node.left) in
+      go near;
+      (* The far side can only help if the splitting plane is closer than
+         the best match so far (<= admits equal-distance, smaller-id points). *)
+      if delta *. delta <= best_d2 () then go far
+  in
+  go t.root;
+  !best
+
+(* Visit every point inside the box (used by tests and residual scans). *)
+let query_box ?(filter = fun _ -> true) t ~(x : Interval.t) ~(y : Interval.t) (f : int -> unit) :
+    unit =
+  let rec go = function
+    | None -> ()
+    | Some node ->
+      if Interval.mem x node.px && Interval.mem y node.py && filter node.id then f node.id;
+      let c = if node.axis = 0 then node.px else node.py in
+      let iv = if node.axis = 0 then x else y in
+      (* Prune subtrees wholly outside the box on the splitting axis. *)
+      if c >= iv.Interval.lo then go node.left;
+      if c <= iv.Interval.hi then go node.right
+  in
+  go t.root

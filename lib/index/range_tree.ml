@@ -1,0 +1,157 @@
+(* Layered range trees (Section 5.3.1).
+
+   A tree over dimension 0 whose canonical nodes carry an associated
+   structure over the remaining dimensions; the last level is a sorted array
+   whose leaves hold *prefix statistic vectors*, so any box aggregate of a
+   divisible aggregate is recovered from O(log^d n) prefix differences
+   without enumerating the k matching points (Figure 8).
+
+   The same structure answers enumeration queries (reporting ids), which is
+   the fallback for non-divisible aggregates and residual predicates. *)
+
+type t =
+  | Leaf_level of {
+      coords : float array; (* sorted by the last dimension *)
+      ids : int array; (* point ids in coord order *)
+      prefix : float array array; (* n+1 rows of m statistic sums; [||] rows if stats are unused *)
+      m : int;
+    }
+  | Tree_level of {
+      coords : float array; (* sorted by this dimension *)
+      root : node option; (* None iff there are no points *)
+      m : int;
+    }
+
+and node = {
+  lo : int;
+  hi : int; (* the node covers sorted positions [lo, hi) *)
+  assoc : t; (* next-level structure over those points *)
+  left : node option;
+  right : node option;
+}
+
+(* [build ~dims ~stats ids] builds a tree over the points [ids]; [dims]
+   gives each dimension's coordinate accessor, [stats] the per-point
+   statistic vector (pass [None] for an enumeration-only tree). *)
+let rec build ~(dims : (int -> float) list) ~(stats : (int -> float array) option)
+    ~(m : int) (ids : int array) : t =
+  match dims with
+  | [] -> invalid_arg "Range_tree.build: at least one dimension required"
+  | [ last ] ->
+    let ids = Array.copy ids in
+    Array.sort (fun a b -> Float.compare (last a) (last b)) ids;
+    let n = Array.length ids in
+    let coords = Array.map last ids in
+    let prefix =
+      match stats with
+      | None -> Array.make (n + 1) [||]
+      | Some stat ->
+        let prefix = Array.make (n + 1) [||] in
+        prefix.(0) <- Array.make m 0.;
+        for i = 0 to n - 1 do
+          let s = stat ids.(i) in
+          prefix.(i + 1) <- Array.init m (fun j -> prefix.(i).(j) +. s.(j))
+        done;
+        prefix
+    in
+    Leaf_level { coords; ids; prefix; m }
+  | first :: rest ->
+    let ids = Array.copy ids in
+    Array.sort (fun a b -> Float.compare (first a) (first b)) ids;
+    let coords = Array.map first ids in
+    let rec build_node lo hi =
+      if hi <= lo then None
+      else begin
+        let assoc = build ~dims:rest ~stats ~m (Array.sub ids lo (hi - lo)) in
+        if hi - lo = 1 then Some { lo; hi; assoc; left = None; right = None }
+        else begin
+          let mid = (lo + hi) / 2 in
+          Some { lo; hi; assoc; left = build_node lo mid; right = build_node mid hi }
+        end
+      end
+    in
+    Tree_level { coords; root = build_node 0 (Array.length ids); m }
+
+(* Sum the statistic vectors of all points inside the box. *)
+let query_stats (t : t) (box : Interval.t list) : float array =
+  let m =
+    match t with
+    | Leaf_level l -> l.m
+    | Tree_level l -> l.m
+  in
+  let acc = Array.make m 0. in
+  let add_range (prefix : float array array) a b =
+    if b > a then begin
+      let pa = prefix.(a) and pb = prefix.(b) in
+      for j = 0 to Array.length acc - 1 do
+        acc.(j) <- acc.(j) +. pb.(j) -. pa.(j)
+      done
+    end
+  in
+  let rec go t box =
+    match (t, box) with
+    | Leaf_level l, [ iv ] ->
+      let a, b = Interval.positions iv l.coords in
+      add_range l.prefix a b
+    | Tree_level { coords; root; _ }, iv :: rest ->
+      let a, b = Interval.positions iv coords in
+      let rec visit = function
+        | None -> ()
+        | Some node ->
+          if b <= node.lo || node.hi <= a then ()
+          else if a <= node.lo && node.hi <= b then go node.assoc rest
+          else begin
+            visit node.left;
+            visit node.right
+          end
+      in
+      visit root
+    | Leaf_level _, ([] | _ :: _ :: _) | Tree_level _, [] ->
+      invalid_arg "Range_tree.query_stats: box arity does not match tree depth"
+  in
+  go t box;
+  acc
+
+(* Report the id of every point inside the box. *)
+let query_enum (t : t) (box : Interval.t list) (f : int -> unit) : unit =
+  let rec go t box =
+    match (t, box) with
+    | Leaf_level l, [ iv ] ->
+      let a, b = Interval.positions iv l.coords in
+      for i = a to b - 1 do
+        f l.ids.(i)
+      done
+    | Tree_level { coords; root; _ }, iv :: rest ->
+      let a, b = Interval.positions iv coords in
+      let rec visit = function
+        | None -> ()
+        | Some node ->
+          if b <= node.lo || node.hi <= a then ()
+          else if a <= node.lo && node.hi <= b then go node.assoc rest
+          else begin
+            visit node.left;
+            visit node.right
+          end
+      in
+      visit root
+    | Leaf_level _, ([] | _ :: _ :: _) | Tree_level _, [] ->
+      invalid_arg "Range_tree.query_enum: box arity does not match tree depth"
+  in
+  go t box
+
+let query_count (t : t) (box : Interval.t list) : int =
+  let n = ref 0 in
+  query_enum t box (fun _ -> incr n);
+  !n
+
+let depth (t : t) =
+  let rec go acc = function
+    | Leaf_level _ -> acc + 1
+    | Tree_level { root = Some n; _ } -> go (acc + 1) n.assoc
+    | Tree_level { root = None; _ } -> acc + 1
+  in
+  go 0 t
+
+let size = function
+  | Leaf_level l -> Array.length l.ids
+  | Tree_level { coords; _ } -> Array.length coords

@@ -1,0 +1,28 @@
+(** Layered range trees with prefix-aggregate leaves (Section 5.3.1,
+    Figure 8).
+
+    Supports divisible-aggregate box queries in O(log^d n) and enumeration
+    of the matching points in O(log^d n + k). *)
+
+type t
+
+(** [build ~dims ~stats ~m ids] indexes the points [ids].  [dims] gives the
+    coordinate accessor for each of the d >= 1 dimensions (outermost first);
+    [stats] gives each point's m-dimensional statistic vector, or [None] for
+    an enumeration-only tree (then [m] is ignored). *)
+val build : dims:(int -> float) list -> stats:(int -> float array) option -> m:int -> int array -> t
+
+(** Componentwise sum of the statistic vectors of all points inside the box
+    (one interval per dimension, outermost first). *)
+val query_stats : t -> Interval.t list -> float array
+
+(** Visit the id of every point inside the box. *)
+val query_enum : t -> Interval.t list -> (int -> unit) -> unit
+
+val query_count : t -> Interval.t list -> int
+
+(** Number of levels (= number of dimensions). *)
+val depth : t -> int
+
+(** Number of indexed points. *)
+val size : t -> int

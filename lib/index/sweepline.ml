@@ -1,0 +1,82 @@
+(* Sweep-line evaluation of MIN/MAX aggregates over constant-size ranges
+   (Section 5.3.1, Figure 9).
+
+   Min and max are not divisible, so the prefix-aggregate range tree does
+   not apply.  But when every probing unit uses the same box half-widths
+   (rx, ry) — "units of the same type all have the same weapon and
+   visibility range" — we can sweep the queries by y, keep exactly the data
+   points whose y lies within ry of the sweep in a segment tree ordered by
+   x, and answer each query with one interval-aggregate probe: O((n+q) log n)
+   in total instead of O(n*q). *)
+
+type kind = Min | Max
+
+type datum = {
+  x : float;
+  y : float;
+  value : float; (* the objective being minimized / maximized *)
+  id : int;
+}
+
+type query = {
+  qx : float;
+  qy : float;
+  qid : int; (* caller's slot in the result array *)
+}
+
+(* Segment-tree element: best (value, id) seen; [id = -1] is "no point".
+   Ties prefer the smaller id so results are deterministic and match the
+   naive scan's order-independent answer. *)
+let better kind (v1, id1) (v2, id2) =
+  if id1 < 0 then (v2, id2)
+  else if id2 < 0 then (v1, id1)
+  else begin
+    let cmp = compare v1 v2 in
+    let first =
+      match kind with
+      | Min -> cmp < 0 || (cmp = 0 && id1 < id2)
+      | Max -> cmp > 0 || (cmp = 0 && id1 < id2)
+    in
+    if first then (v1, id1) else (v2, id2)
+  end
+
+(* [run kind ~data ~queries ~rx ~ry ~n_queries] fills, for every query, the
+   best datum with |dx| <= rx and |dy| <= ry, or [None]. *)
+let run kind ~(data : datum array) ~(queries : query array) ~(rx : float) ~(ry : float)
+    ~(n_queries : int) : (int * float) option array =
+  let results = Array.make n_queries None in
+  let n = Array.length data in
+  let data = Array.copy data in
+  Array.sort (fun a b -> Float.compare a.y b.y) data;
+  (* x order gives each datum its segment-tree slot. *)
+  let by_x = Array.init n (fun i -> i) in
+  Array.sort (fun a b -> Float.compare data.(a).x data.(b).x) by_x;
+  let slot_of = Array.make n 0 in
+  Array.iteri (fun slot i -> slot_of.(i) <- slot) by_x;
+  let xs = Array.map (fun i -> data.(i).x) by_x in
+  let queries = Array.copy queries in
+  Array.sort (fun a b -> Float.compare a.qy b.qy) queries;
+  let neutral = (nan, -1) in
+  let tree = Segment_tree.create ~neutral ~op:(better kind) n in
+  (* Data enter when the sweep reaches y - ry and leave after y + ry; both
+     frontiers advance monotonically with the query sweep. *)
+  let enter = ref 0 and exit_ = ref 0 in
+  Array.iter
+    (fun q ->
+      while !enter < n && data.(!enter).y <= q.qy +. ry do
+        let d = data.(!enter) in
+        Segment_tree.set tree slot_of.(!enter) (d.value, d.id);
+        incr enter
+      done;
+      while !exit_ < n && data.(!exit_).y < q.qy -. ry do
+        Segment_tree.clear tree slot_of.(!exit_);
+        incr exit_
+      done;
+      let a = Sgl_util.Search.lower_bound xs (q.qx -. rx) in
+      let b = Sgl_util.Search.upper_bound xs (q.qx +. rx) in
+      if b > a then begin
+        let value, id = Segment_tree.query tree ~lo:a ~hi:b in
+        if id >= 0 then results.(q.qid) <- Some (id, value)
+      end)
+    queries;
+  results

@@ -1,0 +1,20 @@
+(** Sweep-line MIN/MAX over constant-size orthogonal ranges (Section 5.3.1,
+    Figure 9): O((n+q) log n) for n data points and q queries. *)
+
+type kind = Min | Max
+
+type datum = { x : float; y : float; value : float; id : int }
+type query = { qx : float; qy : float; qid : int }
+
+(** [run kind ~data ~queries ~rx ~ry ~n_queries] returns, indexed by each
+    query's [qid], [Some (data_id, best_value)] over the data points with
+    [|dx| <= rx] and [|dy| <= ry], or [None] when the window is empty.
+    Value ties break toward the smaller data id. *)
+val run :
+  kind ->
+  data:datum array ->
+  queries:query array ->
+  rx:float ->
+  ry:float ->
+  n_queries:int ->
+  (int * float) option array

@@ -1,0 +1,277 @@
+(* Index planning for aggregate queries (Section 5.3).
+
+   [analyze] inspects one closed aggregate instance and decides how the
+   indexed evaluator may execute it:
+
+   - [Uniform]     — nothing depends on the probing unit: evaluate once per
+                     batch and share (the degenerate "centralized AI" case,
+                     e.g. the knights' global position stddev);
+   - [Divisible]   — count/sum/avg/stddev over an orthogonal range: prefix-
+                     aggregate range tree (Figure 8), O(log n) per probe;
+   - [Extremal]    — min/max/argmin/argmax: sweep-line when the range size
+                     is constant (Figure 9), else enumerate the box;
+   - [Nearest_nn]  — nearest-neighbour: kD-tree under the categorical
+                     levels (Section 5.3.2);
+   - [Naive_only]  — anything the indexes cannot serve exactly (e.g. a
+                     Random(...) in the selection).
+
+   Conjuncts split into hash-table partition levels (categorical =/<>),
+   range-tree dimensions (bounds of the form  e.A op f(u)), a data filter
+   (e-only residuals, applied before the index is built) and a per-probe
+   residual (everything else, forcing the enumeration path). *)
+
+open Sgl_relalg
+
+(* One range-tree dimension: bounds are expressions over the probing unit. *)
+type box_dim = {
+  attr : int;
+  lo : Predicate.bound option;
+  hi : Predicate.bound option;
+}
+
+type access = {
+  cat_eqs : (int * Expr.t) list; (* data.attr must equal expr(u) *)
+  cat_nes : (int * Expr.t) list; (* data.attr must differ from expr(u) *)
+  boxes : box_dim list; (* sorted by attr *)
+  data_filter : Predicate.t; (* e-only residuals: pre-filter the data *)
+  probe_residual : Predicate.t; (* residuals mentioning u: filter per probe *)
+}
+
+(* Constant-size symmetric window, the sweep-line precondition: both box
+   dimensions have bounds u.attr -/+ r with the same constant r. *)
+type sweep_info = {
+  x_center : int; (* u attribute giving the probe x *)
+  y_center : int;
+  x_data : int; (* data attribute swept on x *)
+  y_data : int;
+  rx : float;
+  ry : float;
+}
+
+type component =
+  | C_divisible of { kind : Aggregate.kind; stat_offset : int; stat_count : int }
+  | C_extremal of { kind : Aggregate.kind }
+  | C_nearest of { kind : Aggregate.kind }
+
+type strategy =
+  | Uniform
+  | Indexed of {
+      access : access;
+      components : component list;
+      stats_exprs : Expr.t list; (* concatenated divisible statistics *)
+      sweep : sweep_info option; (* for extremal components *)
+      enumerate : bool; (* probe residual present: walk the box *)
+    }
+  | Naive_only of string (* reason, for diagnostics *)
+
+(* ------------------------------------------------------------------ *)
+(* Conjunct canonicalization: move constant offsets across the comparison
+   so a bare [EAttr a] lands on the left.  Handles the linear shapes games
+   write: e.A op f(u), f(u) op e.A, e.A +/- k op f(u), f(u) op e.A +/- k. *)
+
+let rec peel_eattr (t : Expr.t) : (int * (Expr.t -> Expr.t)) option =
+  (* Returns the data attribute and a function rebuilding "the rest moved to
+     the other side": peel (EAttr a + k) = Some (a, fun rhs -> rhs - k). *)
+  match t with
+  | Expr.EAttr a -> Some (a, fun rhs -> rhs)
+  | Expr.Binop (Expr.Add, lhs, k) when not (Expr.mentions_e k) ->
+    Option.map
+      (fun (a, rebuild) -> (a, fun rhs -> rebuild (Expr.Binop (Expr.Sub, rhs, k))))
+      (peel_eattr lhs)
+  | Expr.Binop (Expr.Sub, lhs, k) when not (Expr.mentions_e k) ->
+    Option.map
+      (fun (a, rebuild) -> (a, fun rhs -> rebuild (Expr.Binop (Expr.Add, rhs, k))))
+      (peel_eattr lhs)
+  | _ -> None
+
+let canonicalize_conjunct (c : Expr.t) : Expr.t =
+  match c with
+  | Expr.Cmp (op, lhs, rhs) -> begin
+    let oriented =
+      if Expr.mentions_e lhs && not (Expr.mentions_e rhs) then Some (op, lhs, rhs)
+      else if Expr.mentions_e rhs && not (Expr.mentions_e lhs) then
+        Some (Predicate.flip_cmp op, rhs, lhs)
+      else None
+    in
+    match oriented with
+    | None -> c
+    | Some (op, e_side, u_side) -> begin
+      match peel_eattr e_side with
+      | Some (a, rebuild) -> Expr.Cmp (op, Expr.EAttr a, rebuild u_side)
+      | None -> c
+    end
+  end
+  | _ -> c
+
+(* ------------------------------------------------------------------ *)
+(* Access-path classification *)
+
+let classify_access (schema : Schema.t) (where_ : Predicate.t) : access =
+  let canon = List.map canonicalize_conjunct (Predicate.conjuncts where_) in
+  let cls = Predicate.classify (Predicate.of_conjuncts canon) in
+  (* Only int attributes can be hash levels; others become residuals. *)
+  let is_int a = Schema.ty_at schema a = Value.TInt in
+  let ok_rhs rhs = not (Expr.mentions_e rhs) in
+  let cat_eqs, eq_residuals =
+    List.partition (fun (a, rhs) -> is_int a && ok_rhs rhs) cls.Predicate.cat_eqs
+  in
+  let cat_nes, ne_residuals =
+    List.partition (fun (a, rhs) -> is_int a && ok_rhs rhs) cls.Predicate.cat_nes
+  in
+  let bound_ok (_, (b : Predicate.bound)) = not (Expr.mentions_e b.Predicate.value) in
+  let lowers, lo_residuals = List.partition bound_ok cls.Predicate.lowers in
+  let uppers, hi_residuals = List.partition bound_ok cls.Predicate.uppers in
+  let box_attrs =
+    List.sort_uniq compare (List.map fst lowers @ List.map fst uppers)
+  in
+  (* Multiple bounds on one side of the same attribute: keep the first as
+     the tree bound, demote the rest to residuals (rare in practice). *)
+  let pick side attr = List.filter (fun (a, _) -> a = attr) side in
+  let boxes, extra_residuals =
+    List.fold_left
+      (fun (boxes, extras) attr ->
+        let lo_all = pick lowers attr and hi_all = pick uppers attr in
+        let take = function
+          | [] -> (None, [])
+          | (_, b) :: rest -> (Some b, rest)
+        in
+        let lo, lo_rest = take lo_all in
+        let hi, hi_rest = take hi_all in
+        let demote op (a, (b : Predicate.bound)) =
+          Expr.Cmp (op b.Predicate.inclusive, Expr.EAttr a, b.Predicate.value)
+        in
+        let extras' =
+          List.map (demote (fun incl -> if incl then Expr.Ge else Expr.Gt)) lo_rest
+          @ List.map (demote (fun incl -> if incl then Expr.Le else Expr.Lt)) hi_rest
+        in
+        (boxes @ [ { attr; lo; hi } ], extras @ extras'))
+      ([], []) box_attrs
+  in
+  let residuals =
+    cls.Predicate.residuals
+    @ List.map (fun (a, rhs) -> Expr.Cmp (Expr.Eq, Expr.EAttr a, rhs)) eq_residuals
+    @ List.map (fun (a, rhs) -> Expr.Cmp (Expr.Ne, Expr.EAttr a, rhs)) ne_residuals
+    @ List.map
+        (fun (a, (b : Predicate.bound)) ->
+          Expr.Cmp ((if b.Predicate.inclusive then Expr.Ge else Expr.Gt), Expr.EAttr a, b.Predicate.value))
+        lo_residuals
+    @ List.map
+        (fun (a, (b : Predicate.bound)) ->
+          Expr.Cmp ((if b.Predicate.inclusive then Expr.Le else Expr.Lt), Expr.EAttr a, b.Predicate.value))
+        hi_residuals
+    @ extra_residuals
+  in
+  let data_filter, probe_residual =
+    List.partition (fun e -> not (Expr.mentions_u e || Expr.mentions_random e)) residuals
+  in
+  { cat_eqs; cat_nes; boxes; data_filter; probe_residual }
+
+(* ------------------------------------------------------------------ *)
+(* Sweep-line applicability *)
+
+let const_offset_bound (b : Predicate.bound option) : (int * float) option =
+  (* u.attr - r (lower) or u.attr + r (upper); returns (u attr, r >= 0). *)
+  match b with
+  | Some { Predicate.value = Expr.UAttr p; inclusive = true } -> Some (p, 0.)
+  | Some { Predicate.value = Expr.Binop (Expr.Sub, Expr.UAttr p, Expr.Const c); inclusive = true }
+    -> Some (p, Value.to_float c)
+  | Some { Predicate.value = Expr.Binop (Expr.Add, Expr.UAttr p, Expr.Const c); inclusive = true }
+    -> Some (p, Value.to_float c)
+  | _ -> None
+
+let sweep_of_boxes (boxes : box_dim list) : sweep_info option =
+  match boxes with
+  | [ bx; by ] -> begin
+    let dim (b : box_dim) =
+      match (const_offset_bound b.lo, const_offset_bound b.hi) with
+      | Some (p1, r1), Some (p2, r2) when p1 = p2 && Float.abs (r1 -. r2) < 1e-12 && r1 >= 0. ->
+        (* lo = u.p - r, hi = u.p + r: the symmetric window the sweep needs *)
+        Some (b.attr, p1, r1)
+      | _ -> None
+    in
+    match (dim bx, dim by) with
+    | Some (xd, xc, rx), Some (yd, yc, ry) ->
+      Some { x_center = xc; y_center = yc; x_data = xd; y_data = yd; rx; ry }
+    | _ -> None
+  end
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Whole-aggregate analysis *)
+
+let kind_exprs = function
+  | Aggregate.Count -> []
+  | Aggregate.Sum e | Aggregate.Avg e | Aggregate.Std_dev e | Aggregate.Min_agg e
+  | Aggregate.Max_agg e ->
+    [ e ]
+  | Aggregate.Arg_min { objective; result } | Aggregate.Arg_max { objective; result } ->
+    [ objective; result ]
+  | Aggregate.Nearest { ex; ey; ux; uy; result } -> [ ex; ey; ux; uy; result ]
+
+let analyze (schema : Schema.t) (agg : Aggregate.t) : strategy =
+  let all_exprs =
+    List.concat_map kind_exprs agg.Aggregate.kinds @ Predicate.conjuncts agg.Aggregate.where_
+  in
+  if List.exists Expr.mentions_random all_exprs then
+    Naive_only "selection or aggregate uses Random"
+  else if not (List.exists Expr.mentions_u all_exprs) then
+    (* Nothing depends on the probing unit: one evaluation serves everyone. *)
+    Uniform
+  else begin
+    let access = classify_access schema agg.Aggregate.where_ in
+    let enumerate = access.probe_residual <> [] in
+    (* Lay out divisible statistics contiguously across components. *)
+    let stats_exprs = ref [] in
+    let n_stats = ref 0 in
+    let classify_component kind =
+      if Aggregate.is_divisible kind then begin
+        let stats = Aggregate.stats_of_kind kind in
+        if List.exists (fun e -> Expr.mentions_u e) stats then None (* u in the statistic *)
+        else begin
+          let offset = !n_stats in
+          stats_exprs := !stats_exprs @ stats;
+          n_stats := !n_stats + List.length stats;
+          Some (C_divisible { kind; stat_offset = offset; stat_count = List.length stats })
+        end
+      end
+      else if Aggregate.is_nearest kind then begin
+        match kind with
+        | Aggregate.Nearest { ex = Expr.EAttr _; ey = Expr.EAttr _; ux; uy; result = _ }
+          when (not (Expr.mentions_e ux)) && not (Expr.mentions_e uy) ->
+          Some (C_nearest { kind })
+        | _ -> None
+      end
+      else begin
+        (* extremal *)
+        let objective =
+          match kind with
+          | Aggregate.Min_agg e | Aggregate.Max_agg e -> Some e
+          | Aggregate.Arg_min { objective; _ } | Aggregate.Arg_max { objective; _ } ->
+            Some objective
+          | _ -> None
+        in
+        match objective with
+        | Some e when not (Expr.mentions_u e) -> Some (C_extremal { kind })
+        | _ -> None
+      end
+    in
+    let components = List.map classify_component agg.Aggregate.kinds in
+    if List.exists Option.is_none components then
+      Naive_only "a component's expressions depend on the probing unit"
+    else begin
+      let components = List.map Option.get components in
+      let has_extremal =
+        List.exists (function C_extremal _ -> true | C_divisible _ | C_nearest _ -> false)
+          components
+      in
+      let sweep = if has_extremal && not enumerate then sweep_of_boxes access.boxes else None in
+      Indexed { access; components; stats_exprs = !stats_exprs; sweep; enumerate }
+    end
+  end
+
+let strategy_name = function
+  | Uniform -> "uniform"
+  | Indexed { sweep = Some _; _ } -> "indexed+sweep"
+  | Indexed { enumerate = true; _ } -> "indexed-enumerate"
+  | Indexed _ -> "indexed"
+  | Naive_only _ -> "naive"

@@ -1,0 +1,59 @@
+(** Index planning for aggregate queries (Section 5.3): classify each
+    closed aggregate instance into the strategy the indexed evaluator will
+    use. *)
+
+open Sgl_relalg
+
+type box_dim = {
+  attr : int;
+  lo : Predicate.bound option;
+  hi : Predicate.bound option;
+}
+
+type access = {
+  cat_eqs : (int * Expr.t) list;
+  cat_nes : (int * Expr.t) list;
+  boxes : box_dim list;
+  data_filter : Predicate.t; (* e-only residuals: filter data before indexing *)
+  probe_residual : Predicate.t; (* u-dependent residuals: filter per probe *)
+}
+
+type sweep_info = {
+  x_center : int;
+  y_center : int;
+  x_data : int;
+  y_data : int;
+  rx : float;
+  ry : float;
+}
+
+type component =
+  | C_divisible of { kind : Aggregate.kind; stat_offset : int; stat_count : int }
+  | C_extremal of { kind : Aggregate.kind }
+  | C_nearest of { kind : Aggregate.kind }
+
+type strategy =
+  | Uniform (* u-independent: evaluate once per batch *)
+  | Indexed of {
+      access : access;
+      components : component list;
+      stats_exprs : Expr.t list;
+      sweep : sweep_info option;
+      enumerate : bool;
+    }
+  | Naive_only of string (* reason *)
+
+(** Move constant offsets across a comparison so a bare [e.attr] lands on
+    the left (handles the linear shapes game scripts write). *)
+val canonicalize_conjunct : Expr.t -> Expr.t
+
+(** Split a conjunctive selection into hash levels, range-tree dimensions,
+    data filter and probe residual. *)
+val classify_access : Schema.t -> Predicate.t -> access
+
+(** Sweep-line applicability: both dimensions bounded by [u.attr +/- r]
+    with equal constant [r]. *)
+val sweep_of_boxes : box_dim list -> sweep_info option
+
+val analyze : Schema.t -> Aggregate.t -> strategy
+val strategy_name : strategy -> string

@@ -1,0 +1,723 @@
+(* Pluggable aggregate evaluators (Section 6: "two pluggable versions of
+   our aggregate query evaluator").
+
+   [naive]   — every aggregate is a fresh O(n) scan; every area effect is a
+               fresh O(n) application: O(n^2) per tick overall.
+   [indexed] — per-tick in-memory indexes chosen by [Agg_plan]: shared
+               prefix-aggregate range trees for divisible aggregates, the
+               sweep-line for constant-window min/max, kD-trees for nearest
+               neighbours, and the Section 5.4 index for combining area
+               effects; O(n log n) per tick.
+
+   Following Section 6 ("All divisible queries ... share the same range
+   tree"), aggregate instances whose access paths agree — same categorical
+   partition attributes, same box dimensions, same data filter — share one
+   index *group*: one categorical partitioning, one tree per partition whose
+   leaves carry the union of every member's statistics.  [indexed ~share:
+   false] disables the sharing for the ablation benchmarks.
+
+   Both evaluators must agree *exactly* with the reference interpreter; the
+   integration suite checks tick-by-tick equality on integral-coordinate
+   workloads, where all float sums are exact. *)
+
+open Sgl_relalg
+open Sgl_index
+open Sgl_util
+
+type eval_stats = {
+  mutable index_builds : int;
+  mutable index_probes : int;
+  mutable naive_scans : int;
+  mutable uniform_hits : int;
+  mutable build_seconds : float;
+}
+
+let fresh_stats () =
+  { index_builds = 0; index_probes = 0; naive_scans = 0; uniform_hits = 0; build_seconds = 0. }
+
+type t = {
+  name : string;
+  begin_tick : Tuple.t array -> unit;
+  (* Values of aggregate instance [agg_id] for each probing row. *)
+  eval_agg : agg_id:int -> rows:Tuple.t array -> rands:(int -> int) array -> Value.t array;
+  (* Apply one All-target effect clause, from each contributor row to every
+     unit its predicate selects, into the combination accumulator. *)
+  apply_aoe :
+    pred:Predicate.t ->
+    updates:(int * Expr.t) list ->
+    contributors:Tuple.t array ->
+    contributor_rands:(int -> int) array ->
+    acc:Combine.Acc.t ->
+    unit;
+  stats : eval_stats;
+}
+
+let dummy_rand (_ : int) = 0
+
+(* ------------------------------------------------------------------ *)
+(* Naive evaluator *)
+
+let naive ~(schema : Schema.t) ~(aggregates : Aggregate.t array) : t =
+  let units = ref [||] in
+  let stats = fresh_stats () in
+  {
+    name = "naive";
+    begin_tick = (fun e -> units := e);
+    eval_agg =
+      (fun ~agg_id ~rows ~rands ->
+        let agg = aggregates.(agg_id) in
+        Array.mapi
+          (fun i row ->
+            stats.naive_scans <- stats.naive_scans + 1;
+            Aggregate.eval_naive ~units:!units ~ctx:{ Expr.u = row; e = None; rand = rands.(i) } agg)
+          rows);
+    apply_aoe =
+      (fun ~pred ~updates ~contributors ~contributor_rands ~acc ->
+        Array.iteri
+          (fun i contributor ->
+            stats.naive_scans <- stats.naive_scans + 1;
+            let rand = contributor_rands.(i) in
+            Array.iter
+              (fun target ->
+                let ctx = { Expr.u = contributor; e = Some target; rand } in
+                if Predicate.holds ctx pred then begin
+                  let key = Tuple.key schema target in
+                  List.iter
+                    (fun (attr, expr) ->
+                      Combine.Acc.add_attr acc ~base:target ~key attr (Expr.eval ctx expr))
+                    updates
+                end)
+              !units)
+          contributors);
+    stats;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Index groups: instances that can share trees *)
+
+(* Instances share a group when they partition the data the same way, box
+   the same continuous attributes, and pre-filter the same data subset.
+   Per-prober parts (bound expressions, categorical requirements, probe
+   residuals) stay per instance. *)
+type group = {
+  group_id : int;
+  cat_attrs : int list; (* sorted partition-key attributes *)
+  box_attrs : int list; (* tree dimensions, ascending *)
+  data_filter : Predicate.t;
+  mutable stats_exprs : Expr.t list; (* deduped union of member statistics *)
+  mutable n_stats : int;
+}
+
+(* A member's view of its group: where its statistics landed. *)
+type membership = {
+  group : group;
+  stat_map : int array; (* instance statistic slot -> group column *)
+}
+
+let group_signature (access : Agg_plan.access) =
+  let cat_attrs =
+    List.sort_uniq compare
+      (List.map fst access.Agg_plan.cat_eqs @ List.map fst access.Agg_plan.cat_nes)
+  in
+  let box_attrs = List.map (fun (b : Agg_plan.box_dim) -> b.Agg_plan.attr) access.Agg_plan.boxes in
+  (cat_attrs, box_attrs, access.Agg_plan.data_filter)
+
+(* Add an instance's statistics into a group, deduplicating structurally
+   equal expressions so e.g. the shared count column is stored once. *)
+let join_group (g : group) (stats_exprs : Expr.t list) : membership =
+  let map =
+    List.map
+      (fun expr ->
+        let rec find i = function
+          | [] -> None
+          | x :: rest -> if x = expr then Some i else find (i + 1) rest
+        in
+        match find 0 g.stats_exprs with
+        | Some i -> i
+        | None ->
+          g.stats_exprs <- g.stats_exprs @ [ expr ];
+          g.n_stats <- g.n_stats + 1;
+          g.n_stats - 1)
+      stats_exprs
+  in
+  { group = g; stat_map = Array.of_list map }
+
+(* ------------------------------------------------------------------ *)
+(* Built indexes: one per group per tick, partitions lazy *)
+
+type div_struct =
+  | Div_total of float array (* no box dims: the partition's statistic sum *)
+  | Div_range of Range_tree.t (* 1 or >= 3 dims *)
+  | Div_cascade of Cascade_tree.t (* the 2-d fast path *)
+
+type sub_index = {
+  members : int array; (* data ids, ascending *)
+  mutable divisible : div_struct option;
+  mutable enum_tree : Range_tree.t option;
+  mutable kds : ((int * int) * Kd_tree.t) list; (* per (ex, ey) coordinate pair *)
+}
+
+type built_index = {
+  data : Tuple.t array;
+  group : group;
+  cat : sub_index Cat_index.t;
+}
+
+(* Evaluate a statistic vector for one data row. *)
+let stat_vector (stats_exprs : Expr.t list) (row : Tuple.t) : float array =
+  let ctx = { Expr.u = [||]; e = Some row; rand = dummy_rand } in
+  Array.of_list (List.map (fun e -> Expr.eval_float ctx e) stats_exprs)
+
+let build_index (st : eval_stats) ~(group : group) ~(data : Tuple.t array) : built_index =
+  let t0 = Timer.now () in
+  let n = Array.length data in
+  let pass id =
+    let ctx = { Expr.u = [||]; e = Some data.(id); rand = dummy_rand } in
+    Predicate.holds ctx group.data_filter
+  in
+  let ids = Array.of_list (List.filter pass (List.init n (fun i -> i))) in
+  let keys id = List.map (fun a -> Value.to_int (Tuple.get data.(id) a)) group.cat_attrs in
+  let cat =
+    Cat_index.create ~keys ~ids ~builder:(fun members ->
+        { members; divisible = None; enum_tree = None; kds = [] })
+  in
+  st.index_builds <- st.index_builds + 1;
+  st.build_seconds <- st.build_seconds +. (Timer.now () -. t0);
+  { data; group; cat }
+
+(* The partitions a prober may read, given the *instance's* categorical
+   requirements. *)
+let accepted_partitions (bi : built_index) ~(access : Agg_plan.access) ~(row : Tuple.t)
+    ~(rand : int -> int) : sub_index list =
+  let ctx = { Expr.u = row; e = None; rand } in
+  let need_eq = List.map (fun (a, rhs) -> (a, Expr.eval_int ctx rhs)) access.Agg_plan.cat_eqs in
+  let need_ne = List.map (fun (a, rhs) -> (a, Expr.eval_int ctx rhs)) access.Agg_plan.cat_nes in
+  let accept key =
+    let kv = List.combine bi.group.cat_attrs key in
+    List.for_all (fun (a, v) -> List.assoc a kv = v) need_eq
+    && List.for_all (fun (a, v) -> List.assoc a kv <> v) need_ne
+  in
+  Cat_index.find_matching bi.cat ~accept
+
+(* Box intervals for one prober, from the instance's bound expressions. *)
+let probe_box (access : Agg_plan.access) ~(row : Tuple.t) ~(rand : int -> int) : Interval.t list =
+  let ctx = { Expr.u = row; e = None; rand } in
+  List.map
+    (fun (b : Agg_plan.box_dim) ->
+      let bound side =
+        Option.map
+          (fun (bd : Predicate.bound) ->
+            (Expr.eval_float ctx bd.Predicate.value, not bd.Predicate.inclusive))
+          side
+      in
+      let lo, lo_strict =
+        match bound b.Agg_plan.lo with
+        | None -> (neg_infinity, false)
+        | Some (v, s) -> (v, s)
+      in
+      let hi, hi_strict =
+        match bound b.Agg_plan.hi with
+        | None -> (infinity, false)
+        | Some (v, s) -> (v, s)
+      in
+      Interval.make ~lo ~lo_strict ~hi ~hi_strict ())
+    access.Agg_plan.boxes
+
+let ensure_divisible st (bi : built_index) (sub : sub_index) : div_struct =
+  match sub.divisible with
+  | Some d -> d
+  | None ->
+    let t0 = Timer.now () in
+    let m = bi.group.n_stats in
+    let stats_exprs = bi.group.stats_exprs in
+    let stat id = stat_vector stats_exprs bi.data.(id) in
+    let coord attr id = Value.to_float (Tuple.get bi.data.(id) attr) in
+    let d =
+      match bi.group.box_attrs with
+      | [] ->
+        let total = Array.make m 0. in
+        Array.iter
+          (fun id ->
+            let s = stat id in
+            for j = 0 to m - 1 do
+              total.(j) <- total.(j) +. s.(j)
+            done)
+          sub.members;
+        Div_total total
+      | [ a ] -> Div_range (Range_tree.build ~dims:[ coord a ] ~stats:(Some stat) ~m sub.members)
+      | [ ax; ay ] ->
+        Div_cascade (Cascade_tree.build ~x:(coord ax) ~y:(coord ay) ~stats:stat ~m sub.members)
+      | many ->
+        Div_range (Range_tree.build ~dims:(List.map coord many) ~stats:(Some stat) ~m sub.members)
+    in
+    sub.divisible <- Some d;
+    st.index_builds <- st.index_builds + 1;
+    st.build_seconds <- st.build_seconds +. (Timer.now () -. t0);
+    d
+
+let ensure_enum_tree st (bi : built_index) (sub : sub_index) : Range_tree.t =
+  match sub.enum_tree with
+  | Some t -> t
+  | None ->
+    let t0 = Timer.now () in
+    let coord attr id = Value.to_float (Tuple.get bi.data.(id) attr) in
+    let dims =
+      match bi.group.box_attrs with
+      | [] -> [ (fun _ -> 0.) ] (* degenerate: everything in one slab *)
+      | attrs -> List.map coord attrs
+    in
+    let t = Range_tree.build ~dims ~stats:None ~m:0 sub.members in
+    sub.enum_tree <- Some t;
+    st.index_builds <- st.index_builds + 1;
+    st.build_seconds <- st.build_seconds +. (Timer.now () -. t0);
+    t
+
+let ensure_kd st (bi : built_index) ~(ex : int) ~(ey : int) (sub : sub_index) : Kd_tree.t =
+  match List.assoc_opt (ex, ey) sub.kds with
+  | Some t -> t
+  | None ->
+    let t0 = Timer.now () in
+    let coord attr id = Value.to_float (Tuple.get bi.data.(id) attr) in
+    let t = Kd_tree.build ~x:(coord ex) ~y:(coord ey) sub.members in
+    sub.kds <- ((ex, ey), t) :: sub.kds;
+    st.index_builds <- st.index_builds + 1;
+    st.build_seconds <- st.build_seconds +. (Timer.now () -. t0);
+    t
+
+(* ------------------------------------------------------------------ *)
+(* Batch evaluation of one aggregate against one built index *)
+
+let finish_components ~(agg : Aggregate.t) ~(row : Tuple.t) ~(rand : int -> int)
+    (per_component : Value.t option list) : Value.t =
+  let ctx = { Expr.u = row; e = None; rand } in
+  let on_empty () =
+    match agg.Aggregate.default with
+    | Some d -> Expr.eval ctx d
+    | None ->
+      raise
+        (Aggregate.Aggregate_error
+           (Fmt.str "aggregate %s is empty and declares no default" agg.Aggregate.name))
+  in
+  match per_component with
+  | [ Some v ] -> v
+  | [ None ] -> on_empty ()
+  | [ Some a; Some b ] -> Value.make_vec a b
+  | [ _; _ ] -> on_empty ()
+  | _ ->
+    raise (Aggregate.Aggregate_error (Fmt.str "aggregate %s has invalid arity" agg.Aggregate.name))
+
+(* Deterministic "better" for extremal folds: minimize/maximize the value,
+   break ties toward the smaller data id — exactly the naive scan's
+   behaviour when data ids are array positions. *)
+let fold_best ~(maximize : bool) (best : (float * int) option) (candidate : float * int) :
+    (float * int) option =
+  match best with
+  | None -> Some candidate
+  | Some (bv, bid) ->
+    let cv, cid = candidate in
+    let better =
+      if maximize then cv > bv || (cv = bv && cid < bid) else cv < bv || (cv = bv && cid < bid)
+    in
+    if better then Some candidate else best
+
+let rec eval_indexed_batch st ~(strategy : Agg_plan.strategy) ~(agg : Aggregate.t)
+    ~(membership : membership) ~(bi : built_index) ~(rows : Tuple.t array)
+    ~(rands : (int -> int) array) : Value.t array =
+  match strategy with
+  | Agg_plan.Uniform | Agg_plan.Naive_only _ ->
+    invalid_arg "eval_indexed_batch: not an indexed strategy"
+  | Agg_plan.Indexed { access; components; stats_exprs = _; sweep; enumerate } ->
+    let n_rows = Array.length rows in
+    (* Pre-compute sweep results per extremal component when applicable. *)
+    let sweep_results : (float * int) option array option =
+      match (sweep, components) with
+      | Some info, [ C_extremal { kind } ] ->
+        let maximize =
+          match kind with
+          | Aggregate.Max_agg _ | Aggregate.Arg_max _ -> true
+          | _ -> false
+        in
+        let objective =
+          match kind with
+          | Aggregate.Min_agg e | Aggregate.Max_agg e -> e
+          | Aggregate.Arg_min { objective; _ } | Aggregate.Arg_max { objective; _ } -> objective
+          | _ -> assert false
+        in
+        let combined : (float * int) option array = Array.make n_rows None in
+        let skind = if maximize then Sweepline.Max else Sweepline.Min in
+        (* run one sweep per partition over the probers that accept it *)
+        let partition_keys = Cat_index.partition_keys bi.cat in
+        List.iter
+          (fun key ->
+            match Cat_index.find bi.cat key with
+            | None -> ()
+            | Some sub ->
+              let data =
+                Array.map
+                  (fun id ->
+                    let e = bi.data.(id) in
+                    let v =
+                      Expr.eval_float { Expr.u = [||]; e = Some e; rand = dummy_rand } objective
+                    in
+                    {
+                      Sweepline.x = Value.to_float (Tuple.get e info.Agg_plan.x_data);
+                      y = Value.to_float (Tuple.get e info.Agg_plan.y_data);
+                      value = v;
+                      id;
+                    })
+                  sub.members
+              in
+              let queries = Varray.create { Sweepline.qx = 0.; qy = 0.; qid = 0 } in
+              Array.iteri
+                (fun i row ->
+                  let accepted = accepted_partitions bi ~access ~row ~rand:rands.(i) in
+                  if List.memq sub accepted then
+                    Varray.push queries
+                      {
+                        Sweepline.qx = Value.to_float (Tuple.get row info.Agg_plan.x_center);
+                        qy = Value.to_float (Tuple.get row info.Agg_plan.y_center);
+                        qid = i;
+                      })
+                rows;
+              st.index_probes <- st.index_probes + Varray.length queries;
+              let res =
+                Sweepline.run skind ~data ~queries:(Varray.to_array queries)
+                  ~rx:info.Agg_plan.rx ~ry:info.Agg_plan.ry ~n_queries:n_rows
+              in
+              Array.iteri
+                (fun i r ->
+                  match r with
+                  | None -> ()
+                  | Some (id, v) -> combined.(i) <- fold_best ~maximize combined.(i) (v, id))
+                res)
+          partition_keys;
+        Some combined
+      | _ -> None
+    in
+    Array.mapi
+      (fun i row ->
+        let rand = rands.(i) in
+        let parts = accepted_partitions bi ~access ~row ~rand in
+        let box = probe_box access ~row ~rand in
+        let per_component =
+          List.map
+            (fun comp ->
+              match comp with
+              | Agg_plan.C_divisible { kind; stat_offset; stat_count } ->
+                if enumerate then eval_enum_component st ~bi ~access ~row ~rand ~parts ~box kind
+                else begin
+                  let total = Array.make bi.group.n_stats 0. in
+                  List.iter
+                    (fun sub ->
+                      let d = ensure_divisible st bi sub in
+                      st.index_probes <- st.index_probes + 1;
+                      let part =
+                        match (d, box) with
+                        | Div_total t, _ -> t
+                        | Div_range t, ivs -> Range_tree.query_stats t ivs
+                        | Div_cascade t, [ ivx; ivy ] -> Cascade_tree.query t ~x:ivx ~y:ivy
+                        | Div_cascade _, _ -> assert false
+                      in
+                      for j = 0 to Array.length total - 1 do
+                        total.(j) <- total.(j) +. part.(j)
+                      done)
+                    parts;
+                  (* pull this instance's statistics out of the group's
+                     shared columns *)
+                  let mine =
+                    Array.init stat_count (fun j -> total.(membership.stat_map.(stat_offset + j)))
+                  in
+                  Aggregate.finish_divisible kind mine
+                end
+              | Agg_plan.C_extremal { kind } -> begin
+                match sweep_results with
+                | Some combined -> begin
+                  match combined.(i) with
+                  | None -> None
+                  | Some (value, id) -> finish_extremal ~bi ~row ~rand kind value id
+                end
+                | None -> eval_enum_component st ~bi ~access ~row ~rand ~parts ~box kind
+              end
+              | Agg_plan.C_nearest { kind } -> begin
+                match kind with
+                | Aggregate.Nearest { ex = Expr.EAttr exa; ey = Expr.EAttr eya; ux; uy; result }
+                  -> begin
+                  let ctx = { Expr.u = row; e = None; rand } in
+                  let qx = Expr.eval_float ctx ux and qy = Expr.eval_float ctx uy in
+                  let residual = access.Agg_plan.probe_residual in
+                  let filter id =
+                    let e = bi.data.(id) in
+                    List.for_all2
+                      (fun iv (b : Agg_plan.box_dim) ->
+                        Interval.mem iv (Value.to_float (Tuple.get e b.Agg_plan.attr)))
+                      box access.Agg_plan.boxes
+                    && Predicate.holds { Expr.u = row; e = Some e; rand } residual
+                  in
+                  let best =
+                    List.fold_left
+                      (fun best sub ->
+                        let kd = ensure_kd st bi ~ex:exa ~ey:eya sub in
+                        st.index_probes <- st.index_probes + 1;
+                        match Kd_tree.nearest ~filter kd ~qx ~qy with
+                        | None -> best
+                        | Some (id, d2) -> begin
+                          match best with
+                          | Some (bd2, bid) when bd2 < d2 || (bd2 = d2 && bid < id) -> best
+                          | _ -> Some (d2, id)
+                        end)
+                      None parts
+                  in
+                  match best with
+                  | None -> None
+                  | Some (_, id) -> Some (Expr.eval { Expr.u = row; e = Some bi.data.(id); rand } result)
+                end
+                | _ -> assert false
+              end)
+            components
+        in
+        finish_components ~agg ~row ~rand per_component)
+      rows
+
+(* Enumeration path: report the box contents, filter residuals, and fall
+   back to the one-component naive evaluation over the candidates. *)
+and eval_enum_component st ~(bi : built_index) ~(access : Agg_plan.access) ~(row : Tuple.t)
+    ~(rand : int -> int) ~(parts : sub_index list) ~(box : Interval.t list)
+    (kind : Aggregate.kind) : Value.t option =
+  let candidates = Varray.create 0 in
+  List.iter
+    (fun sub ->
+      let tree = ensure_enum_tree st bi sub in
+      st.index_probes <- st.index_probes + 1;
+      let ivs = if bi.group.box_attrs = [] then [ Interval.everything ] else box in
+      Range_tree.query_enum tree ivs (fun id -> Varray.push candidates id))
+    parts;
+  let ids = Varray.to_array candidates in
+  Array.sort compare ids (* restore data order so ties match the naive scan *);
+  let cand_rows = Array.map (fun id -> bi.data.(id)) ids in
+  Aggregate.eval_kind_naive ~units:cand_rows
+    ~ctx:{ Expr.u = row; e = None; rand }
+    ~where_:access.Agg_plan.probe_residual kind
+
+and finish_extremal ~(bi : built_index) ~(row : Tuple.t) ~(rand : int -> int)
+    (kind : Aggregate.kind) (value : float) (id : int) : Value.t option =
+  match kind with
+  | Aggregate.Min_agg _ | Aggregate.Max_agg _ -> Some (Value.Float value)
+  | Aggregate.Arg_min { result; _ } | Aggregate.Arg_max { result; _ } ->
+    Some (Expr.eval { Expr.u = row; e = Some bi.data.(id); rand } result)
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Uniform evaluation: compute once, share across the batch. *)
+
+let eval_uniform st ~(agg : Aggregate.t) ~(units : Tuple.t array) ~(rows : Tuple.t array)
+    ~(rands : (int -> int) array) : Value.t array =
+  st.uniform_hits <- st.uniform_hits + 1;
+  let ctx = { Expr.u = [||]; e = None; rand = dummy_rand } in
+  let per_kind =
+    List.map
+      (fun kind -> Aggregate.eval_kind_naive ~units ~ctx ~where_:agg.Aggregate.where_ kind)
+      agg.Aggregate.kinds
+  in
+  Array.mapi (fun i row -> finish_components ~agg ~row ~rand:rands.(i) per_kind) rows
+
+(* ------------------------------------------------------------------ *)
+(* The indexed evaluator *)
+
+let indexed ?(share = true) ~(schema : Schema.t) ~(aggregates : Aggregate.t array) () : t =
+  let units = ref [||] in
+  let stats = fresh_stats () in
+  let strategies = Array.map (Agg_plan.analyze schema) aggregates in
+  (* Assign every Indexed instance to a group; with sharing disabled, each
+     instance gets a private group. *)
+  let groups : group Varray.t =
+    Varray.create
+      { group_id = -1; cat_attrs = []; box_attrs = []; data_filter = []; stats_exprs = [];
+        n_stats = 0 }
+  in
+  let memberships : membership option array =
+    Array.map
+      (fun strategy ->
+        match strategy with
+        | Agg_plan.Indexed { access; stats_exprs; _ } ->
+          let cat_attrs, box_attrs, data_filter = group_signature access in
+          let existing =
+            if share then begin
+              let found = ref None in
+              Varray.iter
+                (fun g ->
+                  if !found = None && g.cat_attrs = cat_attrs && g.box_attrs = box_attrs
+                     && g.data_filter = data_filter
+                  then found := Some g)
+                groups;
+              !found
+            end
+            else None
+          in
+          let g =
+            match existing with
+            | Some g -> g
+            | None ->
+              let g =
+                { group_id = Varray.length groups; cat_attrs; box_attrs; data_filter;
+                  stats_exprs = []; n_stats = 0 }
+              in
+              Varray.push groups g;
+              g
+          in
+          Some (join_group g stats_exprs)
+        | Agg_plan.Uniform | Agg_plan.Naive_only _ -> None)
+      strategies
+  in
+  (* per-tick index cache: group id -> built index *)
+  let cache : (int, built_index) Hashtbl.t = Hashtbl.create 32 in
+  let group_index (m : membership) =
+    match Hashtbl.find_opt cache m.group.group_id with
+    | Some bi -> bi
+    | None ->
+      let bi = build_index stats ~group:m.group ~data:!units in
+      Hashtbl.add cache m.group.group_id bi;
+      bi
+  in
+  let eval_agg ~agg_id ~rows ~rands =
+    let agg = aggregates.(agg_id) in
+    match strategies.(agg_id) with
+    | Agg_plan.Uniform -> eval_uniform stats ~agg ~units:!units ~rows ~rands
+    | Agg_plan.Naive_only _ ->
+      Array.mapi
+        (fun i row ->
+          stats.naive_scans <- stats.naive_scans + 1;
+          Aggregate.eval_naive ~units:!units ~ctx:{ Expr.u = row; e = None; rand = rands.(i) } agg)
+        rows
+    | Agg_plan.Indexed _ as strategy ->
+      let membership = Option.get memberships.(agg_id) in
+      let bi = group_index membership in
+      eval_indexed_batch stats ~strategy ~agg ~membership ~bi ~rows ~rands
+  in
+  (* Area-of-effect combination (Section 5.4): swap the roles of u and e so
+     contributors become the data set and affected units the probers, then
+     reuse the aggregate machinery per updated attribute. *)
+  let apply_aoe ~pred ~updates ~contributors ~contributor_rands ~acc =
+    let rec swap (e : Expr.t) : Expr.t =
+      match e with
+      | Expr.UAttr i -> Expr.EAttr i
+      | Expr.EAttr i -> Expr.UAttr i
+      | Expr.Const _ -> e
+      | Expr.Binop (op, a, b) -> Expr.Binop (op, swap a, swap b)
+      | Expr.Cmp (op, a, b) -> Expr.Cmp (op, swap a, swap b)
+      | Expr.And (a, b) -> Expr.And (swap a, swap b)
+      | Expr.Or (a, b) -> Expr.Or (swap a, swap b)
+      | Expr.Not a -> Expr.Not (swap a)
+      | Expr.Neg a -> Expr.Neg (swap a)
+      | Expr.VecOf (a, b) -> Expr.VecOf (swap a, swap b)
+      | Expr.VecX a -> Expr.VecX (swap a)
+      | Expr.VecY a -> Expr.VecY (swap a)
+      | Expr.Abs a -> Expr.Abs (swap a)
+      | Expr.Sqrt a -> Expr.Sqrt (swap a)
+      | Expr.MinOf (a, b) -> Expr.MinOf (swap a, swap b)
+      | Expr.MaxOf (a, b) -> Expr.MaxOf (swap a, swap b)
+      | Expr.Random a -> Expr.Random (swap a)
+    in
+    let swapped_pred = Predicate.of_conjuncts (List.map swap (Predicate.conjuncts pred)) in
+    let naive_fallback () =
+      Array.iteri
+        (fun i contributor ->
+          stats.naive_scans <- stats.naive_scans + 1;
+          let rand = contributor_rands.(i) in
+          Array.iter
+            (fun target ->
+              let ctx = { Expr.u = contributor; e = Some target; rand } in
+              if Predicate.holds ctx pred then begin
+                let key = Tuple.key schema target in
+                List.iter
+                  (fun (attr, expr) ->
+                    Combine.Acc.add_attr acc ~base:target ~key attr (Expr.eval ctx expr))
+                  updates
+              end)
+            !units)
+        contributors
+    in
+    (* Indexable only when no update or conjunct needs the affected unit's
+       random stream or mixes roles the planner cannot express. *)
+    let updates_indexable =
+      List.for_all (fun (_, e) -> (not (Expr.mentions_e e)) && not (Expr.mentions_random e)) updates
+    in
+    if (not updates_indexable) || List.exists Expr.mentions_random (Predicate.conjuncts pred) then
+      naive_fallback ()
+    else begin
+      (* One synthetic aggregate per updated attribute. *)
+      let synthetic (attr, expr) =
+        let kind =
+          match Schema.tag_at schema attr with
+          | Schema.Sum -> Some (Aggregate.Sum (swap expr))
+          | Schema.Max -> Some (Aggregate.Max_agg (swap expr))
+          | Schema.Min -> Some (Aggregate.Min_agg (swap expr))
+          (* priority-set contributions are vec-valued; no index yet *)
+          | Schema.Pmax | Schema.Const -> None
+        in
+        Option.map
+          (fun kind ->
+            (* Count alongside, to distinguish "no contributors" from a
+               legitimate zero sum. *)
+            Aggregate.make ~name:"__aoe"
+              ~kinds:[ kind; Aggregate.Count ]
+              ~where_:swapped_pred
+              ~default:(Expr.VecOf (Expr.Const (Value.Float nan), Expr.Const (Value.Float 0.)))
+              ())
+          kind
+      in
+      let plans =
+        List.map
+          (fun (attr, expr) ->
+            match synthetic (attr, expr) with
+            | None -> None
+            | Some agg -> begin
+              match Agg_plan.analyze schema agg with
+              | Agg_plan.Naive_only _ -> None
+              | strategy -> Some (attr, agg, strategy)
+            end)
+          updates
+      in
+      if List.exists Option.is_none plans then naive_fallback ()
+      else begin
+        let probers = !units in
+        let prands = Array.map (fun _ -> dummy_rand) probers in
+        List.iter
+          (fun plan ->
+            let attr, agg, strategy = Option.get plan in
+            let contribute vals =
+              Array.iteri
+                (fun i v ->
+                  let vec = Value.to_vec v in
+                  if vec.Sgl_util.Vec2.y > 0. then
+                    Combine.Acc.add_attr acc ~base:probers.(i)
+                      ~key:(Tuple.key schema probers.(i))
+                      attr (Value.Float vec.Sgl_util.Vec2.x))
+                vals
+            in
+            match strategy with
+            | Agg_plan.Naive_only _ -> assert false
+            | Agg_plan.Uniform ->
+              contribute (eval_uniform stats ~agg ~units:contributors ~rows:probers ~rands:prands)
+            | Agg_plan.Indexed { access; stats_exprs; _ } ->
+              (* a fresh single-instance group over the contributor set *)
+              let cat_attrs, box_attrs, data_filter = group_signature access in
+              let g =
+                { group_id = -1; cat_attrs; box_attrs; data_filter; stats_exprs = []; n_stats = 0 }
+              in
+              let membership = join_group g stats_exprs in
+              let bi = build_index stats ~group:g ~data:contributors in
+              contribute (eval_indexed_batch stats ~strategy ~agg ~membership ~bi ~rows:probers ~rands:prands))
+          plans
+      end
+    end
+  in
+  {
+    name = "indexed";
+    begin_tick =
+      (fun e ->
+        units := e;
+        Hashtbl.reset cache);
+    eval_agg;
+    apply_aoe;
+    stats;
+  }

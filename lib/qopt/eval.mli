@@ -1,0 +1,37 @@
+(** Pluggable aggregate evaluators (Section 6): the naive O(n)-per-query
+    scanner and the indexed evaluator driving the Section 5.3/5.4 index
+    structures.  Both agree exactly with the reference interpreter. *)
+
+open Sgl_relalg
+
+type eval_stats = {
+  mutable index_builds : int;
+  mutable index_probes : int;
+  mutable naive_scans : int;
+  mutable uniform_hits : int;
+  mutable build_seconds : float;
+}
+
+type t = {
+  name : string;
+  begin_tick : Tuple.t array -> unit;
+  eval_agg : agg_id:int -> rows:Tuple.t array -> rands:(int -> int) array -> Value.t array;
+  apply_aoe :
+    pred:Predicate.t ->
+    updates:(int * Expr.t) list ->
+    contributors:Tuple.t array ->
+    contributor_rands:(int -> int) array ->
+    acc:Combine.Acc.t ->
+    unit;
+  stats : eval_stats;
+}
+
+val fresh_stats : unit -> eval_stats
+val naive : schema:Schema.t -> aggregates:Aggregate.t array -> t
+
+(** [indexed ?share ~schema ~aggregates] builds the Section 5.3/5.4
+    evaluator.  With [share] (the default), instances whose access paths
+    agree share one index group — Section 6's "all divisible queries share
+    the same range tree"; [~share:false] gives every instance private trees
+    (the ablation baseline). *)
+val indexed : ?share:bool -> schema:Schema.t -> aggregates:Aggregate.t array -> unit -> t

@@ -1,0 +1,142 @@
+(* Set-at-a-time execution of optimized plans (Section 5).
+
+   One tick's decision + action work for one script: every unit running the
+   script becomes a full-width row (schema attributes plus bind registers),
+   the plan partitions and extends the row set, and [Act] leaves emit
+   effects into a combination accumulator.  All aggregate evaluation and
+   area-effect combination is delegated to the pluggable [Eval.t]. *)
+
+open Sgl_relalg
+open Sgl_lang
+
+type compiled = {
+  prog : Core_ir.program;
+  plans : (string * Plan.t) list; (* per entry script *)
+  width : int; (* register count for row allocation *)
+  rewrites : Rewrite.rewrite_stats;
+}
+
+let compile ?(optimize = true) (prog : Core_ir.program) : compiled =
+  let schema = prog.Core_ir.schema in
+  let stats = Rewrite.no_stats () in
+  let plans =
+    List.map
+      (fun (s : Core_ir.script) ->
+        let plan = Plan.of_core schema s.Core_ir.body in
+        let plan =
+          if optimize then Rewrite.optimize ~stats ~aggs:prog.Core_ir.aggregates plan else plan
+        in
+        (s.Core_ir.name, plan))
+      prog.Core_ir.scripts
+  in
+  let width =
+    List.fold_left (fun acc (_, p) -> max acc (Plan.width schema p)) (Schema.arity schema) plans
+  in
+  { prog; plans; width; rewrites = stats }
+
+let find_plan (c : compiled) name = List.assoc_opt name c.plans
+
+exception Exec_error of string
+
+(* A full-width working row for a unit: schema values copied, registers
+   zeroed. *)
+let make_row (width : int) (unit_row : Tuple.t) : Tuple.t =
+  let row = Array.make width (Value.Int 0) in
+  Array.blit unit_row 0 row 0 (Array.length unit_row);
+  row
+
+type group = {
+  script : string;
+  members : int array; (* indexes into the tick's unit array *)
+}
+
+(* Execute one plan over its rows, emitting effects into [acc]. *)
+let run_plan ~(schema : Schema.t) ~(evaluator : Eval.t) ~(find_key : int -> Tuple.t option)
+    ~(acc : Combine.Acc.t) ~(plan : Plan.t) ~(rows : Tuple.t array)
+    ~(rands : (int -> int) array) : unit =
+  let apply_direct (row : Tuple.t) (rand : int -> int) (c : Core_ir.effect_clause) =
+    let emit target =
+      let key = Tuple.key schema target in
+      let ctx = { Expr.u = row; e = Some target; rand } in
+      List.iter
+        (fun (attr, expr) -> Combine.Acc.add_attr acc ~base:target ~key attr (Expr.eval ctx expr))
+        c.Core_ir.updates
+    in
+    match c.Core_ir.target with
+    | Core_ir.Self -> emit row
+    | Core_ir.Key key_expr -> begin
+      let key = Expr.eval_int { Expr.u = row; e = None; rand } key_expr in
+      match find_key key with
+      | None -> ()
+      | Some target -> emit target
+    end
+    | Core_ir.All _ -> assert false
+  in
+  let rec go (plan : Plan.t) (sel : int array) : unit =
+    if Array.length sel > 0 then begin
+      match plan with
+      | Plan.Nop -> ()
+      | Plan.Bind (slot, Plan.Bind_expr e, k) ->
+        Array.iter
+          (fun i ->
+            let row = rows.(i) in
+            row.(slot) <- Expr.eval { Expr.u = row; e = None; rand = rands.(i) } e)
+          sel;
+        go k sel
+      | Plan.Bind (slot, Plan.Bind_agg agg_id, k) ->
+        let batch_rows = Array.map (fun i -> rows.(i)) sel in
+        let batch_rands = Array.map (fun i -> rands.(i)) sel in
+        let values = evaluator.Eval.eval_agg ~agg_id ~rows:batch_rows ~rands:batch_rands in
+        Array.iteri (fun j i -> rows.(i).(slot) <- values.(j)) sel;
+        go k sel
+      | Plan.Select (c, a, b) ->
+        let yes, no =
+          Array.to_list sel
+          |> List.partition (fun i ->
+                 Expr.eval_bool { Expr.u = rows.(i); e = None; rand = rands.(i) } c)
+        in
+        go a (Array.of_list yes);
+        go b (Array.of_list no)
+      | Plan.Both plans -> List.iter (fun p -> go p sel) plans
+      | Plan.Act clauses ->
+        List.iter
+          (fun (c : Core_ir.effect_clause) ->
+            match c.Core_ir.target with
+            | Core_ir.Self | Core_ir.Key _ ->
+              Array.iter (fun i -> apply_direct rows.(i) rands.(i) c) sel
+            | Core_ir.All pred ->
+              let contributors = Array.map (fun i -> rows.(i)) sel in
+              let contributor_rands = Array.map (fun i -> rands.(i)) sel in
+              evaluator.Eval.apply_aoe ~pred ~updates:c.Core_ir.updates ~contributors
+                ~contributor_rands ~acc)
+          clauses
+    end
+  in
+  go plan (Array.init (Array.length rows) (fun i -> i))
+
+(* Run a full decision+action pass: each group's script over its members.
+   Returns the combined effects of the tick, ready for post-processing. *)
+let run_tick (c : compiled) ~(evaluator : Eval.t) ~(units : Tuple.t array)
+    ~(groups : group list) ~(rand_for : key:int -> int -> int) : Combine.Acc.t =
+  let schema = c.prog.Core_ir.schema in
+  evaluator.Eval.begin_tick units;
+  let table = Hashtbl.create (Array.length units * 2) in
+  Array.iter (fun row -> Hashtbl.replace table (Tuple.key schema row) row) units;
+  let find_key k = Hashtbl.find_opt table k in
+  let acc = Combine.Acc.create schema in
+  List.iter
+    (fun g ->
+      match find_plan c g.script with
+      | None -> raise (Exec_error (Fmt.str "no plan for script %S" g.script))
+      | Some plan ->
+        let rows = Array.map (fun i -> make_row c.width units.(i)) g.members in
+        let rands =
+          Array.map
+            (fun i ->
+              let key = Tuple.key schema units.(i) in
+              rand_for ~key)
+            g.members
+        in
+        run_plan ~schema ~evaluator ~find_key ~acc ~plan ~rows ~rands)
+    groups;
+  acc

@@ -1,0 +1,48 @@
+(** Set-at-a-time execution of optimized plans: one tick's decision and
+    action phases for the scripted unit groups, with effects combined into
+    a {!Sgl_relalg.Combine.Acc}. *)
+
+open Sgl_relalg
+open Sgl_lang
+
+type compiled = {
+  prog : Core_ir.program;
+  plans : (string * Plan.t) list;
+  width : int;
+  rewrites : Rewrite.rewrite_stats;
+}
+
+exception Exec_error of string
+
+(** Translate and (by default) optimize every entry script. *)
+val compile : ?optimize:bool -> Core_ir.program -> compiled
+
+val find_plan : compiled -> string -> Plan.t option
+
+(** Full-width working row for a unit. *)
+val make_row : int -> Tuple.t -> Tuple.t
+
+type group = {
+  script : string;
+  members : int array; (* indexes into the tick's unit array *)
+}
+
+val run_plan :
+  schema:Schema.t ->
+  evaluator:Eval.t ->
+  find_key:(int -> Tuple.t option) ->
+  acc:Combine.Acc.t ->
+  plan:Plan.t ->
+  rows:Tuple.t array ->
+  rands:(int -> int) array ->
+  unit
+
+(** Run every group's script; raises {!Exec_error} if a group names an
+    unknown script. *)
+val run_tick :
+  compiled ->
+  evaluator:Eval.t ->
+  units:Tuple.t array ->
+  groups:group list ->
+  rand_for:(key:int -> int -> int) ->
+  Combine.Acc.t

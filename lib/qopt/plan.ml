@@ -1,0 +1,143 @@
+(* Set-at-a-time query plans (Section 5.1, Figure 6).
+
+   A plan processes a *set* of unit rows top-down: [Bind] extends every row
+   with a computed or aggregated column (the algebra's extended projection
+   pi_{*, f}), [Select] partitions the set on a condition (sigma_phi /
+   sigma_{not phi}), [Both] fans the same set into several consumers (the
+   translation of sequencing, combined by (+)), and [Act] emits effects
+   (act(+)).
+
+   Slots are *absolute register indexes* into the row array: rewrites move
+   binds without renumbering anything, because every bind site owns its
+   index. *)
+
+open Sgl_relalg
+open Sgl_lang
+
+type binder =
+  | Bind_expr of Expr.t
+  | Bind_agg of int (* aggregate instance id *)
+
+type t =
+  | Nop
+  | Bind of int * binder * t
+  | Select of Expr.t * t * t (* condition, then-plan, else-plan *)
+  | Both of t list
+  | Act of Core_ir.effect_clause list
+
+(* ------------------------------------------------------------------ *)
+(* Translation from the core IR (the [[.]](+) rules of Section 5.1).
+
+   The resolver numbered let-slots by depth, which is exactly the absolute
+   register index when rows are allocated at full width. *)
+
+let of_core (schema : Schema.t) (body : Core_ir.t) : t =
+  let rec go depth (a : Core_ir.t) : t =
+    match a with
+    | Core_ir.Skip -> Nop
+    | Core_ir.Let (e, k) -> Bind (depth, Bind_expr e, go (depth + 1) k)
+    | Core_ir.Let_agg (i, k) -> Bind (depth, Bind_agg i, go (depth + 1) k)
+    | Core_ir.Seq (a1, a2) -> Both [ go depth a1; go depth a2 ]
+    | Core_ir.If (c, a1, a2) -> Select (c, go depth a1, go depth a2)
+    | Core_ir.Effects clauses -> Act clauses
+  in
+  go (Schema.arity schema) body
+
+(* Width (register count) needed to execute the plan. *)
+let width (schema : Schema.t) (p : t) : int =
+  let top = ref (Schema.arity schema) in
+  let rec go = function
+    | Nop | Act _ -> ()
+    | Bind (slot, _, k) ->
+      if slot + 1 > !top then top := slot + 1;
+      go k
+    | Select (_, a, b) ->
+      go a;
+      go b
+    | Both plans -> List.iter go plans
+  in
+  go p;
+  !top
+
+(* ------------------------------------------------------------------ *)
+(* Usage analysis *)
+
+let expr_uses slot e = List.mem slot (Expr.u_slots e)
+
+let clause_uses slot (c : Core_ir.effect_clause) =
+  (match c.Core_ir.target with
+  | Core_ir.Self -> false
+  | Core_ir.Key e -> expr_uses slot e
+  | Core_ir.All p -> List.exists (expr_uses slot) (Predicate.conjuncts p))
+  || List.exists (fun (_, e) -> expr_uses slot e) c.Core_ir.updates
+
+(* Aggregate instances can reference earlier slots through inlined
+   arguments (e.g. [let r = ...; let c = Count(u, r)]), so usage analysis
+   must look inside them. *)
+let agg_instance_slots (agg : Aggregate.t) : int list =
+  let kind_exprs = function
+    | Aggregate.Count -> []
+    | Aggregate.Sum e | Aggregate.Avg e | Aggregate.Std_dev e | Aggregate.Min_agg e
+    | Aggregate.Max_agg e ->
+      [ e ]
+    | Aggregate.Arg_min { objective; result } | Aggregate.Arg_max { objective; result } ->
+      [ objective; result ]
+    | Aggregate.Nearest { ex; ey; ux; uy; result } -> [ ex; ey; ux; uy; result ]
+  in
+  let exprs =
+    List.concat_map kind_exprs agg.Aggregate.kinds
+    @ Predicate.conjuncts agg.Aggregate.where_
+    @ Option.to_list agg.Aggregate.default
+  in
+  List.sort_uniq compare (List.concat_map Expr.u_slots exprs)
+
+let binder_uses ~(aggs : Aggregate.t array) slot = function
+  | Bind_expr e -> expr_uses slot e
+  | Bind_agg i -> List.mem slot (agg_instance_slots aggs.(i))
+
+(* Does the plan read register [slot] anywhere? *)
+let rec uses ~aggs slot = function
+  | Nop -> false
+  | Bind (_, b, k) -> binder_uses ~aggs slot b || uses ~aggs slot k
+  | Select (c, a, b) -> expr_uses slot c || uses ~aggs slot a || uses ~aggs slot b
+  | Both plans -> List.exists (uses ~aggs slot) plans
+  | Act clauses -> List.exists (clause_uses slot) clauses
+
+(* Statistics for reporting. *)
+type stats = {
+  binds : int;
+  agg_binds : int;
+  selects : int;
+  acts : int;
+}
+
+let stats (p : t) : stats =
+  let s = ref { binds = 0; agg_binds = 0; selects = 0; acts = 0 } in
+  let rec go = function
+    | Nop -> ()
+    | Bind (_, Bind_expr _, k) ->
+      s := { !s with binds = !s.binds + 1 };
+      go k
+    | Bind (_, Bind_agg _, k) ->
+      s := { !s with binds = !s.binds + 1; agg_binds = !s.agg_binds + 1 };
+      go k
+    | Select (_, a, b) ->
+      s := { !s with selects = !s.selects + 1 };
+      go a;
+      go b
+    | Both plans -> List.iter go plans
+    | Act _ -> s := { !s with acts = !s.acts + 1 }
+  in
+  go p;
+  !s
+
+let rec pp ppf = function
+  | Nop -> Fmt.string ppf "nop"
+  | Bind (slot, Bind_expr e, k) -> Fmt.pf ppf "@[<v>r%d := %a@,%a@]" slot Expr.pp e pp k
+  | Bind (slot, Bind_agg i, k) -> Fmt.pf ppf "@[<v>r%d := agg#%d@,%a@]" slot i pp k
+  | Select (c, a, Nop) -> Fmt.pf ppf "@[<v>select %a {@;<0 2>%a@,}@]" Expr.pp c pp a
+  | Select (c, a, b) ->
+    Fmt.pf ppf "@[<v>select %a {@;<0 2>%a@,} else {@;<0 2>%a@,}@]" Expr.pp c pp a pp b
+  | Both plans ->
+    Fmt.pf ppf "@[<v>both {@;<0 2>%a@,}@]" Fmt.(list ~sep:(any "@,---@,") pp) plans
+  | Act clauses -> Fmt.pf ppf "act(%d clauses)" (List.length clauses)

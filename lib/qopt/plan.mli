@@ -1,0 +1,45 @@
+(** Set-at-a-time query plans (Section 5.1, Figure 6).
+
+    Slots are absolute register indexes into full-width rows, so rewrites
+    relocate binds without renumbering. *)
+
+open Sgl_relalg
+open Sgl_lang
+
+type binder =
+  | Bind_expr of Expr.t
+  | Bind_agg of int (* aggregate instance id *)
+
+type t =
+  | Nop
+  | Bind of int * binder * t
+  | Select of Expr.t * t * t
+  | Both of t list
+  | Act of Core_ir.effect_clause list
+
+(** Translate a core action into its initial plan (Figure 6 (a)). *)
+val of_core : Schema.t -> Core_ir.t -> t
+
+(** Register count needed to execute the plan. *)
+val width : Schema.t -> t -> int
+
+val expr_uses : int -> Expr.t -> bool
+val clause_uses : int -> Core_ir.effect_clause -> bool
+
+(** Unit slots an aggregate instance reads (through inlined arguments). *)
+val agg_instance_slots : Aggregate.t -> int list
+
+val binder_uses : aggs:Aggregate.t array -> int -> binder -> bool
+
+(** Does the plan read register [slot] anywhere? *)
+val uses : aggs:Aggregate.t array -> int -> t -> bool
+
+type stats = {
+  binds : int;
+  agg_binds : int;
+  selects : int;
+  acts : int;
+}
+
+val stats : t -> stats
+val pp : t Fmt.t

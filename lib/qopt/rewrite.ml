@@ -1,0 +1,124 @@
+(* Algebraic plan rewriting (Section 5.2, Figure 6).
+
+   The transformations realized here:
+
+   - *Lazy aggregate placement* (Figure 6 (a) -> (b)): a [Bind] — crucially
+     an aggregate bind — sinks below selections and fan-outs into exactly
+     the branches that read its register, so the aggregate index is only
+     probed for the units that satisfy the guarding condition.
+   - *Dead-column elimination*: a bind nobody reads disappears (the pushed-
+     up agg2 of Example 5.1 vanishing from the not-phi1 branch).
+   - *Constant-condition pruning* and structural cleanups.
+
+   Rules (8)-(10) of Figure 7 concern the combination with E; in this
+   executor the final "(+) E" is structural (the post-processing step
+   treats every unit as present with neutral effects), so act(+)(R) (+) R =
+   act(+)(R) holds by construction — see Exec. *)
+
+open Sgl_relalg
+
+type rewrite_stats = {
+  mutable sunk : int; (* binds pushed below a selection or fan-out *)
+  mutable dropped : int; (* dead binds eliminated *)
+  mutable pruned : int; (* constant selections resolved *)
+}
+
+let no_stats () = { sunk = 0; dropped = 0; pruned = 0 }
+
+(* One pass of structural cleanups. *)
+let rec simplify stats (p : Plan.t) : Plan.t =
+  match p with
+  | Plan.Nop -> Plan.Nop
+  | Plan.Act clauses -> Plan.Act clauses
+  | Plan.Bind (slot, b, k) -> begin
+    match simplify stats k with
+    | Plan.Nop ->
+      stats.dropped <- stats.dropped + 1;
+      Plan.Nop
+    | k' -> Plan.Bind (slot, b, k')
+  end
+  | Plan.Select (c, a, b) -> begin
+    let a = simplify stats a and b = simplify stats b in
+    match c with
+    | Expr.Const (Value.Bool true) ->
+      stats.pruned <- stats.pruned + 1;
+      a
+    | Expr.Const (Value.Bool false) ->
+      stats.pruned <- stats.pruned + 1;
+      b
+    | _ -> if a = Plan.Nop && b = Plan.Nop then Plan.Nop else Plan.Select (c, a, b)
+  end
+  | Plan.Both plans -> begin
+    let plans = List.filter (fun q -> q <> Plan.Nop) (List.map (simplify stats) plans) in
+    match plans with
+    | [] -> Plan.Nop
+    | [ q ] -> q
+    | qs ->
+      (* flatten nested fan-outs *)
+      let flat =
+        List.concat_map (function Plan.Both inner -> inner | other -> [ other ]) qs
+      in
+      Plan.Both flat
+  end
+
+(* Sink the bind at the root of [p] as deep as legality allows.  Returns
+   the rewritten plan. *)
+let rec sink stats ~aggs (p : Plan.t) : Plan.t =
+  match p with
+  | Plan.Nop | Plan.Act _ -> p
+  | Plan.Select (c, a, b) -> Plan.Select (c, sink stats ~aggs a, sink stats ~aggs b)
+  | Plan.Both plans -> Plan.Both (List.map (sink stats ~aggs) plans)
+  | Plan.Bind (slot, binder, k) -> begin
+    let k = sink stats ~aggs k in
+    match k with
+    | Plan.Nop ->
+      stats.dropped <- stats.dropped + 1;
+      Plan.Nop
+    | Plan.Select (c, a, b) when not (Plan.expr_uses slot c) -> begin
+      let used_a = Plan.uses ~aggs slot a and used_b = Plan.uses ~aggs slot b in
+      match (used_a, used_b) with
+      | false, false ->
+        stats.dropped <- stats.dropped + 1;
+        k
+      | true, false ->
+        stats.sunk <- stats.sunk + 1;
+        Plan.Select (c, sink stats ~aggs (Plan.Bind (slot, binder, a)), b)
+      | false, true ->
+        stats.sunk <- stats.sunk + 1;
+        Plan.Select (c, a, sink stats ~aggs (Plan.Bind (slot, binder, b)))
+      | true, true -> Plan.Bind (slot, binder, k)
+    end
+    | Plan.Both plans -> begin
+      let used = List.filter (Plan.uses ~aggs slot) plans in
+      match used with
+      | [] ->
+        stats.dropped <- stats.dropped + 1;
+        k
+      | [ _ ] ->
+        stats.sunk <- stats.sunk + 1;
+        Plan.Both
+          (List.map
+             (fun q ->
+               if Plan.uses ~aggs slot q then sink stats ~aggs (Plan.Bind (slot, binder, q))
+               else q)
+             plans)
+      | _ :: _ :: _ -> Plan.Bind (slot, binder, k)
+    end
+    | _ ->
+      if Plan.uses ~aggs slot k then Plan.Bind (slot, binder, k)
+      else begin
+        stats.dropped <- stats.dropped + 1;
+        k
+      end
+  end
+
+(* Fixpoint driver: simplify and sink until the plan stops changing. *)
+let optimize ?(stats = no_stats ()) ~(aggs : Aggregate.t array) (p : Plan.t) : Plan.t =
+  let rec fix p n =
+    if n > 50 then p
+    else begin
+      let p' = sink stats ~aggs (simplify stats p) in
+      if p' = p then p else fix p' (n + 1)
+    end
+  in
+  fix p 0

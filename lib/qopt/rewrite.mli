@@ -1,0 +1,23 @@
+(** Algebraic plan rewriting (Section 5.2, Figure 6): lazy aggregate
+    placement (binds sink below the selections into exactly the branches
+    that read them), dead-column elimination, and constant-condition
+    pruning. *)
+
+open Sgl_relalg
+
+type rewrite_stats = {
+  mutable sunk : int;
+  mutable dropped : int;
+  mutable pruned : int;
+}
+
+val no_stats : unit -> rewrite_stats
+
+(** One structural-cleanup pass. *)
+val simplify : rewrite_stats -> Plan.t -> Plan.t
+
+(** One sinking pass. *)
+val sink : rewrite_stats -> aggs:Aggregate.t array -> Plan.t -> Plan.t
+
+(** Fixpoint of [simplify] and [sink]. *)
+val optimize : ?stats:rewrite_stats -> aggs:Aggregate.t array -> Plan.t -> Plan.t

@@ -1,0 +1,201 @@
+(* Aggregate functions over the environment (form (5) of Section 4.3):
+
+     SELECT a1(h1(u,e,r)), ..., ak(hk(u,e,r)) FROM E e WHERE phi(u,e,r)
+
+   An aggregate returns a scalar, or a 2-d vector when it carries two
+   components (the paper's centroid).  [eval_naive] is the reference O(n)
+   scan; the indexed evaluators in [sgl_qopt] must agree with it exactly. *)
+
+type kind =
+  | Count
+  | Sum of Expr.t
+  | Avg of Expr.t
+  | Std_dev of Expr.t (* population standard deviation *)
+  | Min_agg of Expr.t
+  | Max_agg of Expr.t
+  | Arg_min of { objective : Expr.t; result : Expr.t }
+  | Arg_max of { objective : Expr.t; result : Expr.t }
+  | Nearest of { ex : Expr.t; ey : Expr.t; ux : Expr.t; uy : Expr.t; result : Expr.t }
+
+type t = {
+  name : string;
+  kinds : kind list; (* one component (scalar) or two (vector) *)
+  where_ : Predicate.t;
+  default : Expr.t option; (* over u; the value when the selection is empty *)
+}
+
+exception Aggregate_error of string
+
+let aggregate_error fmt = Fmt.kstr (fun s -> raise (Aggregate_error s)) fmt
+
+let make ?default ~name ~kinds ~where_ () =
+  (match kinds with
+  | [ _ ] | [ _; _ ] -> ()
+  | _ -> aggregate_error "aggregate %s must have one or two components" name);
+  { name; kinds; where_; default }
+
+(* ------------------------------------------------------------------ *)
+(* Classification for the index planner (Section 5.3) *)
+
+(* Divisible aggregates (Definition 5.1) reduce to sums of per-point
+   statistics and therefore support the prefix-aggregate range tree. *)
+let is_divisible = function
+  | Count | Sum _ | Avg _ | Std_dev _ -> true
+  | Min_agg _ | Max_agg _ | Arg_min _ | Arg_max _ | Nearest _ -> false
+
+let is_extremal = function
+  | Min_agg _ | Max_agg _ | Arg_min _ | Arg_max _ -> true
+  | Count | Sum _ | Avg _ | Std_dev _ | Nearest _ -> false
+
+let is_nearest = function
+  | Nearest _ -> true
+  | Count | Sum _ | Avg _ | Std_dev _ | Min_agg _ | Max_agg _ | Arg_min _ | Arg_max _ -> false
+
+(* Per-point statistics a divisible kind needs (expressions over e).
+   Raises for non-divisible kinds. *)
+let stats_of_kind = function
+  | Count -> [ Expr.Const (Value.Float 1.) ]
+  | Sum e -> [ e ]
+  | Avg e -> [ e; Expr.Const (Value.Float 1.) ]
+  | Std_dev e -> [ e; Expr.Binop (Expr.Mul, e, e); Expr.Const (Value.Float 1.) ]
+  | Min_agg _ | Max_agg _ | Arg_min _ | Arg_max _ | Nearest _ ->
+    aggregate_error "stats_of_kind: aggregate is not divisible"
+
+(* Turn accumulated statistics back into the aggregate value; [None] when
+   the aggregate is undefined on the empty selection. *)
+let finish_divisible kind (stats : float array) : Value.t option =
+  match kind with
+  | Count -> Some (Value.Int (int_of_float (Float.round stats.(0))))
+  | Sum _ -> Some (Value.Float stats.(0))
+  | Avg _ ->
+    if stats.(1) = 0. then None else Some (Value.Float (stats.(0) /. stats.(1)))
+  | Std_dev _ ->
+    if stats.(2) = 0. then None
+    else begin
+      let mean = stats.(0) /. stats.(2) in
+      let var = (stats.(1) /. stats.(2)) -. (mean *. mean) in
+      Some (Value.Float (sqrt (Float.max 0. var)))
+    end
+  | Min_agg _ | Max_agg _ | Arg_min _ | Arg_max _ | Nearest _ ->
+    aggregate_error "finish_divisible: aggregate is not divisible"
+
+(* ------------------------------------------------------------------ *)
+(* Reference evaluation by full scan *)
+
+let eval_kind_naive ~(units : Tuple.t array) ~(ctx : Expr.ctx) ~(where_ : Predicate.t) kind :
+    Value.t option =
+  let with_e e = { ctx with Expr.e = Some e } in
+  let selected f =
+    Array.iter (fun e -> let c = with_e e in if Predicate.holds c where_ then f c) units
+  in
+  match kind with
+  | Count ->
+    let n = ref 0 in
+    selected (fun _ -> incr n);
+    Some (Value.Int !n)
+  | Sum expr ->
+    let acc = ref 0. in
+    selected (fun c -> acc := !acc +. Expr.eval_float c expr);
+    Some (Value.Float !acc)
+  | Avg expr ->
+    let acc = ref 0. and n = ref 0 in
+    selected (fun c ->
+        acc := !acc +. Expr.eval_float c expr;
+        incr n);
+    if !n = 0 then None else Some (Value.Float (!acc /. float_of_int !n))
+  | Std_dev expr ->
+    let s = ref 0. and s2 = ref 0. and n = ref 0 in
+    selected (fun c ->
+        let v = Expr.eval_float c expr in
+        s := !s +. v;
+        s2 := !s2 +. (v *. v);
+        incr n);
+    if !n = 0 then None
+    else begin
+      let nf = float_of_int !n in
+      let mean = !s /. nf in
+      Some (Value.Float (sqrt (Float.max 0. ((!s2 /. nf) -. (mean *. mean)))))
+    end
+  | Min_agg expr ->
+    let best = ref None in
+    selected (fun c ->
+        let v = Expr.eval_float c expr in
+        match !best with
+        | Some b when b <= v -> ()
+        | _ -> best := Some v);
+    Option.map (fun v -> Value.Float v) !best
+  | Max_agg expr ->
+    let best = ref None in
+    selected (fun c ->
+        let v = Expr.eval_float c expr in
+        match !best with
+        | Some b when b >= v -> ()
+        | _ -> best := Some v);
+    Option.map (fun v -> Value.Float v) !best
+  | Arg_min { objective; result } ->
+    let best = ref None in
+    selected (fun c ->
+        let v = Expr.eval_float c objective in
+        match !best with
+        | Some (b, _) when b <= v -> ()
+        | _ -> best := Some (v, Expr.eval c result));
+    Option.map snd !best
+  | Arg_max { objective; result } ->
+    let best = ref None in
+    selected (fun c ->
+        let v = Expr.eval_float c objective in
+        match !best with
+        | Some (b, _) when b >= v -> ()
+        | _ -> best := Some (v, Expr.eval c result));
+    Option.map snd !best
+  | Nearest { ex; ey; ux; uy; result } ->
+    let px = Expr.eval_float ctx ux and py = Expr.eval_float ctx uy in
+    let best = ref None in
+    selected (fun c ->
+        let dx = Expr.eval_float c ex -. px and dy = Expr.eval_float c ey -. py in
+        let d2 = (dx *. dx) +. (dy *. dy) in
+        match !best with
+        | Some (b, _) when b <= d2 -> ()
+        | _ -> best := Some (d2, Expr.eval c result));
+    Option.map snd !best
+
+(* Evaluate the whole aggregate for one unit context, resolving empty
+   selections through the default expression. *)
+let eval_naive ~(units : Tuple.t array) ~(ctx : Expr.ctx) (t : t) : Value.t =
+  let on_empty () =
+    match t.default with
+    | Some d -> Expr.eval ctx d
+    | None ->
+      aggregate_error "aggregate %s is empty and declares no default" t.name
+  in
+  match t.kinds with
+  | [ kind ] -> begin
+    match eval_kind_naive ~units ~ctx ~where_:t.where_ kind with
+    | Some v -> v
+    | None -> on_empty ()
+  end
+  | [ k1; k2 ] -> begin
+    match
+      ( eval_kind_naive ~units ~ctx ~where_:t.where_ k1,
+        eval_kind_naive ~units ~ctx ~where_:t.where_ k2 )
+    with
+    | Some a, Some b -> Value.make_vec a b
+    | _ -> on_empty ()
+  end
+  | _ -> aggregate_error "aggregate %s has an invalid component count" t.name
+
+let kind_name = function
+  | Count -> "count"
+  | Sum _ -> "sum"
+  | Avg _ -> "avg"
+  | Std_dev _ -> "stddev"
+  | Min_agg _ -> "min"
+  | Max_agg _ -> "max"
+  | Arg_min _ -> "argmin"
+  | Arg_max _ -> "argmax"
+  | Nearest _ -> "nearest"
+
+let pp ppf t =
+  Fmt.pf ppf "%s[%a where %a]" t.name
+    Fmt.(list ~sep:(any ", ") (of_to_string kind_name))
+    t.kinds Predicate.pp t.where_

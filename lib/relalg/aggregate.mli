@@ -1,0 +1,54 @@
+(** Aggregate functions over the environment relation (Section 4.3, form
+    (5)) and their planner-facing classification (Section 5.3). *)
+
+type kind =
+  | Count
+  | Sum of Expr.t
+  | Avg of Expr.t
+  | Std_dev of Expr.t
+  | Min_agg of Expr.t
+  | Max_agg of Expr.t
+  | Arg_min of { objective : Expr.t; result : Expr.t }
+  | Arg_max of { objective : Expr.t; result : Expr.t }
+  | Nearest of { ex : Expr.t; ey : Expr.t; ux : Expr.t; uy : Expr.t; result : Expr.t }
+
+type t = {
+  name : string;
+  kinds : kind list;
+  where_ : Predicate.t;
+  default : Expr.t option;
+}
+
+exception Aggregate_error of string
+
+(** Raises {!Aggregate_error} unless [kinds] has one or two components. *)
+val make :
+  ?default:Expr.t -> name:string -> kinds:kind list -> where_:Predicate.t -> unit -> t
+
+(** Definition 5.1: supports the prefix-aggregate range tree. *)
+val is_divisible : kind -> bool
+
+(** MIN/MAX-style: candidates for the sweep-line index. *)
+val is_extremal : kind -> bool
+
+(** Spatial nearest-neighbour: candidate for the kD-tree. *)
+val is_nearest : kind -> bool
+
+(** Per-point statistics of a divisible kind (exprs over [e]).
+    Raises {!Aggregate_error} on non-divisible kinds. *)
+val stats_of_kind : kind -> Expr.t list
+
+(** Recover the aggregate value from accumulated statistics; [None] when the
+    selection was empty and the aggregate is undefined. *)
+val finish_divisible : kind -> float array -> Value.t option
+
+(** Reference full-scan evaluation of one component. *)
+val eval_kind_naive :
+  units:Tuple.t array -> ctx:Expr.ctx -> where_:Predicate.t -> kind -> Value.t option
+
+(** Reference full-scan evaluation; empty selections fall back to [default].
+    Raises {!Aggregate_error} if empty with no default. *)
+val eval_naive : units:Tuple.t array -> ctx:Expr.ctx -> t -> Value.t
+
+val kind_name : kind -> string
+val pp : t Fmt.t

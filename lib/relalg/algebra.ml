@@ -1,0 +1,114 @@
+(* The executable bag algebra of Section 5.1: selection, projection /
+   extension, product, multiset union, grouping with SQL aggregates, and the
+   key-join used by rewrite rule (10).
+
+   These operators serve the reference evaluation path and the algebraic-law
+   test-suite; the optimized engine path specializes them away. *)
+
+open Sgl_util
+
+exception Algebra_error of string
+
+let algebra_error fmt = Fmt.kstr (fun s -> raise (Algebra_error s)) fmt
+
+(* sigma_phi(R): rows are bound as the unit record u. *)
+let select ~rand (phi : Expr.t) (r : Relation.t) : Relation.t =
+  Relation.filter_rows (fun row -> Expr.eval_bool { Expr.u = row; e = None; rand } phi) r
+
+let select_pred ~rand (p : Predicate.t) (r : Relation.t) : Relation.t =
+  Relation.filter_rows (fun row -> Predicate.holds { Expr.u = row; e = None; rand } p) r
+
+(* pi_{*, f as B}(R): extend every row with computed columns. *)
+let extend ~rand (exprs : Expr.t list) (r : Relation.t) : Relation.t =
+  Relation.map_rows
+    (fun row ->
+      let ctx = { Expr.u = row; e = None; rand } in
+      List.fold_left (fun acc e -> Tuple.extend acc (Expr.eval ctx e)) row exprs)
+    r
+
+(* pi over explicit slot indices (drops the rest). *)
+let project (slots : int list) (r : Relation.t) : Relation.t =
+  Relation.map_rows
+    (fun row -> Array.of_list (List.map (fun i -> Tuple.get row i) slots))
+    r
+
+(* R x S as row concatenation. *)
+let product (r : Relation.t) (s : Relation.t) : Relation.t =
+  let out = Relation.create (Relation.schema r) in
+  Relation.iter
+    (fun a -> Relation.iter (fun b -> Relation.add out (Array.append a b)) s)
+    r;
+  out
+
+(* R |+| S: multiset union. *)
+let union (r : Relation.t) (s : Relation.t) : Relation.t =
+  let out = Relation.create (Relation.schema r) in
+  Relation.iter (Relation.add out) r;
+  Relation.iter (Relation.add out) s;
+  out
+
+(* Natural join on the key attribute, for rule (10): both inputs must have
+   the key functional (at most one row per key). *)
+let join_key (r : Relation.t) (s : Relation.t) : (Tuple.t * Tuple.t) list =
+  let schema = Relation.schema r in
+  let index = Hashtbl.create (Relation.cardinality s) in
+  Relation.iter
+    (fun row ->
+      let k = Tuple.key schema row in
+      if Hashtbl.mem index k then algebra_error "join_key: duplicate key %d in right input" k;
+      Hashtbl.add index k row)
+    s;
+  List.filter_map
+    (fun row ->
+      Option.map (fun other -> (row, other)) (Hashtbl.find_opt index (Tuple.key schema row)))
+    (Relation.to_list r)
+
+(* agg_{group, g}(R): SQL grouping used by tests of the translation. *)
+type sql_agg =
+  | Sql_count
+  | Sql_sum of int (* slot *)
+  | Sql_min of int
+  | Sql_max of int
+  | Sql_avg of int
+
+let group_agg ~(group : int list) ~(aggs : sql_agg list) (r : Relation.t) :
+    (Value.t list * Value.t list) list =
+  let table : (Value.t list, Tuple.t Varray.t) Hashtbl.t = Hashtbl.create 32 in
+  let order = ref [] in
+  Relation.iter
+    (fun row ->
+      let k = List.map (fun i -> Tuple.get row i) group in
+      match Hashtbl.find_opt table k with
+      | Some rows -> Varray.push rows row
+      | None ->
+        let rows = Varray.create [||] in
+        Varray.push rows row;
+        Hashtbl.add table k rows;
+        order := k :: !order)
+    r;
+  let finish rows agg =
+    let fold f init = Varray.fold_left f init rows in
+    match agg with
+    | Sql_count -> Value.Int (Varray.length rows)
+    | Sql_sum slot -> fold (fun acc row -> Value.add acc (Tuple.get row slot)) (Value.Int 0)
+    | Sql_min slot ->
+      fold
+        (fun acc row ->
+          let v = Tuple.get row slot in
+          if Value.compare_num v acc < 0 then v else acc)
+        (Value.Float infinity)
+    | Sql_max slot ->
+      fold
+        (fun acc row ->
+          let v = Tuple.get row slot in
+          if Value.compare_num v acc > 0 then v else acc)
+        (Value.Float neg_infinity)
+    | Sql_avg slot ->
+      let total = fold (fun acc row -> acc +. Value.to_float (Tuple.get row slot)) 0. in
+      Value.Float (total /. float_of_int (Varray.length rows))
+  in
+  List.rev_map
+    (fun k ->
+      let rows = Hashtbl.find table k in
+      (k, List.map (finish rows) aggs))
+    !order

@@ -1,0 +1,32 @@
+(** Executable bag algebra (Section 5.1). *)
+
+exception Algebra_error of string
+
+(** All operators that evaluate expressions take the per-tick random
+    function [rand] so laws hold under randomness too. *)
+
+val select : rand:(int -> int) -> Expr.t -> Relation.t -> Relation.t
+
+val select_pred : rand:(int -> int) -> Predicate.t -> Relation.t -> Relation.t
+
+(** Extend each row with computed columns (the algebra's extended
+    projection). *)
+val extend : rand:(int -> int) -> Expr.t list -> Relation.t -> Relation.t
+
+val project : int list -> Relation.t -> Relation.t
+val product : Relation.t -> Relation.t -> Relation.t
+val union : Relation.t -> Relation.t -> Relation.t
+
+(** Natural join on the key (rule (10) precondition: key functional on the
+    right input; raises {!Algebra_error} otherwise). *)
+val join_key : Relation.t -> Relation.t -> (Tuple.t * Tuple.t) list
+
+type sql_agg =
+  | Sql_count
+  | Sql_sum of int
+  | Sql_min of int
+  | Sql_max of int
+  | Sql_avg of int
+
+val group_agg :
+  group:int list -> aggs:sql_agg list -> Relation.t -> (Value.t list * Value.t list) list

@@ -1,0 +1,107 @@
+(* Conjunctive selection conditions over (u, e) and their classification.
+
+   Section 5.3 assumes aggregate selections are conjunctive and splits the
+   conjuncts into the parts an index can serve: categorical equalities
+   (hash levels), orthogonal range bounds on continuous attributes (range
+   tree / sweepline levels), and a residual that must be filtered tuple-at-
+   a-time.  [classify] performs exactly that split. *)
+
+type t = Expr.t list (* conjuncts; the empty list is "true" *)
+
+let always_true : t = []
+let conjuncts (p : t) = p
+let of_conjuncts l : t = l
+
+(* Flatten nested [And]s of a boolean expression into a conjunct list. *)
+let rec of_expr (e : Expr.t) : t =
+  match e with
+  | Expr.And (a, b) -> of_expr a @ of_expr b
+  | Expr.Const (Value.Bool true) -> []
+  | other -> [ other ]
+
+let to_expr (p : t) : Expr.t =
+  match p with
+  | [] -> Expr.Const (Value.Bool true)
+  | c :: rest -> List.fold_left (fun acc c' -> Expr.And (acc, c')) c rest
+
+let holds ctx (p : t) = List.for_all (Expr.eval_bool ctx) p
+
+(* ------------------------------------------------------------------ *)
+(* Classification *)
+
+type bound = {
+  value : Expr.t; (* expression over u only *)
+  inclusive : bool;
+}
+
+type conjunct_class =
+  | Cat_eq of int * Expr.t (* e.a = rhs(u) on an int attribute *)
+  | Cat_ne of int * Expr.t (* e.a <> rhs(u) on an int attribute *)
+  | Lower of int * bound (* e.a >= / > rhs(u) *)
+  | Upper of int * bound (* e.a <= / < rhs(u) *)
+  | Residual of Expr.t (* anything else *)
+
+(* [e.a OP rhs] with [rhs] free of e.  The caller has already normalized the
+   orientation so the environment attribute is on the left. *)
+let classify_oriented op a rhs =
+  match op with
+  | Expr.Eq -> Cat_eq (a, rhs)
+  | Expr.Ne -> Cat_ne (a, rhs)
+  | Expr.Ge -> Lower (a, { value = rhs; inclusive = true })
+  | Expr.Gt -> Lower (a, { value = rhs; inclusive = false })
+  | Expr.Le -> Upper (a, { value = rhs; inclusive = true })
+  | Expr.Lt -> Upper (a, { value = rhs; inclusive = false })
+
+let flip_cmp = function
+  | Expr.Eq -> Expr.Eq
+  | Expr.Ne -> Expr.Ne
+  | Expr.Lt -> Expr.Gt
+  | Expr.Le -> Expr.Ge
+  | Expr.Gt -> Expr.Lt
+  | Expr.Ge -> Expr.Le
+
+let classify_conjunct (c : Expr.t) : conjunct_class =
+  match c with
+  | Expr.Cmp (op, Expr.EAttr a, rhs) when not (Expr.mentions_e rhs) ->
+    classify_oriented op a rhs
+  | Expr.Cmp (op, lhs, Expr.EAttr a) when not (Expr.mentions_e lhs) ->
+    classify_oriented (flip_cmp op) a lhs
+  | other -> Residual other
+
+type classified = {
+  cat_eqs : (int * Expr.t) list;
+  cat_nes : (int * Expr.t) list;
+  lowers : (int * bound) list;
+  uppers : (int * bound) list;
+  residuals : Expr.t list;
+}
+
+let classify (p : t) : classified =
+  let init = { cat_eqs = []; cat_nes = []; lowers = []; uppers = []; residuals = [] } in
+  let step acc c =
+    match classify_conjunct c with
+    | Cat_eq (a, rhs) -> { acc with cat_eqs = (a, rhs) :: acc.cat_eqs }
+    | Cat_ne (a, rhs) -> { acc with cat_nes = (a, rhs) :: acc.cat_nes }
+    | Lower (a, b) -> { acc with lowers = (a, b) :: acc.lowers }
+    | Upper (a, b) -> { acc with uppers = (a, b) :: acc.uppers }
+    | Residual e -> { acc with residuals = e :: acc.residuals }
+  in
+  let acc = List.fold_left step init p in
+  {
+    cat_eqs = List.rev acc.cat_eqs;
+    cat_nes = List.rev acc.cat_nes;
+    lowers = List.rev acc.lowers;
+    uppers = List.rev acc.uppers;
+    residuals = List.rev acc.residuals;
+  }
+
+(* The continuous attributes constrained by range bounds, deduplicated and
+   sorted: these become the dimensions of the layered range tree. *)
+let range_attrs cls =
+  let attrs = List.map fst cls.lowers @ List.map fst cls.uppers in
+  List.sort_uniq compare attrs
+
+let pp ppf (p : t) =
+  match p with
+  | [] -> Fmt.string ppf "true"
+  | _ -> Fmt.(list ~sep:(any " and ") Expr.pp) ppf p

@@ -1,0 +1,43 @@
+(** Conjunctive predicates and their classification for index planning
+    (Section 5.3). *)
+
+type t = Expr.t list
+
+val always_true : t
+val conjuncts : t -> Expr.t list
+val of_conjuncts : Expr.t list -> t
+
+(** Split nested [And]s into a conjunct list. *)
+val of_expr : Expr.t -> t
+
+val to_expr : t -> Expr.t
+val holds : Expr.ctx -> t -> bool
+
+type bound = { value : Expr.t; inclusive : bool }
+
+type conjunct_class =
+  | Cat_eq of int * Expr.t
+  | Cat_ne of int * Expr.t
+  | Lower of int * bound
+  | Upper of int * bound
+  | Residual of Expr.t
+
+(** Mirror a comparison operator across [=] (e.g. [<] becomes [>]). *)
+val flip_cmp : Expr.cmpop -> Expr.cmpop
+
+val classify_conjunct : Expr.t -> conjunct_class
+
+type classified = {
+  cat_eqs : (int * Expr.t) list;
+  cat_nes : (int * Expr.t) list;
+  lowers : (int * bound) list;
+  uppers : (int * bound) list;
+  residuals : Expr.t list;
+}
+
+val classify : t -> classified
+
+(** Continuous attributes under range bounds — the range-tree dimensions. *)
+val range_attrs : classified -> int list
+
+val pp : t Fmt.t

@@ -1,0 +1,55 @@
+(* Multiset relations.
+
+   The environment E is a multiset (Section 4: "it need not have keys"), and
+   intermediate script relations carry let-extended rows, so rows may be
+   longer than the schema arity; the schema always describes a prefix. *)
+
+open Sgl_util
+
+type t = {
+  schema : Schema.t;
+  rows : Tuple.t Varray.t;
+}
+
+let empty_row : Tuple.t = [||]
+
+let create schema = { schema; rows = Varray.create empty_row }
+
+let of_tuples schema tuples =
+  let t = create schema in
+  List.iter (fun row -> Varray.push t.rows row) tuples;
+  t
+
+let of_rows schema rows = { schema; rows }
+let schema t = t.schema
+let cardinality t = Varray.length t.rows
+let add t row = Varray.push t.rows row
+let row t i = Varray.get t.rows i
+let iter f t = Varray.iter f t.rows
+let iteri f t = Varray.iteri f t.rows
+let fold f init t = Varray.fold_left f init t.rows
+let to_list t = Varray.to_list t.rows
+let to_array t = Varray.to_array t.rows
+
+let map_rows f t =
+  let out = create t.schema in
+  iter (fun row -> add out (f row)) t;
+  out
+
+let filter_rows p t =
+  let out = create t.schema in
+  iter (fun row -> if p row then add out row) t;
+  out
+
+(* Multiset equality up to row order: sort printable forms and compare.
+   Only used by tests and assertions, so the cost is acceptable. *)
+let equal_as_multiset a b =
+  cardinality a = cardinality b
+  &&
+  let keyed r = List.sort compare (List.map Fmt.(str "%a" Tuple.pp) (to_list r)) in
+  keyed a = keyed b
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>%a (%d rows)@,%a@]" Schema.pp t.schema (cardinality t)
+    Fmt.(list ~sep:cut Tuple.pp)
+    (to_list t)

@@ -1,0 +1,26 @@
+(** Multiset relations over a schema.  Rows may be longer than the schema
+    arity when they carry [let]-extension slots. *)
+
+open Sgl_util
+
+type t
+
+val create : Schema.t -> t
+val of_tuples : Schema.t -> Tuple.t list -> t
+val of_rows : Schema.t -> Tuple.t Varray.t -> t
+val schema : t -> Schema.t
+val cardinality : t -> int
+val add : t -> Tuple.t -> unit
+val row : t -> int -> Tuple.t
+val iter : (Tuple.t -> unit) -> t -> unit
+val iteri : (int -> Tuple.t -> unit) -> t -> unit
+val fold : ('acc -> Tuple.t -> 'acc) -> 'acc -> t -> 'acc
+val to_list : t -> Tuple.t list
+val to_array : t -> Tuple.t array
+val map_rows : (Tuple.t -> Tuple.t) -> t -> t
+val filter_rows : (Tuple.t -> bool) -> t -> t
+
+(** Order-insensitive multiset equality (test helper). *)
+val equal_as_multiset : t -> t -> bool
+
+val pp : t Fmt.t

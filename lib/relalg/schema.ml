@@ -1,0 +1,121 @@
+(* Schemas for the environment relation E.
+
+   Section 4.2: each attribute carries a combination tag.  [Const] attributes
+   are unit state and may never be the direct subject of an effect; the
+   remaining tags say how simultaneous effects on the attribute merge:
+   [Sum] for stackable effects, [Max]/[Min] for non-stackable ones. *)
+
+type tag = Const | Sum | Max | Min | Pmax
+
+type attr = { name : string; ty : Value.ty; tag : tag }
+
+type t = {
+  attrs : attr array;
+  by_name : (string, int) Hashtbl.t;
+  key : int; (* index of the key attribute *)
+}
+
+exception Schema_error of string
+
+let schema_error fmt = Fmt.kstr (fun s -> raise (Schema_error s)) fmt
+
+let attr ?(tag = Const) name ty = { name; ty; tag }
+
+let create attrs =
+  let attrs = Array.of_list attrs in
+  let by_name = Hashtbl.create (Array.length attrs * 2) in
+  Array.iteri
+    (fun i a ->
+      if Hashtbl.mem by_name a.name then schema_error "duplicate attribute %S" a.name;
+      Hashtbl.add by_name a.name i)
+    attrs;
+  let key =
+    match Hashtbl.find_opt by_name "key" with
+    | None -> schema_error "schema must declare a \"key\" attribute"
+    | Some i -> i
+  in
+  if attrs.(key).ty <> Value.TInt then schema_error "\"key\" must have type int";
+  if attrs.(key).tag <> Const then schema_error "\"key\" must be const";
+  { attrs; by_name; key }
+
+let arity t = Array.length t.attrs
+let key_index t = t.key
+let attr_at t i = t.attrs.(i)
+let name_at t i = t.attrs.(i).name
+let ty_at t i = t.attrs.(i).ty
+let tag_at t i = t.attrs.(i).tag
+let find_opt t name = Hashtbl.find_opt t.by_name name
+
+let find t name =
+  match find_opt t name with
+  | Some i -> i
+  | None -> schema_error "unknown attribute %S" name
+
+let mem t name = Hashtbl.mem t.by_name name
+let attrs t = Array.to_list t.attrs
+
+(* Indices of all non-const (effect) attributes, in schema order. *)
+let effect_indices t =
+  let acc = ref [] in
+  for i = Array.length t.attrs - 1 downto 0 do
+    if t.attrs.(i).tag <> Const then acc := i :: !acc
+  done;
+  !acc
+
+let const_indices t =
+  let acc = ref [] in
+  for i = Array.length t.attrs - 1 downto 0 do
+    if t.attrs.(i).tag = Const then acc := i :: !acc
+  done;
+  !acc
+
+(* The neutral element for an effect attribute: contributing it leaves the
+   combined effect unchanged (0 for sum, -inf for max, +inf for min). *)
+let neutral_of t i =
+  let a = t.attrs.(i) in
+  match (a.tag, a.ty) with
+  | Const, _ -> schema_error "attribute %S is const and has no neutral element" a.name
+  | Sum, Value.TInt -> Value.Int 0
+  | Sum, Value.TFloat -> Value.Float 0.
+  | Sum, Value.TVec -> Value.Vec Sgl_util.Vec2.zero
+  | Max, Value.TInt -> Value.Int min_int
+  | Max, Value.TFloat -> Value.Float neg_infinity
+  | Min, Value.TInt -> Value.Int max_int
+  | Min, Value.TFloat -> Value.Float infinity
+  | Pmax, Value.TVec -> Value.Vec (Sgl_util.Vec2.make neg_infinity 0.)
+  | Pmax, (Value.TInt | Value.TFloat | Value.TBool) ->
+    schema_error "priority-set attribute %S must have type vec (priority, value)" a.name
+  | (Sum | Max | Min), Value.TBool -> schema_error "bool attribute %S cannot be an effect" a.name
+  | (Max | Min), Value.TVec -> schema_error "vec attribute %S cannot combine by min/max" a.name
+
+(* Merge one contribution into an accumulated effect value. *)
+let combine_values t i acc v =
+  match t.attrs.(i).tag with
+  | Const ->
+    if not (Value.equal acc v) then
+      schema_error "conflicting values for const attribute %S" t.attrs.(i).name;
+    acc
+  | Sum -> Value.add acc v
+  | Max -> if Value.compare_num v acc > 0 then v else acc
+  | Min -> if Value.compare_num v acc < 0 then v else acc
+  | Pmax ->
+    (* Section 2.2: absolute "set" effects are non-stackable, determined by
+       maximum priority (the x component); ties prefer the larger value so
+       the result is order-independent. *)
+    let px = Value.vec_x acc and vx = Value.vec_x v in
+    let c = Value.compare_num vx px in
+    if c > 0 then v
+    else if c < 0 then acc
+    else if Value.compare_num (Value.vec_y v) (Value.vec_y acc) > 0 then v
+    else acc
+
+let tag_name = function
+  | Const -> "const"
+  | Sum -> "sum"
+  | Max -> "max"
+  | Min -> "min"
+  | Pmax -> "pmax"
+
+let pp ppf t =
+  let pp_attr ppf a = Fmt.pf ppf "%s:%s/%s" a.name (Value.ty_name a.ty) (tag_name a.tag) in
+  Fmt.pf ppf "E(%a)" Fmt.(array ~sep:(any ", ") pp_attr) t.attrs

@@ -1,0 +1,50 @@
+(** Environment-relation schemas with effect-combination tags (Section 4.2).
+
+    Every schema must declare an int-typed, const-tagged attribute named
+    ["key"] identifying the unit. *)
+
+(** [Pmax] realizes Section 2.2's absolute "set" effects: a vec-typed
+    attribute holding (priority, value), combined by maximum priority. *)
+type tag = Const | Sum | Max | Min | Pmax
+
+type attr = { name : string; ty : Value.ty; tag : tag }
+
+type t
+
+exception Schema_error of string
+
+(** Raise a formatted {!Schema_error}. *)
+val schema_error : ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+(** [attr ?tag name ty] builds an attribute description; [tag] defaults to
+    [Const]. *)
+val attr : ?tag:tag -> string -> Value.ty -> attr
+
+(** Raises {!Schema_error} on duplicate names or a missing/ill-typed key. *)
+val create : attr list -> t
+
+val arity : t -> int
+val key_index : t -> int
+val attr_at : t -> int -> attr
+val name_at : t -> int -> string
+val ty_at : t -> int -> Value.ty
+val tag_at : t -> int -> tag
+val find_opt : t -> string -> int option
+
+(** Raises {!Schema_error} when the attribute does not exist. *)
+val find : t -> string -> int
+
+val mem : t -> string -> bool
+val attrs : t -> attr list
+val effect_indices : t -> int list
+val const_indices : t -> int list
+
+(** Identity element of the attribute's combination operation. *)
+val neutral_of : t -> int -> Value.t
+
+(** [combine_values t i acc v] merges contribution [v] into [acc] according
+    to attribute [i]'s tag. *)
+val combine_values : t -> int -> Value.t -> Value.t -> Value.t
+
+val tag_name : tag -> string
+val pp : t Fmt.t

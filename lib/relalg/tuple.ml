@@ -1,0 +1,62 @@
+(* Rows of the environment relation: a value per schema attribute.
+
+   SGL [let]-bindings extend the current unit record (Section 4.3), so a
+   tuple may carry extra slots beyond the schema arity during script
+   evaluation; those slots are stripped before effects are combined. *)
+
+type t = Value.t array
+
+let create schema =
+  Array.init (Schema.arity schema) (fun i -> Value.zero_of (Schema.ty_at schema i))
+
+let of_list schema values =
+  let arr = Array.of_list values in
+  if Array.length arr <> Schema.arity schema then
+    Schema.schema_error "tuple arity %d does not match schema arity %d"
+      (Array.length arr) (Schema.arity schema);
+  Array.iteri
+    (fun i v ->
+      let expected = Schema.ty_at schema i in
+      let ok =
+        match (expected, v) with
+        | Value.TFloat, Value.Int _ -> true (* widen on construction *)
+        | _ -> Value.ty_of v = expected
+      in
+      if not ok then
+        Schema.schema_error "attribute %S expects %s, got %s"
+          (Schema.name_at schema i)
+          (Value.ty_name expected)
+          (Value.ty_name (Value.ty_of v)))
+    arr;
+  Array.mapi
+    (fun i v ->
+      match (Schema.ty_at schema i, v) with
+      | Value.TFloat, Value.Int n -> Value.Float (float_of_int n)
+      | _ -> v)
+    arr
+
+let get (t : t) i = t.(i)
+let set (t : t) i v = t.(i) <- v
+let copy = Array.copy
+let arity = Array.length
+let key schema (t : t) = Value.to_int t.(Schema.key_index schema)
+
+(* Extend with one extra slot (for a let-binding); returns a fresh tuple. *)
+let extend (t : t) v =
+  let n = Array.length t in
+  let out = Array.make (n + 1) v in
+  Array.blit t 0 out 0 n;
+  out
+
+(* Drop any slots beyond the schema arity. *)
+let restrict schema (t : t) =
+  let n = Schema.arity schema in
+  if Array.length t = n then t else Array.sub t 0 n
+
+let equal (a : t) (b : t) =
+  Array.length a = Array.length b
+  &&
+  let rec go i = i >= Array.length a || (Value.equal a.(i) b.(i) && go (i + 1)) in
+  go 0
+
+let pp ppf (t : t) = Fmt.pf ppf "(%a)" Fmt.(array ~sep:(any ", ") Value.pp) t

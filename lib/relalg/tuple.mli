@@ -1,0 +1,27 @@
+(** Rows of the environment relation. *)
+
+type t = Value.t array
+
+(** A tuple of zero values for the schema. *)
+val create : Schema.t -> t
+
+(** Builds and type-checks a tuple; ints widen into float-typed attributes.
+    Raises {!Schema.Schema_error} on arity or type mismatch. *)
+val of_list : Schema.t -> Value.t list -> t
+
+val get : t -> int -> Value.t
+val set : t -> int -> Value.t -> unit
+val copy : t -> t
+val arity : t -> int
+
+(** The unit's key value. *)
+val key : Schema.t -> t -> int
+
+(** Fresh tuple with one appended slot (a [let] extension). *)
+val extend : t -> Value.t -> t
+
+(** Fresh tuple truncated to the schema arity (drops [let] extensions). *)
+val restrict : Schema.t -> t -> t
+
+val equal : t -> t -> bool
+val pp : t Fmt.t

@@ -1,0 +1,104 @@
+(* The surface abstract syntax of SGL (Section 4.1).
+
+   Names are unresolved here: [T_dot (T_var "u", "posx")] may be an attribute
+   access or a vector-component access; the typechecker decides.  The
+   [Resolve] pass lowers this AST into the closed core IR executed by both
+   the reference interpreter and the optimizing compiler. *)
+
+open Sgl_relalg
+
+type pos = { line : int; col : int }
+
+let no_pos = { line = 0; col = 0 }
+
+(* Terms: constants, variables, attribute/component access, arithmetic,
+   comparisons, boolean structure, vectors, built-in functions, and calls to
+   user-declared aggregates. *)
+type term =
+  | T_int of int
+  | T_float of float
+  | T_bool of bool
+  | T_var of string * pos
+  | T_dot of term * string * pos (* u.posx, e.key, c.x *)
+  | T_binop of Expr.binop * term * term
+  | T_cmp of Expr.cmpop * term * term
+  | T_and of term * term
+  | T_or of term * term
+  | T_not of term
+  | T_neg of term
+  | T_vec of term * term (* (x, y) vector literal *)
+  | T_call of string * term list * pos (* aggregate call or built-in fn *)
+
+(* Action functions (the paper's grammar, statement-list flavoured). *)
+type action =
+  | A_skip
+  | A_let of string * term * action (* (let v = t) a *)
+  | A_seq of action * action (* a1; a2 *)
+  | A_if of term * action * action (* if c then a1 else a2 (else may be A_skip) *)
+  | A_perform of string * term list * pos (* perform F(args) *)
+
+(* One component of an aggregate declaration body (form (5)). *)
+type agg_component =
+  | G_count
+  | G_sum of term
+  | G_avg of term
+  | G_stddev of term
+  | G_min of term
+  | G_max of term
+  | G_argmin of term * term (* objective ; result *)
+  | G_argmax of term * term
+  | G_nearest of term * term * term * term * term (* e-x, e-y, u-x, u-y ; result *)
+
+(* Effect clauses of an action declaration (form (4)). *)
+type effect_target =
+  | E_self
+  | E_key of term
+  | E_all of term (* condition over u and e *)
+
+type effect_clause = {
+  target : effect_target;
+  updates : (string * term) list; (* attr <- contribution *)
+}
+
+type decl =
+  | D_const of string * Value.t
+  | D_aggregate of {
+      name : string;
+      params : string list; (* parameters beyond the implicit unit u *)
+      components : agg_component list; (* 1 (scalar) or 2 (vector) *)
+      where_ : term option;
+      default : term option;
+      pos : pos;
+    }
+  | D_action of {
+      name : string;
+      params : string list;
+      clauses : effect_clause list;
+      pos : pos;
+    }
+  | D_script of {
+      name : string;
+      params : string list;
+      body : action;
+      pos : pos;
+    }
+
+type program = decl list
+
+let decl_name = function
+  | D_const (n, _) -> n
+  | D_aggregate { name; _ } -> name
+  | D_action { name; _ } -> name
+  | D_script { name; _ } -> name
+
+let decl_pos = function
+  | D_const _ -> no_pos
+  | D_aggregate { pos; _ } -> pos
+  | D_action { pos; _ } -> pos
+  | D_script { pos; _ } -> pos
+
+(* Find a declaration by name. *)
+let find_decl (p : program) name = List.find_opt (fun d -> decl_name d = name) p
+
+let scripts (p : program) =
+  List.filter_map (function D_script s -> Some s.name | D_const _ | D_aggregate _ | D_action _ -> None) p

@@ -1,0 +1,43 @@
+(* The compilation pipeline: source text -> checked, normalized, closed
+   core IR.  This is the front half of Figure 2's "Compiler" box; the back
+   half (planning and optimization) lives in [sgl_qopt]. *)
+
+open Sgl_relalg
+
+type error =
+  | Lex of string
+  | Parse of string
+  | Type of string
+  | Resolve of string
+
+exception Compile_error of error
+
+let error_to_string = function
+  | Lex m -> "lexical error: " ^ m
+  | Parse m -> "parse error: " ^ m
+  | Type m -> "type error: " ^ m
+  | Resolve m -> "resolution error: " ^ m
+
+let () =
+  Printexc.register_printer (function
+    | Compile_error e -> Some ("Compile_error: " ^ error_to_string e)
+    | _ -> None)
+
+let compile_ast ?(consts : (string * Value.t) list = []) ~(schema : Schema.t)
+    (ast : Ast.program) : Core_ir.program =
+  (try Typecheck.check ~consts ~schema ast with
+  | Typecheck.Type_error m -> raise (Compile_error (Type m)));
+  let ast = Normalize.normalize ast in
+  try Resolve.resolve ~consts ~schema ast with
+  | Resolve.Resolve_error m -> raise (Compile_error (Resolve m))
+
+let parse (src : string) : Ast.program =
+  try Parser.parse_string src with
+  | Lexer.Lex_error m -> raise (Compile_error (Lex m))
+  | Parser.Parse_error m -> raise (Compile_error (Parse m))
+
+(* [compile ?consts ~schema src] runs the full pipeline.  Raises
+   {!Compile_error} describing the first failing stage. *)
+let compile ?(consts : (string * Value.t) list = []) ~(schema : Schema.t) (src : string) :
+    Core_ir.program =
+  compile_ast ~consts ~schema (parse src)

@@ -1,0 +1,24 @@
+(** The compilation pipeline: source text -> parsed -> type-checked ->
+    normalized -> resolved core IR. *)
+
+open Sgl_relalg
+
+type error =
+  | Lex of string
+  | Parse of string
+  | Type of string
+  | Resolve of string
+
+exception Compile_error of error
+
+val error_to_string : error -> string
+
+(** Parse only.  Raises {!Compile_error} ([Lex] or [Parse]). *)
+val parse : string -> Ast.program
+
+(** Check, normalize and resolve an already-parsed program. *)
+val compile_ast :
+  ?consts:(string * Value.t) list -> schema:Schema.t -> Ast.program -> Core_ir.program
+
+(** The full pipeline.  Raises {!Compile_error} naming the failing stage. *)
+val compile : ?consts:(string * Value.t) list -> schema:Schema.t -> string -> Core_ir.program

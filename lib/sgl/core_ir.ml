@@ -1,0 +1,89 @@
+(* The closed core intermediate representation of SGL.
+
+   After resolution, every name is gone: terms are slot-based [Expr]s, every
+   aggregate call site has become an entry in the program's aggregate
+   instance table, and every [perform] has been inlined down to primitive
+   effect clauses.  Both the reference interpreter (Section 4.3 semantics)
+   and the optimizing set-at-a-time compiler (Section 5) consume this IR. *)
+
+open Sgl_relalg
+
+type effect_target =
+  | Self
+  | Key of Expr.t (* expression over u naming the affected unit *)
+  | All of Predicate.t (* conjunctive condition over u and e *)
+
+type effect_clause = {
+  target : effect_target;
+  updates : (int * Expr.t) list; (* effect attribute slot <- contribution, over u and e *)
+}
+
+type t =
+  | Skip
+  | Let of Expr.t * t (* push one unit slot holding the term's value *)
+  | Let_agg of int * t (* push one unit slot holding aggregate instance #i *)
+  | Seq of t * t
+  | If of Expr.t * t * t
+  | Effects of effect_clause list (* one fully-resolved perform *)
+
+type script = {
+  name : string;
+  body : t;
+}
+
+type program = {
+  schema : Schema.t;
+  (* Deduplicated aggregate call sites: scripts calling the same aggregate
+     with the same arguments share the instance — and hence the index. *)
+  aggregates : Aggregate.t array;
+  scripts : script list;
+}
+
+let find_script p name = List.find_opt (fun s -> s.name = name) p.scripts
+
+(* Aggregate instance ids used by an action, in first-use order. *)
+let aggregates_used (a : t) : int list =
+  let acc = ref [] in
+  let rec go = function
+    | Skip | Effects _ -> ()
+    | Let (_, k) -> go k
+    | Let_agg (i, k) ->
+      if not (List.mem i !acc) then acc := i :: !acc;
+      go k
+    | Seq (a, b) | If (_, a, b) ->
+      go a;
+      go b
+  in
+  go a;
+  List.rev !acc
+
+(* Count of structural nodes, used by optimizer statistics. *)
+let size (a : t) : int =
+  let rec go = function
+    | Skip -> 1
+    | Effects _ -> 1
+    | Let (_, k) | Let_agg (_, k) -> 1 + go k
+    | Seq (a, b) | If (_, a, b) -> 1 + go a + go b
+  in
+  go a
+
+let rec pp ppf = function
+  | Skip -> Fmt.string ppf "skip"
+  | Let (e, k) -> Fmt.pf ppf "@[<v>let _ = %a in@,%a@]" Expr.pp e pp k
+  | Let_agg (i, k) -> Fmt.pf ppf "@[<v>let _ = agg#%d in@,%a@]" i pp k
+  | Seq (a, b) -> Fmt.pf ppf "@[<v>%a;@,%a@]" pp a pp b
+  | If (c, a, Skip) -> Fmt.pf ppf "@[<v>if %a then {@;<0 2>%a@,}@]" Expr.pp c pp a
+  | If (c, a, b) ->
+    Fmt.pf ppf "@[<v>if %a then {@;<0 2>%a@,} else {@;<0 2>%a@,}@]" Expr.pp c pp a pp b
+  | Effects clauses ->
+    let pp_target ppf = function
+      | Self -> Fmt.string ppf "self"
+      | Key e -> Fmt.pf ppf "key(%a)" Expr.pp e
+      | All p -> Fmt.pf ppf "all(%a)" Predicate.pp p
+    in
+    let pp_clause ppf c =
+      Fmt.pf ppf "on %a { %a }" pp_target c.target
+        Fmt.(list ~sep:(any "; ") (pair ~sep:(any " <- ") int Expr.pp))
+        c.updates
+    in
+    Fmt.pf ppf "@[<v>%a@]" Fmt.(list ~sep:cut pp_clause) clauses

@@ -1,0 +1,91 @@
+(* Reference interpreter: the direct Section 4.3 semantics.
+
+   Evaluates one unit's compiled script tuple-at-a-time against the full
+   environment, computing every aggregate with a naive O(n) scan and
+   emitting raw effect rows.  The optimizing executor in [sgl_qopt] must
+   produce a combined environment identical to the combination of these
+   rows; that equivalence is the core correctness property of the system. *)
+
+open Sgl_relalg
+
+(* An effect row is a copy of the target's row whose effect attributes are
+   reset to their initialized (zero) values and then overwritten by the
+   clause's updates; the combination operator later folds all rows. *)
+let effect_row schema (target_row : Tuple.t) (updates : (int * Expr.t) list) ctx : Tuple.t =
+  let row = Tuple.restrict schema (Tuple.copy target_row) in
+  List.iter
+    (fun i -> Tuple.set row i (Value.zero_of (Schema.ty_at schema i)))
+    (Schema.effect_indices schema);
+  List.iter (fun (i, expr) -> Tuple.set row i (Expr.eval ctx expr)) updates;
+  row
+
+let apply_effects ~(prog : Core_ir.program) ~(units : Tuple.t array)
+    ~(find_key : int -> Tuple.t option) ~(rand : int -> int) ~(u : Tuple.t)
+    (clauses : Core_ir.effect_clause list) ~(emit : Tuple.t -> unit) : unit =
+  let schema = prog.Core_ir.schema in
+  List.iter
+    (fun (c : Core_ir.effect_clause) ->
+      match c.Core_ir.target with
+      | Core_ir.Self ->
+        let ctx = { Expr.u; e = Some u; rand } in
+        emit (effect_row schema u c.Core_ir.updates ctx)
+      | Core_ir.Key key_expr -> begin
+        let key = Expr.eval_int { Expr.u; e = None; rand } key_expr in
+        match find_key key with
+        | None -> () (* the designated unit does not exist; the effect fizzles *)
+        | Some target ->
+          let ctx = { Expr.u; e = Some target; rand } in
+          emit (effect_row schema target c.Core_ir.updates ctx)
+      end
+      | Core_ir.All pred ->
+        Array.iter
+          (fun target ->
+            let ctx = { Expr.u; e = Some target; rand } in
+            if Predicate.holds ctx pred then emit (effect_row schema target c.Core_ir.updates ctx))
+          units)
+    clauses
+
+(* Run one unit's action; [u] may grow let-extension slots as we descend. *)
+let rec run_action ~(prog : Core_ir.program) ~(units : Tuple.t array)
+    ~(find_key : int -> Tuple.t option) ~(rand : int -> int) ~(u : Tuple.t) (a : Core_ir.t)
+    ~(emit : Tuple.t -> unit) : unit =
+  match a with
+  | Core_ir.Skip -> ()
+  | Core_ir.Let (expr, k) ->
+    let v = Expr.eval { Expr.u; e = None; rand } expr in
+    run_action ~prog ~units ~find_key ~rand ~u:(Tuple.extend u v) k ~emit
+  | Core_ir.Let_agg (i, k) ->
+    let agg = prog.Core_ir.aggregates.(i) in
+    let v = Aggregate.eval_naive ~units ~ctx:{ Expr.u; e = None; rand } agg in
+    run_action ~prog ~units ~find_key ~rand ~u:(Tuple.extend u v) k ~emit
+  | Core_ir.Seq (a1, a2) ->
+    run_action ~prog ~units ~find_key ~rand ~u a1 ~emit;
+    run_action ~prog ~units ~find_key ~rand ~u a2 ~emit
+  | Core_ir.If (c, a1, a2) ->
+    if Expr.eval_bool { Expr.u; e = None; rand } c then
+      run_action ~prog ~units ~find_key ~rand ~u a1 ~emit
+    else run_action ~prog ~units ~find_key ~rand ~u a2 ~emit
+  | Core_ir.Effects clauses -> apply_effects ~prog ~units ~find_key ~rand ~u clauses ~emit
+
+(* Build the key -> row map for one tick's environment. *)
+let key_table schema (units : Tuple.t array) : (int, Tuple.t) Hashtbl.t =
+  let table = Hashtbl.create (Array.length units * 2) in
+  Array.iter (fun row -> Hashtbl.replace table (Tuple.key schema row) row) units;
+  table
+
+(* tick(E, rho) for one script over all units (equation (6)): every unit
+   runs [script]; the result is the effect relation main(+) before the final
+   combination with E (the engine performs that combination and the
+   post-processing step). *)
+let run_script ~(prog : Core_ir.program) ~(script : Core_ir.script) ~(units : Tuple.t array)
+    ~(rand_for : Tuple.t -> int -> int) : Relation.t =
+  let schema = prog.Core_ir.schema in
+  let table = key_table schema units in
+  let find_key k = Hashtbl.find_opt table k in
+  let out = Relation.create schema in
+  Array.iter
+    (fun u ->
+      run_action ~prog ~units ~find_key ~rand:(rand_for u) ~u script.Core_ir.body
+        ~emit:(Relation.add out))
+    units;
+  out

@@ -1,0 +1,32 @@
+(** Reference interpreter: the direct Section 4.3 semantics, tuple-at-a-time
+    with O(n) aggregate scans.  The optimizing executor is property-tested
+    against it. *)
+
+open Sgl_relalg
+
+(** Build one effect row: the target's row with effect attributes reset to
+    their initialized zeros and the clause's updates applied. *)
+val effect_row : Schema.t -> Tuple.t -> (int * Expr.t) list -> Expr.ctx -> Tuple.t
+
+(** Run one unit's compiled action, emitting raw effect rows. *)
+val run_action :
+  prog:Core_ir.program ->
+  units:Tuple.t array ->
+  find_key:(int -> Tuple.t option) ->
+  rand:(int -> int) ->
+  u:Tuple.t ->
+  Core_ir.t ->
+  emit:(Tuple.t -> unit) ->
+  unit
+
+(** Key -> row table for one tick's environment. *)
+val key_table : Schema.t -> Tuple.t array -> (int, Tuple.t) Hashtbl.t
+
+(** Run [script] for every unit (equation (6) before the final combination
+    with E); returns the multiset of emitted effect rows. *)
+val run_script :
+  prog:Core_ir.program ->
+  script:Core_ir.script ->
+  units:Tuple.t array ->
+  rand_for:(Tuple.t -> int -> int) ->
+  Relation.t

@@ -1,0 +1,246 @@
+(* Hand-written lexer for SGL concrete syntax.
+
+   Comments: [#] and [//] to end of line.  Keywords are reserved; aggregate
+   component names (count, sum, ...) stay ordinary identifiers and are
+   recognized contextually by the parser. *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  (* keywords *)
+  | KW_let
+  | KW_if
+  | KW_then
+  | KW_else
+  | KW_perform
+  | KW_skip
+  | KW_on
+  | KW_self
+  | KW_key
+  | KW_all
+  | KW_aggregate
+  | KW_action
+  | KW_script
+  | KW_const
+  | KW_where
+  | KW_default
+  | KW_and
+  | KW_or
+  | KW_not
+  | KW_mod
+  | KW_true
+  | KW_false
+  (* punctuation *)
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | COMMA
+  | SEMI
+  | DOT
+  | ARROW (* <- *)
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | EOF
+
+type lexed = { token : token; line : int; col : int }
+
+exception Lex_error of string
+
+let lex_error line col fmt =
+  Fmt.kstr (fun s -> raise (Lex_error (Fmt.str "line %d, column %d: %s" line col s))) fmt
+
+let keyword_of_string = function
+  | "let" -> Some KW_let
+  | "if" -> Some KW_if
+  | "then" -> Some KW_then
+  | "else" -> Some KW_else
+  | "perform" -> Some KW_perform
+  | "skip" -> Some KW_skip
+  | "on" -> Some KW_on
+  | "self" -> Some KW_self
+  | "key" -> Some KW_key
+  | "all" -> Some KW_all
+  | "aggregate" -> Some KW_aggregate
+  | "action" -> Some KW_action
+  | "script" -> Some KW_script
+  | "const" -> Some KW_const
+  | "where" -> Some KW_where
+  | "default" -> Some KW_default
+  | "and" -> Some KW_and
+  | "or" -> Some KW_or
+  | "not" -> Some KW_not
+  | "mod" -> Some KW_mod
+  | "true" -> Some KW_true
+  | "false" -> Some KW_false
+  | _ -> None
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize (src : string) : lexed list =
+  let n = String.length src in
+  let tokens = ref [] in
+  let line = ref 1 and col = ref 1 in
+  let i = ref 0 in
+  let emit token l c = tokens := { token; line = l; col = c } :: !tokens in
+  let advance () =
+    if !i < n && src.[!i] = '\n' then begin
+      incr line;
+      col := 1
+    end
+    else incr col;
+    incr i
+  in
+  let skip_line () =
+    while !i < n && src.[!i] <> '\n' do
+      advance ()
+    done
+  in
+  while !i < n do
+    let c = src.[!i] in
+    let l0 = !line and c0 = !col in
+    if c = ' ' || c = '\t' || c = '\r' || c = '\n' then advance ()
+    else if c = '#' then skip_line ()
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '/' then skip_line ()
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do
+        advance ()
+      done;
+      let word = String.sub src start (!i - start) in
+      match keyword_of_string word with
+      | Some kw -> emit kw l0 c0
+      | None -> emit (IDENT word) l0 c0
+    end
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit src.[!i] do
+        advance ()
+      done;
+      (* A '.' begins a fractional part only when followed by a digit, so
+         field access like [3.x] still lexes as INT DOT IDENT. *)
+      if !i + 1 < n && src.[!i] = '.' && is_digit src.[!i + 1] then begin
+        advance ();
+        while !i < n && is_digit src.[!i] do
+          advance ()
+        done;
+        emit (FLOAT (float_of_string (String.sub src start (!i - start)))) l0 c0
+      end
+      else begin
+        let digits = String.sub src start (!i - start) in
+        match int_of_string_opt digits with
+        | Some v -> emit (INT v) l0 c0
+        | None -> lex_error l0 c0 "integer literal %s does not fit" digits
+      end
+    end
+    else begin
+      let two =
+        if !i + 1 < n then Some (String.sub src !i 2) else None
+      in
+      match two with
+      | Some "<-" ->
+        advance ();
+        advance ();
+        emit ARROW l0 c0
+      | Some "<=" ->
+        advance ();
+        advance ();
+        emit LE l0 c0
+      | Some ">=" ->
+        advance ();
+        advance ();
+        emit GE l0 c0
+      | Some "<>" ->
+        advance ();
+        advance ();
+        emit NE l0 c0
+      | Some "!=" ->
+        advance ();
+        advance ();
+        emit NE l0 c0
+      | Some "==" ->
+        advance ();
+        advance ();
+        emit EQ l0 c0
+      | _ ->
+        advance ();
+        let token =
+          match c with
+          | '(' -> LPAREN
+          | ')' -> RPAREN
+          | '{' -> LBRACE
+          | '}' -> RBRACE
+          | ',' -> COMMA
+          | ';' -> SEMI
+          | '.' -> DOT
+          | '=' -> EQ
+          | '<' -> LT
+          | '>' -> GT
+          | '+' -> PLUS
+          | '-' -> MINUS
+          | '*' -> STAR
+          | '/' -> SLASH
+          | _ -> lex_error l0 c0 "unexpected character %C" c
+        in
+        emit token l0 c0
+    end
+  done;
+  emit EOF !line !col;
+  List.rev !tokens
+
+let token_name = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | INT i -> Printf.sprintf "integer %d" i
+  | FLOAT f -> Printf.sprintf "float %g" f
+  | KW_let -> "'let'"
+  | KW_if -> "'if'"
+  | KW_then -> "'then'"
+  | KW_else -> "'else'"
+  | KW_perform -> "'perform'"
+  | KW_skip -> "'skip'"
+  | KW_on -> "'on'"
+  | KW_self -> "'self'"
+  | KW_key -> "'key'"
+  | KW_all -> "'all'"
+  | KW_aggregate -> "'aggregate'"
+  | KW_action -> "'action'"
+  | KW_script -> "'script'"
+  | KW_const -> "'const'"
+  | KW_where -> "'where'"
+  | KW_default -> "'default'"
+  | KW_and -> "'and'"
+  | KW_or -> "'or'"
+  | KW_not -> "'not'"
+  | KW_mod -> "'mod'"
+  | KW_true -> "'true'"
+  | KW_false -> "'false'"
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | LBRACE -> "'{'"
+  | RBRACE -> "'}'"
+  | COMMA -> "','"
+  | SEMI -> "';'"
+  | DOT -> "'.'"
+  | ARROW -> "'<-'"
+  | EQ -> "'='"
+  | NE -> "'<>'"
+  | LT -> "'<'"
+  | LE -> "'<='"
+  | GT -> "'>'"
+  | GE -> "'>='"
+  | PLUS -> "'+'"
+  | MINUS -> "'-'"
+  | STAR -> "'*'"
+  | SLASH -> "'/'"
+  | EOF -> "end of input"

@@ -1,0 +1,60 @@
+(** Hand-written lexer for SGL concrete syntax. *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | KW_let
+  | KW_if
+  | KW_then
+  | KW_else
+  | KW_perform
+  | KW_skip
+  | KW_on
+  | KW_self
+  | KW_key
+  | KW_all
+  | KW_aggregate
+  | KW_action
+  | KW_script
+  | KW_const
+  | KW_where
+  | KW_default
+  | KW_and
+  | KW_or
+  | KW_not
+  | KW_mod
+  | KW_true
+  | KW_false
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | COMMA
+  | SEMI
+  | DOT
+  | ARROW
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | EOF
+
+(** A token with its source position (1-based line and column). *)
+type lexed = { token : token; line : int; col : int }
+
+exception Lex_error of string
+
+(** [tokenize src] lexes a whole source string; the result always ends with
+    {!EOF}.  Comments run from [#] or [//] to end of line.  Raises
+    {!Lex_error} on an unexpected character. *)
+val tokenize : string -> lexed list
+
+(** Human-readable token name for error messages. *)
+val token_name : token -> string

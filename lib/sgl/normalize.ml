@@ -1,0 +1,154 @@
+(* Normal-form transformation (Section 5.1): aggregate functions may only
+   occur as the entire right-hand side of a let-statement.
+
+   [if agg(...) = 3 then f] becomes [let __agg_0 = agg(...); if __agg_0 = 3
+   then f].  The fresh names use the reserved "__" prefix, which the
+   typechecker forbids in user programs. *)
+
+module String_set = Set.Make (String)
+
+let aggregate_names (p : Ast.program) : String_set.t =
+  List.fold_left
+    (fun acc d ->
+      match d with
+      | Ast.D_aggregate { name; _ } -> String_set.add name acc
+      | Ast.D_const _ | Ast.D_action _ | Ast.D_script _ -> acc)
+    String_set.empty p
+
+let fresh counter =
+  let n = !counter in
+  incr counter;
+  Printf.sprintf "__agg_%d" n
+
+(* Hoist every aggregate call out of [t], innermost first.  Returns the
+   bindings to emit (in order) and the residual term. *)
+let rec hoist_term is_agg counter (t : Ast.term) : (string * Ast.term) list * Ast.term =
+  match t with
+  | Ast.T_int _ | Ast.T_float _ | Ast.T_bool _ | Ast.T_var _ -> ([], t)
+  | Ast.T_dot (base, f, p) ->
+    let bs, base' = hoist_term is_agg counter base in
+    (bs, Ast.T_dot (base', f, p))
+  | Ast.T_binop (op, a, b) ->
+    let bsa, a' = hoist_term is_agg counter a in
+    let bsb, b' = hoist_term is_agg counter b in
+    (bsa @ bsb, Ast.T_binop (op, a', b'))
+  | Ast.T_cmp (op, a, b) ->
+    let bsa, a' = hoist_term is_agg counter a in
+    let bsb, b' = hoist_term is_agg counter b in
+    (bsa @ bsb, Ast.T_cmp (op, a', b'))
+  | Ast.T_and (a, b) ->
+    let bsa, a' = hoist_term is_agg counter a in
+    let bsb, b' = hoist_term is_agg counter b in
+    (bsa @ bsb, Ast.T_and (a', b'))
+  | Ast.T_or (a, b) ->
+    let bsa, a' = hoist_term is_agg counter a in
+    let bsb, b' = hoist_term is_agg counter b in
+    (bsa @ bsb, Ast.T_or (a', b'))
+  | Ast.T_not a ->
+    let bs, a' = hoist_term is_agg counter a in
+    (bs, Ast.T_not a')
+  | Ast.T_neg a ->
+    let bs, a' = hoist_term is_agg counter a in
+    (bs, Ast.T_neg a')
+  | Ast.T_vec (a, b) ->
+    let bsa, a' = hoist_term is_agg counter a in
+    let bsb, b' = hoist_term is_agg counter b in
+    (bsa @ bsb, Ast.T_vec (a', b'))
+  | Ast.T_call (name, args, p) ->
+    let bss, args' = List.split (List.map (hoist_term is_agg counter) args) in
+    let bs = List.concat bss in
+    if is_agg name then begin
+      let v = fresh counter in
+      (bs @ [ (v, Ast.T_call (name, args', p)) ], Ast.T_var (v, p))
+    end
+    else (bs, Ast.T_call (name, args', p))
+
+let wrap bindings body =
+  List.fold_right (fun (v, t) acc -> Ast.A_let (v, t, acc)) bindings body
+
+(* Hoist for a let right-hand side: a top-level aggregate call stays put
+   (it is already in normal form); only nested calls move. *)
+let hoist_let_rhs is_agg counter (t : Ast.term) =
+  match t with
+  | Ast.T_call (name, args, p) when is_agg name ->
+    let bss, args' = List.split (List.map (hoist_term is_agg counter) args) in
+    (List.concat bss, Ast.T_call (name, args', p))
+  | _ -> hoist_term is_agg counter t
+
+let rec normalize_action is_agg counter (a : Ast.action) : Ast.action =
+  match a with
+  | Ast.A_skip -> Ast.A_skip
+  | Ast.A_let (v, t, k) ->
+    let bs, t' = hoist_let_rhs is_agg counter t in
+    wrap bs (Ast.A_let (v, t', normalize_action is_agg counter k))
+  | Ast.A_seq (a1, a2) ->
+    Ast.A_seq (normalize_action is_agg counter a1, normalize_action is_agg counter a2)
+  | Ast.A_if (c, a1, a2) ->
+    let bs, c' = hoist_term is_agg counter c in
+    wrap bs
+      (Ast.A_if (c', normalize_action is_agg counter a1, normalize_action is_agg counter a2))
+  | Ast.A_perform (name, args, p) ->
+    let bss, args' = List.split (List.map (hoist_term is_agg counter) args) in
+    wrap (List.concat bss) (Ast.A_perform (name, args', p))
+
+let normalize (p : Ast.program) : Ast.program =
+  let aggs = aggregate_names p in
+  let is_agg name = String_set.mem name aggs in
+  let counter = ref 0 in
+  List.map
+    (fun d ->
+      match d with
+      | Ast.D_script { name; params; body; pos } ->
+        Ast.D_script { name; params; body = normalize_action is_agg counter body; pos }
+      | Ast.D_const _ | Ast.D_aggregate _ | Ast.D_action _ -> d)
+    p
+
+(* Check the normal form: every aggregate call is the entire RHS of a let,
+   and none appear inside aggregate or action declarations. *)
+let is_normal (p : Ast.program) : bool =
+  let aggs = aggregate_names p in
+  let rec term_clean t =
+    match t with
+    | Ast.T_int _ | Ast.T_float _ | Ast.T_bool _ | Ast.T_var _ -> true
+    | Ast.T_dot (b, _, _) | Ast.T_not b | Ast.T_neg b -> term_clean b
+    | Ast.T_binop (_, a, b)
+    | Ast.T_cmp (_, a, b)
+    | Ast.T_and (a, b)
+    | Ast.T_or (a, b)
+    | Ast.T_vec (a, b) ->
+      term_clean a && term_clean b
+    | Ast.T_call (name, args, _) ->
+      (not (String_set.mem name aggs)) && List.for_all term_clean args
+  in
+  let rec action_ok = function
+    | Ast.A_skip -> true
+    | Ast.A_let (_, Ast.T_call (name, args, _), k) when String_set.mem name aggs ->
+      List.for_all term_clean args && action_ok k
+    | Ast.A_let (_, t, k) -> term_clean t && action_ok k
+    | Ast.A_seq (a, b) -> action_ok a && action_ok b
+    | Ast.A_if (c, a, b) -> term_clean c && action_ok a && action_ok b
+    | Ast.A_perform (_, args, _) -> List.for_all term_clean args
+  in
+  List.for_all
+    (function
+      | Ast.D_script { body; _ } -> action_ok body
+      | Ast.D_const _ -> true
+      | Ast.D_aggregate { components; where_; default; _ } ->
+        let comp_terms = function
+          | Ast.G_count -> []
+          | Ast.G_sum t | Ast.G_avg t | Ast.G_stddev t | Ast.G_min t | Ast.G_max t -> [ t ]
+          | Ast.G_argmin (a, b) | Ast.G_argmax (a, b) -> [ a; b ]
+          | Ast.G_nearest (a, b, c, d, e) -> [ a; b; c; d; e ]
+        in
+        List.for_all term_clean (List.concat_map comp_terms components)
+        && List.for_all term_clean (Option.to_list where_)
+        && List.for_all term_clean (Option.to_list default)
+      | Ast.D_action { clauses; _ } ->
+        List.for_all
+          (fun c ->
+            (match c.Ast.target with
+            | Ast.E_self -> true
+            | Ast.E_key t | Ast.E_all t -> term_clean t)
+            && List.for_all (fun (_, t) -> term_clean t) c.Ast.updates)
+          clauses)
+    p

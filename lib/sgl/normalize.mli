@@ -1,0 +1,12 @@
+(** Normal-form transformation (Section 5.1): after [normalize], aggregate
+    calls occur only as the entire right-hand side of a let.  Fresh names
+    use the reserved ["__"] prefix. *)
+
+(** Hoist every nested aggregate call into a preceding let. *)
+val normalize : Ast.program -> Ast.program
+
+(** Is the program already in normal form? *)
+val is_normal : Ast.program -> bool
+
+(** Names of all aggregate declarations in the program. *)
+val aggregate_names : Ast.program -> Set.Make(String).t

@@ -1,0 +1,437 @@
+(* Recursive-descent parser for SGL concrete syntax.
+
+   The grammar follows Section 4.1's action grammar with a statement-list
+   surface: [let] statements scope over the remainder of their block, [;]
+   separates sequenced actions, and declarations introduce constants,
+   aggregate functions (form (5)), action functions (form (4)) and scripts. *)
+
+open Sgl_relalg
+
+exception Parse_error of string
+
+type state = {
+  tokens : Lexer.lexed array;
+  mutable pos : int;
+}
+
+let parse_error (lx : Lexer.lexed) fmt =
+  Fmt.kstr
+    (fun s ->
+      raise (Parse_error (Fmt.str "line %d, column %d: %s" lx.Lexer.line lx.Lexer.col s)))
+    fmt
+
+let peek st = st.tokens.(st.pos)
+
+let next st =
+  let t = st.tokens.(st.pos) in
+  if st.pos < Array.length st.tokens - 1 then st.pos <- st.pos + 1;
+  t
+
+let expect st token =
+  let t = next st in
+  if t.Lexer.token <> token then
+    parse_error t "expected %s but found %s" (Lexer.token_name token)
+      (Lexer.token_name t.Lexer.token)
+
+let pos_of (lx : Lexer.lexed) = { Ast.line = lx.Lexer.line; col = lx.Lexer.col }
+
+let ident st =
+  let t = next st in
+  match t.Lexer.token with
+  | Lexer.IDENT s -> (s, pos_of t)
+  (* "key" is a keyword for effect targets but also the mandatory schema
+     attribute, so accept it wherever an identifier is expected. *)
+  | Lexer.KW_key -> ("key", pos_of t)
+  | other -> parse_error t "expected an identifier but found %s" (Lexer.token_name other)
+
+(* ------------------------------------------------------------------ *)
+(* Terms, by descending precedence: or < and < not < comparison <
+   additive < multiplicative < unary minus < postfix '.' < primary. *)
+
+let rec term st = term_or st
+
+and term_or st =
+  let lhs = term_and st in
+  if (peek st).Lexer.token = Lexer.KW_or then begin
+    ignore (next st);
+    Ast.T_or (lhs, term_or st)
+  end
+  else lhs
+
+and term_and st =
+  let lhs = term_not st in
+  if (peek st).Lexer.token = Lexer.KW_and then begin
+    ignore (next st);
+    Ast.T_and (lhs, term_and st)
+  end
+  else lhs
+
+and term_not st =
+  if (peek st).Lexer.token = Lexer.KW_not then begin
+    ignore (next st);
+    Ast.T_not (term_not st)
+  end
+  else term_cmp st
+
+and term_cmp st =
+  let lhs = term_add st in
+  let op =
+    match (peek st).Lexer.token with
+    | Lexer.EQ -> Some Expr.Eq
+    | Lexer.NE -> Some Expr.Ne
+    | Lexer.LT -> Some Expr.Lt
+    | Lexer.LE -> Some Expr.Le
+    | Lexer.GT -> Some Expr.Gt
+    | Lexer.GE -> Some Expr.Ge
+    | _ -> None
+  in
+  match op with
+  | None -> lhs
+  | Some op ->
+    ignore (next st);
+    Ast.T_cmp (op, lhs, term_add st)
+
+and term_add st =
+  let lhs = ref (term_mul st) in
+  let continue = ref true in
+  while !continue do
+    match (peek st).Lexer.token with
+    | Lexer.PLUS ->
+      ignore (next st);
+      lhs := Ast.T_binop (Expr.Add, !lhs, term_mul st)
+    | Lexer.MINUS ->
+      ignore (next st);
+      lhs := Ast.T_binop (Expr.Sub, !lhs, term_mul st)
+    | _ -> continue := false
+  done;
+  !lhs
+
+and term_mul st =
+  let lhs = ref (term_unary st) in
+  let continue = ref true in
+  while !continue do
+    match (peek st).Lexer.token with
+    | Lexer.STAR ->
+      ignore (next st);
+      lhs := Ast.T_binop (Expr.Mul, !lhs, term_unary st)
+    | Lexer.SLASH ->
+      ignore (next st);
+      lhs := Ast.T_binop (Expr.Div, !lhs, term_unary st)
+    | Lexer.KW_mod ->
+      ignore (next st);
+      lhs := Ast.T_binop (Expr.Mod, !lhs, term_unary st)
+    | _ -> continue := false
+  done;
+  !lhs
+
+and term_unary st =
+  if (peek st).Lexer.token = Lexer.MINUS then begin
+    ignore (next st);
+    Ast.T_neg (term_unary st)
+  end
+  else term_postfix st
+
+and term_postfix st =
+  let t = ref (term_primary st) in
+  while (peek st).Lexer.token = Lexer.DOT do
+    ignore (next st);
+    let name, p = ident st in
+    t := Ast.T_dot (!t, name, p)
+  done;
+  !t
+
+and term_primary st =
+  let lx = next st in
+  match lx.Lexer.token with
+  | Lexer.INT i -> Ast.T_int i
+  | Lexer.FLOAT f -> Ast.T_float f
+  | Lexer.KW_true -> Ast.T_bool true
+  | Lexer.KW_false -> Ast.T_bool false
+  | Lexer.IDENT name ->
+    if (peek st).Lexer.token = Lexer.LPAREN then begin
+      ignore (next st);
+      let args = call_args st in
+      expect st Lexer.RPAREN;
+      Ast.T_call (name, args, pos_of lx)
+    end
+    else Ast.T_var (name, pos_of lx)
+  | Lexer.LPAREN ->
+    let first = term st in
+    if (peek st).Lexer.token = Lexer.COMMA then begin
+      ignore (next st);
+      let second = term st in
+      expect st Lexer.RPAREN;
+      Ast.T_vec (first, second)
+    end
+    else begin
+      expect st Lexer.RPAREN;
+      first
+    end
+  | other -> parse_error lx "expected a term but found %s" (Lexer.token_name other)
+
+and call_args st =
+  if (peek st).Lexer.token = Lexer.RPAREN then []
+  else begin
+    let rec more acc =
+      if (peek st).Lexer.token = Lexer.COMMA then begin
+        ignore (next st);
+        more (term st :: acc)
+      end
+      else List.rev acc
+    in
+    more [ term st ]
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Actions *)
+
+let rec block st : Ast.action =
+  expect st Lexer.LBRACE;
+  let a = stmts st in
+  expect st Lexer.RBRACE;
+  a
+
+(* Fold a statement list: [let] binds over the remaining statements. *)
+and stmts st : Ast.action =
+  match (peek st).Lexer.token with
+  | Lexer.RBRACE -> Ast.A_skip
+  | _ -> begin
+    match stmt st with
+    | `Let (name, t) ->
+      let rest = stmts st in
+      Ast.A_let (name, t, rest)
+    | `Action a ->
+      let rest = stmts st in
+      if rest = Ast.A_skip then a else Ast.A_seq (a, rest)
+  end
+
+and stmt st =
+  let lx = peek st in
+  match lx.Lexer.token with
+  | Lexer.KW_let ->
+    ignore (next st);
+    let name, _ = ident st in
+    expect st Lexer.EQ;
+    let t = term st in
+    expect st Lexer.SEMI;
+    `Let (name, t)
+  | Lexer.KW_if ->
+    ignore (next st);
+    let cond = term st in
+    (* 'then' is optional before a block, as in the paper's examples. *)
+    if (peek st).Lexer.token = Lexer.KW_then then ignore (next st);
+    let then_a = stmt_or_block st in
+    let else_a =
+      if (peek st).Lexer.token = Lexer.KW_else then begin
+        ignore (next st);
+        stmt_or_block st
+      end
+      else Ast.A_skip
+    in
+    `Action (Ast.A_if (cond, then_a, else_a))
+  | Lexer.KW_perform ->
+    ignore (next st);
+    let name, p = ident st in
+    expect st Lexer.LPAREN;
+    let args = call_args st in
+    expect st Lexer.RPAREN;
+    expect st Lexer.SEMI;
+    `Action (Ast.A_perform (name, args, p))
+  | Lexer.KW_skip ->
+    ignore (next st);
+    expect st Lexer.SEMI;
+    `Action Ast.A_skip
+  | Lexer.LBRACE -> `Action (block st)
+  | other -> parse_error lx "expected a statement but found %s" (Lexer.token_name other)
+
+and stmt_or_block st : Ast.action =
+  if (peek st).Lexer.token = Lexer.LBRACE then block st
+  else begin
+    match stmt st with
+    | `Let (name, _) ->
+      parse_error (peek st) "a 'let' cannot be the sole body of 'if' (binding %s is unused)" name
+    | `Action a -> a
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Declarations *)
+
+let params st =
+  expect st Lexer.LPAREN;
+  let rec more acc =
+    match (peek st).Lexer.token with
+    | Lexer.RPAREN ->
+      ignore (next st);
+      List.rev acc
+    | Lexer.COMMA ->
+      ignore (next st);
+      let name, _ = ident st in
+      more (name :: acc)
+    | _ ->
+      let name, _ = ident st in
+      more (name :: acc)
+  in
+  more []
+
+let agg_component st : Ast.agg_component =
+  let name, p = ident st in
+  expect st Lexer.LPAREN;
+  let comp =
+    match name with
+    | "count" ->
+      (* count of star, or bare count() *)
+      if (peek st).Lexer.token = Lexer.STAR then ignore (next st);
+      Ast.G_count
+    | "sum" -> Ast.G_sum (term st)
+    | "avg" -> Ast.G_avg (term st)
+    | "stddev" -> Ast.G_stddev (term st)
+    | "min" -> Ast.G_min (term st)
+    | "max" -> Ast.G_max (term st)
+    | "argmin" ->
+      let objective = term st in
+      expect st Lexer.SEMI;
+      Ast.G_argmin (objective, term st)
+    | "argmax" ->
+      let objective = term st in
+      expect st Lexer.SEMI;
+      Ast.G_argmax (objective, term st)
+    | "nearest" ->
+      let ex = term st in
+      expect st Lexer.COMMA;
+      let ey = term st in
+      expect st Lexer.COMMA;
+      let ux = term st in
+      expect st Lexer.COMMA;
+      let uy = term st in
+      expect st Lexer.SEMI;
+      Ast.G_nearest (ex, ey, ux, uy, term st)
+    | other ->
+      raise
+        (Parse_error
+           (Fmt.str "line %d, column %d: unknown aggregate component %S" p.Ast.line p.Ast.col other))
+  in
+  expect st Lexer.RPAREN;
+  comp
+
+let literal st : Value.t =
+  let lx = next st in
+  match lx.Lexer.token with
+  | Lexer.INT i -> Value.Int i
+  | Lexer.FLOAT f -> Value.Float f
+  | Lexer.KW_true -> Value.Bool true
+  | Lexer.KW_false -> Value.Bool false
+  | Lexer.MINUS -> begin
+    let lx2 = next st in
+    match lx2.Lexer.token with
+    | Lexer.INT i -> Value.Int (-i)
+    | Lexer.FLOAT f -> Value.Float (-.f)
+    | other -> parse_error lx2 "expected a number after '-' but found %s" (Lexer.token_name other)
+  end
+  | other -> parse_error lx "expected a literal but found %s" (Lexer.token_name other)
+
+let decl st : Ast.decl =
+  let lx = next st in
+  match lx.Lexer.token with
+  | Lexer.KW_const ->
+    let name, _ = ident st in
+    expect st Lexer.EQ;
+    let v = literal st in
+    expect st Lexer.SEMI;
+    Ast.D_const (name, v)
+  | Lexer.KW_aggregate ->
+    let name, pos = ident st in
+    let params = params st in
+    expect st Lexer.LBRACE;
+    let components =
+      if (peek st).Lexer.token = Lexer.LPAREN then begin
+        ignore (next st);
+        let c1 = agg_component st in
+        expect st Lexer.COMMA;
+        let c2 = agg_component st in
+        expect st Lexer.RPAREN;
+        [ c1; c2 ]
+      end
+      else [ agg_component st ]
+    in
+    let where_ =
+      if (peek st).Lexer.token = Lexer.KW_where then begin
+        ignore (next st);
+        Some (term st)
+      end
+      else None
+    in
+    let default =
+      if (peek st).Lexer.token = Lexer.KW_default then begin
+        ignore (next st);
+        Some (term st)
+      end
+      else None
+    in
+    expect st Lexer.RBRACE;
+    Ast.D_aggregate { name; params; components; where_; default; pos }
+  | Lexer.KW_action ->
+    let name, pos = ident st in
+    let params = params st in
+    expect st Lexer.LBRACE;
+    let clauses = ref [] in
+    while (peek st).Lexer.token = Lexer.KW_on do
+      ignore (next st);
+      let target =
+        match (next st).Lexer.token with
+        | Lexer.KW_self -> Ast.E_self
+        | Lexer.KW_key ->
+          expect st Lexer.LPAREN;
+          let t = term st in
+          expect st Lexer.RPAREN;
+          Ast.E_key t
+        | Lexer.KW_all ->
+          expect st Lexer.LPAREN;
+          let t = term st in
+          expect st Lexer.RPAREN;
+          Ast.E_all t
+        | other ->
+          parse_error (peek st) "expected 'self', 'key' or 'all' but found %s"
+            (Lexer.token_name other)
+      in
+      expect st Lexer.LBRACE;
+      let updates = ref [] in
+      while (peek st).Lexer.token <> Lexer.RBRACE do
+        let attr, _ = ident st in
+        expect st Lexer.ARROW;
+        let t = term st in
+        expect st Lexer.SEMI;
+        updates := (attr, t) :: !updates
+      done;
+      expect st Lexer.RBRACE;
+      clauses := { Ast.target; updates = List.rev !updates } :: !clauses
+    done;
+    expect st Lexer.RBRACE;
+    Ast.D_action { name; params; clauses = List.rev !clauses; pos }
+  | Lexer.KW_script ->
+    let name, pos = ident st in
+    let params = params st in
+    let body = block st in
+    Ast.D_script { name; params; body; pos }
+  | other ->
+    parse_error lx "expected 'const', 'aggregate', 'action' or 'script' but found %s"
+      (Lexer.token_name other)
+
+let program st : Ast.program =
+  let decls = ref [] in
+  while (peek st).Lexer.token <> Lexer.EOF do
+    decls := decl st :: !decls
+  done;
+  List.rev !decls
+
+(* Entry point: raises {!Parse_error} or {!Lexer.Lex_error}. *)
+let parse_string (src : string) : Ast.program =
+  let tokens = Array.of_list (Lexer.tokenize src) in
+  let st = { tokens; pos = 0 } in
+  program st
+
+let parse_term_string (src : string) : Ast.term =
+  let tokens = Array.of_list (Lexer.tokenize src) in
+  let st = { tokens; pos = 0 } in
+  let t = term st in
+  expect st Lexer.EOF;
+  t

@@ -1,0 +1,10 @@
+(** Recursive-descent parser for SGL (grammar of Section 4.1, statement-list
+    surface). *)
+
+exception Parse_error of string
+
+(** Parse a whole program.  Raises {!Parse_error} or {!Lexer.Lex_error}. *)
+val parse_string : string -> Ast.program
+
+(** Parse a single term (used by tests and tools). *)
+val parse_term_string : string -> Ast.term

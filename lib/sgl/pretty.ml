@@ -1,0 +1,204 @@
+(* Pretty-printer for the surface AST.  [Parser.parse_string] of the output
+   yields the same AST up to positions — the round-trip property tested in
+   the language suite. *)
+
+open Sgl_relalg
+
+let rec pp_term ppf (t : Ast.term) =
+  match t with
+  | Ast.T_int i -> Fmt.int ppf i
+  | Ast.T_float f ->
+    (* keep a dot so the token re-lexes as a float *)
+    if Float.is_integer f then Fmt.pf ppf "%.1f" f else Fmt.pf ppf "%.17g" f
+  | Ast.T_bool b -> Fmt.bool ppf b
+  | Ast.T_var (n, _) -> Fmt.string ppf n
+  | Ast.T_dot (b, f, _) -> Fmt.pf ppf "%a.%s" pp_term b f
+  | Ast.T_binop (op, a, b) -> Fmt.pf ppf "(%a %s %a)" pp_term a (Expr.binop_name op) pp_term b
+  | Ast.T_cmp (op, a, b) -> Fmt.pf ppf "(%a %s %a)" pp_term a (Expr.cmp_name op) pp_term b
+  | Ast.T_and (a, b) -> Fmt.pf ppf "(%a and %a)" pp_term a pp_term b
+  | Ast.T_or (a, b) -> Fmt.pf ppf "(%a or %a)" pp_term a pp_term b
+  | Ast.T_not a -> Fmt.pf ppf "(not %a)" pp_term a
+  | Ast.T_neg a -> Fmt.pf ppf "(- %a)" pp_term a
+  | Ast.T_vec (a, b) -> Fmt.pf ppf "(%a, %a)" pp_term a pp_term b
+  | Ast.T_call (n, args, _) -> Fmt.pf ppf "%s(%a)" n Fmt.(list ~sep:(any ", ") pp_term) args
+
+let rec pp_action ppf (a : Ast.action) =
+  match a with
+  | Ast.A_skip -> Fmt.pf ppf "skip;"
+  | Ast.A_let (v, t, k) -> Fmt.pf ppf "@[<v>let %s = %a;@,%a@]" v pp_term t pp_action k
+  | Ast.A_seq (a1, a2) -> Fmt.pf ppf "@[<v>%a@,%a@]" pp_action a1 pp_action a2
+  | Ast.A_if (c, a1, Ast.A_skip) ->
+    Fmt.pf ppf "@[<v>if %a then {@;<0 2>@[<v>%a@]@,}@]" pp_term c pp_action a1
+  | Ast.A_if (c, a1, a2) ->
+    Fmt.pf ppf "@[<v>if %a then {@;<0 2>@[<v>%a@]@,} else {@;<0 2>@[<v>%a@]@,}@]" pp_term c
+      pp_action a1 pp_action a2
+  | Ast.A_perform (n, args, _) ->
+    Fmt.pf ppf "perform %s(%a);" n Fmt.(list ~sep:(any ", ") pp_term) args
+
+let pp_component ppf (c : Ast.agg_component) =
+  match c with
+  | Ast.G_count -> Fmt.string ppf "count(*)"
+  | Ast.G_sum t -> Fmt.pf ppf "sum(%a)" pp_term t
+  | Ast.G_avg t -> Fmt.pf ppf "avg(%a)" pp_term t
+  | Ast.G_stddev t -> Fmt.pf ppf "stddev(%a)" pp_term t
+  | Ast.G_min t -> Fmt.pf ppf "min(%a)" pp_term t
+  | Ast.G_max t -> Fmt.pf ppf "max(%a)" pp_term t
+  | Ast.G_argmin (o, r) -> Fmt.pf ppf "argmin(%a; %a)" pp_term o pp_term r
+  | Ast.G_argmax (o, r) -> Fmt.pf ppf "argmax(%a; %a)" pp_term o pp_term r
+  | Ast.G_nearest (ex, ey, ux, uy, r) ->
+    Fmt.pf ppf "nearest(%a, %a, %a, %a; %a)" pp_term ex pp_term ey pp_term ux pp_term uy pp_term r
+
+let pp_value ppf (v : Value.t) =
+  match v with
+  | Value.Int i -> Fmt.int ppf i
+  | Value.Float f -> if Float.is_integer f then Fmt.pf ppf "%.1f" f else Fmt.pf ppf "%.17g" f
+  | Value.Bool b -> Fmt.bool ppf b
+  | Value.Vec v -> Fmt.pf ppf "(%.17g, %.17g)" v.Sgl_util.Vec2.x v.Sgl_util.Vec2.y
+
+let pp_decl ppf (d : Ast.decl) =
+  match d with
+  | Ast.D_const (n, v) -> Fmt.pf ppf "const %s = %a;" n pp_value v
+  | Ast.D_aggregate { name; params; components; where_; default; _ } ->
+    let pp_components ppf = function
+      | [ c ] -> pp_component ppf c
+      | cs -> Fmt.pf ppf "(%a)" Fmt.(list ~sep:(any ", ") pp_component) cs
+    in
+    Fmt.pf ppf "@[<v>aggregate %s(%a) {@;<0 2>@[<v>%a%a%a@]@,}@]" name
+      Fmt.(list ~sep:(any ", ") string)
+      params pp_components components
+      Fmt.(option (fun ppf w -> Fmt.pf ppf "@,where %a" pp_term w))
+      where_
+      Fmt.(option (fun ppf d -> Fmt.pf ppf "@,default %a" pp_term d))
+      default
+  | Ast.D_action { name; params; clauses; _ } ->
+    let pp_target ppf = function
+      | Ast.E_self -> Fmt.string ppf "self"
+      | Ast.E_key t -> Fmt.pf ppf "key(%a)" pp_term t
+      | Ast.E_all t -> Fmt.pf ppf "all(%a)" pp_term t
+    in
+    let pp_clause ppf (c : Ast.effect_clause) =
+      Fmt.pf ppf "@[<v>on %a {@;<0 2>@[<v>%a@]@,}@]" pp_target c.Ast.target
+        Fmt.(
+          list ~sep:cut (fun ppf (attr, t) -> Fmt.pf ppf "%s <- %a;" attr pp_term t))
+        c.Ast.updates
+    in
+    Fmt.pf ppf "@[<v>action %s(%a) {@;<0 2>@[<v>%a@]@,}@]" name
+      Fmt.(list ~sep:(any ", ") string)
+      params
+      Fmt.(list ~sep:cut pp_clause)
+      clauses
+  | Ast.D_script { name; params; body; _ } ->
+    Fmt.pf ppf "@[<v>script %s(%a) {@;<0 2>@[<v>%a@]@,}@]" name
+      Fmt.(list ~sep:(any ", ") string)
+      params pp_action body
+
+let pp_program ppf (p : Ast.program) = Fmt.pf ppf "@[<v>%a@]" Fmt.(list ~sep:(any "@,@,") pp_decl) p
+
+let program_to_string p = Fmt.str "%a" pp_program p
+let term_to_string t = Fmt.str "%a" pp_term t
+
+(* Positions are synthetic after a round-trip; strip them for comparison.
+   Negative literals are canonicalized to a negation of the positive
+   literal, which is how the parser reads the printed "-1". *)
+let rec strip_term (t : Ast.term) : Ast.term =
+  match t with
+  | Ast.T_int n when n < 0 -> Ast.T_neg (Ast.T_int (-n))
+  | Ast.T_float f when f < 0. -> Ast.T_neg (Ast.T_float (-.f))
+  | Ast.T_int _ | Ast.T_float _ | Ast.T_bool _ -> t
+  | Ast.T_var (n, _) -> Ast.T_var (n, Ast.no_pos)
+  | Ast.T_dot (b, f, _) -> Ast.T_dot (strip_term b, f, Ast.no_pos)
+  | Ast.T_binop (op, a, b) -> Ast.T_binop (op, strip_term a, strip_term b)
+  | Ast.T_cmp (op, a, b) -> Ast.T_cmp (op, strip_term a, strip_term b)
+  | Ast.T_and (a, b) -> Ast.T_and (strip_term a, strip_term b)
+  | Ast.T_or (a, b) -> Ast.T_or (strip_term a, strip_term b)
+  | Ast.T_not a -> Ast.T_not (strip_term a)
+  | Ast.T_neg a -> Ast.T_neg (strip_term a)
+  | Ast.T_vec (a, b) -> Ast.T_vec (strip_term a, strip_term b)
+  | Ast.T_call (n, args, _) -> Ast.T_call (n, List.map strip_term args, Ast.no_pos)
+
+(* Statement-normal form: what printing and re-parsing produces.  Sequences
+   associate right, skips disappear, and a let heading a sequence scopes
+   over the sequence's tail (the printed text has exactly that reading). *)
+let rec canon_action (a : Ast.action) : Ast.action =
+  match a with
+  | Ast.A_skip -> Ast.A_skip
+  | Ast.A_let (v, t, k) -> Ast.A_let (v, t, canon_action k)
+  | Ast.A_if (c, a1, a2) -> Ast.A_if (c, canon_action a1, canon_action a2)
+  | Ast.A_perform _ -> a
+  | Ast.A_seq (a1, a2) -> begin
+    match canon_action a1 with
+    | Ast.A_skip -> canon_action a2
+    | Ast.A_let (v, t, k) -> Ast.A_let (v, t, canon_action (Ast.A_seq (k, a2)))
+    | Ast.A_seq (x, y) -> canon_action (Ast.A_seq (x, Ast.A_seq (y, a2)))
+    | other -> begin
+      match canon_action a2 with
+      | Ast.A_skip -> other
+      | rest -> Ast.A_seq (other, rest)
+    end
+  end
+
+let canon_decl (d : Ast.decl) : Ast.decl =
+  match d with
+  | Ast.D_const _ | Ast.D_aggregate _ | Ast.D_action _ -> d
+  | Ast.D_script { name; params; body; pos } ->
+    Ast.D_script { name; params; body = canon_action body; pos }
+
+let canon_program (p : Ast.program) : Ast.program = List.map canon_decl p
+
+let rec strip_action (a : Ast.action) : Ast.action =
+  match a with
+  | Ast.A_skip -> Ast.A_skip
+  | Ast.A_let (v, t, k) -> Ast.A_let (v, strip_term t, strip_action k)
+  | Ast.A_seq (a1, a2) -> Ast.A_seq (strip_action a1, strip_action a2)
+  | Ast.A_if (c, a1, a2) -> Ast.A_if (strip_term c, strip_action a1, strip_action a2)
+  | Ast.A_perform (n, args, _) -> Ast.A_perform (n, List.map strip_term args, Ast.no_pos)
+
+let strip_component (c : Ast.agg_component) : Ast.agg_component =
+  match c with
+  | Ast.G_count -> Ast.G_count
+  | Ast.G_sum t -> Ast.G_sum (strip_term t)
+  | Ast.G_avg t -> Ast.G_avg (strip_term t)
+  | Ast.G_stddev t -> Ast.G_stddev (strip_term t)
+  | Ast.G_min t -> Ast.G_min (strip_term t)
+  | Ast.G_max t -> Ast.G_max (strip_term t)
+  | Ast.G_argmin (o, r) -> Ast.G_argmin (strip_term o, strip_term r)
+  | Ast.G_argmax (o, r) -> Ast.G_argmax (strip_term o, strip_term r)
+  | Ast.G_nearest (a, b, c, d, r) ->
+    Ast.G_nearest (strip_term a, strip_term b, strip_term c, strip_term d, strip_term r)
+
+let strip_decl (d : Ast.decl) : Ast.decl =
+  match d with
+  | Ast.D_const _ -> d
+  | Ast.D_aggregate { name; params; components; where_; default; _ } ->
+    Ast.D_aggregate
+      {
+        name;
+        params;
+        components = List.map strip_component components;
+        where_ = Option.map strip_term where_;
+        default = Option.map strip_term default;
+        pos = Ast.no_pos;
+      }
+  | Ast.D_action { name; params; clauses; _ } ->
+    Ast.D_action
+      {
+        name;
+        params;
+        clauses =
+          List.map
+            (fun (c : Ast.effect_clause) ->
+              {
+                Ast.target =
+                  (match c.Ast.target with
+                  | Ast.E_self -> Ast.E_self
+                  | Ast.E_key t -> Ast.E_key (strip_term t)
+                  | Ast.E_all t -> Ast.E_all (strip_term t));
+                updates = List.map (fun (a, t) -> (a, strip_term t)) c.Ast.updates;
+              })
+            clauses;
+        pos = Ast.no_pos;
+      }
+  | Ast.D_script { name; params; body; _ } ->
+    Ast.D_script { name; params; body = strip_action body; pos = Ast.no_pos }
+
+let strip_program (p : Ast.program) : Ast.program = List.map strip_decl p

@@ -1,0 +1,339 @@
+(* Name resolution and lowering: surface AST -> closed core IR.
+
+   Responsibilities:
+   - resolve attribute, variable, parameter and constant references to
+     slot-based [Expr]s;
+   - inline every [perform] of an SGL-defined script and every action
+     declaration (functions are macros; [Random] is stable within a tick,
+     so inlining is semantics-preserving);
+   - instantiate each aggregate call site into a closed [Aggregate.t],
+     deduplicating structurally identical instances so that scripts probing
+     the same query share one index (the paper's multi-query optimization);
+   - enforce the normal form produced by [Normalize].
+
+   The input is assumed well-typed (see [Typecheck]); resolution still
+   raises [Resolve_error] on anything inconsistent. *)
+
+open Sgl_relalg
+
+exception Resolve_error of string
+
+let fail (p : Ast.pos) fmt =
+  Fmt.kstr
+    (fun s -> raise (Resolve_error (Fmt.str "line %d, column %d: %s" p.Ast.line p.Ast.col s)))
+    fmt
+
+type binding =
+  | B_unit (* the current unit u *)
+  | B_env (* the scanned environment tuple e *)
+  | B_slot of int (* a let-bound unit slot *)
+  | B_inline of Expr.t (* an inlined function argument *)
+
+type state = {
+  prog : Ast.program;
+  schema : Schema.t;
+  consts : (string, Value.t) Hashtbl.t;
+  mutable instances : Aggregate.t list; (* reversed instance table *)
+  mutable n_instances : int;
+}
+
+type scope = {
+  vars : (string * binding) list;
+  depth : int; (* current unit-record arity (schema + lets) *)
+  e_allowed : bool;
+  stack : string list; (* inlining stack, for recursion detection *)
+}
+
+let lookup scope name = List.assoc_opt name scope.vars
+
+(* ------------------------------------------------------------------ *)
+(* Terms *)
+
+let rec resolve_term st scope (t : Ast.term) : Expr.t =
+  match t with
+  | Ast.T_int i -> Expr.Const (Value.Int i)
+  | Ast.T_float f -> Expr.Const (Value.Float f)
+  | Ast.T_bool b -> Expr.Const (Value.Bool b)
+  | Ast.T_var (name, p) -> begin
+    match lookup scope name with
+    | Some (B_slot i) -> Expr.UAttr i
+    | Some (B_inline e) -> e
+    | Some B_unit -> fail p "the unit record %s cannot be used as a plain value" name
+    | Some B_env -> fail p "the environment tuple %s cannot be used as a plain value" name
+    | None -> begin
+      match Hashtbl.find_opt st.consts name with
+      | Some v -> Expr.Const v
+      | None -> fail p "unknown variable %S" name
+    end
+  end
+  | Ast.T_dot (Ast.T_var (base, bp), field, p) -> begin
+    match lookup scope base with
+    | Some B_unit -> begin
+      match Schema.find_opt st.schema field with
+      | Some i -> Expr.UAttr i
+      | None -> fail p "unknown attribute %S" field
+    end
+    | Some B_env ->
+      if not scope.e_allowed then
+        fail bp "environment tuple %S is only available inside aggregate and action bodies" base
+      else begin
+        match Schema.find_opt st.schema field with
+        | Some i -> Expr.EAttr i
+        | None -> fail p "unknown attribute %S" field
+      end
+    | Some _ | None -> vec_field st scope (Ast.T_var (base, bp)) field p
+  end
+  | Ast.T_dot (base, field, p) -> vec_field st scope base field p
+  | Ast.T_binop (op, a, b) -> Expr.Binop (op, resolve_term st scope a, resolve_term st scope b)
+  | Ast.T_cmp (op, a, b) -> Expr.Cmp (op, resolve_term st scope a, resolve_term st scope b)
+  | Ast.T_and (a, b) -> Expr.And (resolve_term st scope a, resolve_term st scope b)
+  | Ast.T_or (a, b) -> Expr.Or (resolve_term st scope a, resolve_term st scope b)
+  | Ast.T_not a -> Expr.Not (resolve_term st scope a)
+  | Ast.T_neg a -> Expr.Neg (resolve_term st scope a)
+  | Ast.T_vec (a, b) -> Expr.VecOf (resolve_term st scope a, resolve_term st scope b)
+  | Ast.T_call (name, args, p) -> resolve_builtin st scope name args p
+
+and vec_field st scope base field p =
+  let b = resolve_term st scope base in
+  match field with
+  | "x" -> Expr.VecX b
+  | "y" -> Expr.VecY b
+  | other -> fail p "unknown vector component %S (expected .x or .y)" other
+
+(* Built-in term functions.  Aggregate calls never reach here: the normal
+   form restricts them to let right-hand sides handled in resolve_action. *)
+and resolve_builtin st scope name args p : Expr.t =
+  let arg i = List.nth args i in
+  let r i = resolve_term st scope (arg i) in
+  let arity n =
+    if List.length args <> n then
+      fail p "%s expects %d argument(s), got %d" name n (List.length args)
+  in
+  match name with
+  | "abs" ->
+    arity 1;
+    Expr.Abs (r 0)
+  | "sqrt" ->
+    arity 1;
+    Expr.Sqrt (r 0)
+  | "min" ->
+    arity 2;
+    Expr.MinOf (r 0, r 1)
+  | "max" ->
+    arity 2;
+    Expr.MaxOf (r 0, r 1)
+  | "random" ->
+    arity 1;
+    Expr.Random (r 0)
+  | "norm" ->
+    arity 1;
+    let v = r 0 in
+    Expr.Sqrt
+      (Expr.Binop
+         ( Expr.Add,
+           Expr.Binop (Expr.Mul, Expr.VecX v, Expr.VecX v),
+           Expr.Binop (Expr.Mul, Expr.VecY v, Expr.VecY v) ))
+  | "dist" ->
+    arity 2;
+    let a = r 0 and b = r 1 in
+    let dx = Expr.Binop (Expr.Sub, Expr.VecX a, Expr.VecX b) in
+    let dy = Expr.Binop (Expr.Sub, Expr.VecY a, Expr.VecY b) in
+    Expr.Sqrt (Expr.Binop (Expr.Add, Expr.Binop (Expr.Mul, dx, dx), Expr.Binop (Expr.Mul, dy, dy)))
+  | other -> begin
+    match Ast.find_decl st.prog other with
+    | Some (Ast.D_aggregate _) ->
+      fail p "aggregate %S may only appear as the right-hand side of a let (run Normalize first)"
+        other
+    | Some _ -> fail p "%S is not usable in a term" other
+    | None -> fail p "unknown function %S" other
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Aggregate instantiation *)
+
+let intern_instance st (a : Aggregate.t) : int =
+  let rec find i = function
+    | [] -> -1
+    | x :: rest ->
+      if x.Aggregate.kinds = a.Aggregate.kinds
+         && x.Aggregate.where_ = a.Aggregate.where_
+         && x.Aggregate.default = a.Aggregate.default
+      then st.n_instances - 1 - i
+      else find (i + 1) rest
+  in
+  let existing = find 0 st.instances in
+  if existing >= 0 then existing
+  else begin
+    st.instances <- a :: st.instances;
+    st.n_instances <- st.n_instances + 1;
+    st.n_instances - 1
+  end
+
+(* Bind a declaration's parameters to the caller's arguments.  The first
+   parameter is the unit record and must receive the caller's unit. *)
+let bind_params st scope ~(decl_name : string) ~(params : string list) ~(args : Ast.term list)
+    (p : Ast.pos) : (string * binding) list =
+  if List.length params <> List.length args then
+    fail p "%s expects %d argument(s), got %d" decl_name (List.length params) (List.length args);
+  match (params, args) with
+  | [], _ | _, [] -> fail p "%s must declare the unit record as its first parameter" decl_name
+  | unit_param :: rest_params, first_arg :: rest_args ->
+    (match first_arg with
+    | Ast.T_var (v, _) when lookup scope v = Some B_unit -> ()
+    | _ -> fail p "the first argument of %s must be the unit record" decl_name);
+    (unit_param, B_unit)
+    :: List.map2
+         (fun param arg -> (param, B_inline (resolve_term st scope arg)))
+         rest_params rest_args
+
+let resolve_aggregate_call st scope ~(name : string) ~(args : Ast.term list) (p : Ast.pos) : int =
+  match Ast.find_decl st.prog name with
+  | Some (Ast.D_aggregate { name; params; components; where_; default; pos = _ }) ->
+    let bindings = bind_params st scope ~decl_name:name ~params ~args p in
+    (* Body terms see the declaration's parameters, the caller's lets (only
+       through inlined args), and the scanned tuple e. *)
+    let body_scope =
+      { scope with vars = ("e", B_env) :: bindings; e_allowed = true }
+    in
+    let rt t = resolve_term st body_scope t in
+    let kind_of = function
+      | Ast.G_count -> Aggregate.Count
+      | Ast.G_sum t -> Aggregate.Sum (rt t)
+      | Ast.G_avg t -> Aggregate.Avg (rt t)
+      | Ast.G_stddev t -> Aggregate.Std_dev (rt t)
+      | Ast.G_min t -> Aggregate.Min_agg (rt t)
+      | Ast.G_max t -> Aggregate.Max_agg (rt t)
+      | Ast.G_argmin (o, r) -> Aggregate.Arg_min { objective = rt o; result = rt r }
+      | Ast.G_argmax (o, r) -> Aggregate.Arg_max { objective = rt o; result = rt r }
+      | Ast.G_nearest (ex, ey, ux, uy, r) ->
+        Aggregate.Nearest { ex = rt ex; ey = rt ey; ux = rt ux; uy = rt uy; result = rt r }
+    in
+    let kinds = List.map kind_of components in
+    let where_ =
+      match where_ with
+      | None -> Predicate.always_true
+      | Some t -> Predicate.of_expr (rt t)
+    in
+    (* The default sees u but not e. *)
+    let default = Option.map (resolve_term st { body_scope with e_allowed = false }) default in
+    intern_instance st (Aggregate.make ?default ~name ~kinds ~where_ ())
+  | Some _ -> fail p "%S is not an aggregate" name
+  | None -> fail p "unknown aggregate %S" name
+
+(* ------------------------------------------------------------------ *)
+(* Actions *)
+
+let is_aggregate_call st = function
+  | Ast.T_call (name, _, _) -> begin
+    match Ast.find_decl st.prog name with
+    | Some (Ast.D_aggregate _) -> true
+    | Some _ | None -> false
+  end
+  | _ -> false
+
+let rec resolve_action st scope (a : Ast.action) : Core_ir.t =
+  match a with
+  | Ast.A_skip -> Core_ir.Skip
+  | Ast.A_let (v, rhs, k) when is_aggregate_call st rhs -> begin
+    match rhs with
+    | Ast.T_call (name, args, p) ->
+      let agg_id = resolve_aggregate_call st scope ~name ~args p in
+      let scope' =
+        { scope with vars = (v, B_slot scope.depth) :: scope.vars; depth = scope.depth + 1 }
+      in
+      Core_ir.Let_agg (agg_id, resolve_action st scope' k)
+    | _ -> assert false
+  end
+  | Ast.A_let (v, rhs, k) ->
+    let e = resolve_term st scope rhs in
+    let scope' =
+      { scope with vars = (v, B_slot scope.depth) :: scope.vars; depth = scope.depth + 1 }
+    in
+    Core_ir.Let (e, resolve_action st scope' k)
+  | Ast.A_seq (a1, a2) -> Core_ir.Seq (resolve_action st scope a1, resolve_action st scope a2)
+  | Ast.A_if (c, a1, a2) ->
+    Core_ir.If (resolve_term st scope c, resolve_action st scope a1, resolve_action st scope a2)
+  | Ast.A_perform (name, args, p) -> resolve_perform st scope name args p
+
+and resolve_perform st scope name args p : Core_ir.t =
+  if List.mem name scope.stack then
+    fail p "recursive perform of %S (inline stack: %s)" name (String.concat " -> " scope.stack);
+  match Ast.find_decl st.prog name with
+  | Some (Ast.D_action { name; params; clauses; pos = _ }) ->
+    let bindings = bind_params st scope ~decl_name:name ~params ~args p in
+    let clause_scope = { scope with vars = ("e", B_env) :: bindings; e_allowed = true } in
+    let resolve_clause (c : Ast.effect_clause) : Core_ir.effect_clause =
+      let target =
+        match c.Ast.target with
+        | Ast.E_self -> Core_ir.Self
+        | Ast.E_key t ->
+          (* The key designator sees u and parameters, not e. *)
+          Core_ir.Key (resolve_term st { clause_scope with e_allowed = false } t)
+        | Ast.E_all t -> Core_ir.All (Predicate.of_expr (resolve_term st clause_scope t))
+      in
+      let updates =
+        List.map
+          (fun (attr, t) ->
+            match Schema.find_opt st.schema attr with
+            | None -> fail p "unknown attribute %S in action %s" attr name
+            | Some i ->
+              if Schema.tag_at st.schema i = Schema.Const then
+                fail p "attribute %S is const and cannot be the subject of an effect" attr;
+              (i, resolve_term st clause_scope t))
+          c.Ast.updates
+      in
+      { Core_ir.target; updates }
+    in
+    Core_ir.Effects (List.map resolve_clause clauses)
+  | Some (Ast.D_script { name; params; body; pos = _ }) ->
+    (* Inline the callee.  Its parameters are bound, its lets allocate slots
+       above the caller's. *)
+    let bindings = bind_params st scope ~decl_name:name ~params ~args p in
+    let callee_scope = { scope with vars = bindings; stack = name :: scope.stack } in
+    resolve_action st callee_scope body
+  | Some _ -> fail p "%S cannot be performed" name
+  | None -> fail p "unknown action function %S" name
+
+(* ------------------------------------------------------------------ *)
+(* Programs *)
+
+let resolve ?(consts : (string * Value.t) list = []) ~(schema : Schema.t) (prog : Ast.program) :
+    Core_ir.program =
+  if not (Normalize.is_normal prog) then
+    raise (Resolve_error "program is not in normal form; run Normalize.normalize first");
+  let const_table = Hashtbl.create 16 in
+  List.iter (fun (n, v) -> Hashtbl.replace const_table n v) consts;
+  List.iter
+    (function
+      | Ast.D_const (n, v) -> Hashtbl.replace const_table n v
+      | Ast.D_aggregate _ | Ast.D_action _ | Ast.D_script _ -> ())
+    prog;
+  let st = { prog; schema; consts = const_table; instances = []; n_instances = 0 } in
+  let scripts =
+    List.filter_map
+      (function
+        | Ast.D_script { name; params; body; pos } -> begin
+          (* Only single-parameter scripts are entry points; helpers are
+             inlined at their perform sites. *)
+          match params with
+          | [ unit_param ] ->
+            let scope =
+              {
+                vars = [ (unit_param, B_unit) ];
+                depth = Schema.arity schema;
+                e_allowed = false;
+                stack = [ name ];
+              }
+            in
+            Some { Core_ir.name; body = resolve_action st scope body }
+          | [] -> fail pos "script %s must take the unit record as a parameter" name
+          | _ :: _ :: _ -> None
+        end
+        | Ast.D_const _ | Ast.D_aggregate _ | Ast.D_action _ -> None)
+      prog
+  in
+  {
+    Core_ir.schema;
+    aggregates = Array.of_list (List.rev st.instances);
+    scripts;
+  }

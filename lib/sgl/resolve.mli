@@ -1,0 +1,17 @@
+(** Name resolution and lowering: surface AST -> closed core IR.
+
+    Inlines every [perform] (functions are macros — sound because [Random]
+    is stable within a tick), turns aggregate call sites into deduplicated
+    closed instances, and resolves all names to slots.  Expects the
+    {!Normalize} normal form and a well-typed program. *)
+
+open Sgl_relalg
+
+exception Resolve_error of string
+
+(** [resolve ?consts ~schema prog] lowers a normalized program.  [consts]
+    supplies engine-provided named constants (merged with the program's own
+    [const] declarations, which win on collision).
+    Raises {!Resolve_error} on unknown names, arity errors, recursion, or a
+    program not in normal form. *)
+val resolve : ?consts:(string * Value.t) list -> schema:Schema.t -> Ast.program -> Core_ir.program

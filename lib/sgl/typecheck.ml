@@ -1,0 +1,456 @@
+(* Static checking of SGL programs, before normalization and resolution.
+
+   Catches what a game designer actually gets wrong: misspelled attributes,
+   wrong arities, conditions that are not boolean, effects on const
+   attributes, recursive performs, vector/scalar confusion.  Parameters of
+   aggregate and action declarations are checked generically (type [Any])
+   and re-checked implicitly at each call site after inlining. *)
+
+open Sgl_relalg
+
+type ty = Ty_int | Ty_float | Ty_bool | Ty_vec | Ty_any
+
+exception Type_error of string
+
+let fail (p : Ast.pos) fmt =
+  Fmt.kstr
+    (fun s -> raise (Type_error (Fmt.str "line %d, column %d: %s" p.Ast.line p.Ast.col s)))
+    fmt
+
+let ty_name = function
+  | Ty_int -> "int"
+  | Ty_float -> "float"
+  | Ty_bool -> "bool"
+  | Ty_vec -> "vec"
+  | Ty_any -> "any"
+
+let of_value_ty = function
+  | Value.TInt -> Ty_int
+  | Value.TFloat -> Ty_float
+  | Value.TBool -> Ty_bool
+  | Value.TVec -> Ty_vec
+
+let is_numeric = function
+  | Ty_int | Ty_float | Ty_any -> true
+  | Ty_bool | Ty_vec -> false
+
+(* The join of two numeric types (int widens to float). *)
+let join_numeric p a b =
+  match (a, b) with
+  | Ty_any, other | other, Ty_any -> other
+  | Ty_int, Ty_int -> Ty_int
+  | (Ty_int | Ty_float), (Ty_int | Ty_float) -> Ty_float
+  | _ -> fail p "expected numbers, got %s and %s" (ty_name a) (ty_name b)
+
+type binding = V_unit | V_env | V_val of ty
+
+type env = {
+  prog : Ast.program;
+  schema : Schema.t;
+  consts : (string, ty) Hashtbl.t;
+  vars : (string * binding) list;
+  e_allowed : bool;
+}
+
+let reserved_name p name =
+  if name = "e" then fail p "%S is reserved for the environment tuple" name;
+  if String.length name >= 2 && String.sub name 0 2 = "__" then
+    fail p "names starting with \"__\" are reserved (%S)" name
+
+let bind env p name b =
+  reserved_name p name;
+  if List.mem_assoc name env.vars then fail p "%S is already bound" name;
+  { env with vars = (name, b) :: env.vars }
+
+(* Result type of an aggregate declaration's components. *)
+let rec agg_result_ty env (d : Ast.decl) p : ty =
+  match d with
+  | Ast.D_aggregate { params; components; where_ = _; default = _; pos; _ } -> begin
+    let param_bindings =
+      match params with
+      | [] -> fail pos "aggregate must declare the unit record as its first parameter"
+      | unit_param :: rest -> (unit_param, V_unit) :: List.map (fun r -> (r, V_val Ty_any)) rest
+    in
+    (* The implicit [e] bypasses [bind]: its name is reserved for this. *)
+    let body_env = { env with vars = ("e", V_env) :: param_bindings; e_allowed = true } in
+    let component_ty = function
+      | Ast.G_count -> Ty_int
+      | Ast.G_sum _ | Ast.G_avg _ | Ast.G_stddev _ | Ast.G_min _ | Ast.G_max _ -> Ty_float
+      | Ast.G_argmin (_, r) | Ast.G_argmax (_, r) -> term_ty body_env r
+      | Ast.G_nearest (_, _, _, _, r) -> term_ty body_env r
+    in
+    match components with
+    | [ c ] -> component_ty c
+    | [ _; _ ] -> Ty_vec
+    | _ -> fail p "aggregate must have one or two components"
+  end
+  | _ -> fail p "not an aggregate"
+
+and call_ty env name args p : ty =
+  let arg i = List.nth args i in
+  let arity n =
+    if List.length args <> n then
+      fail p "%s expects %d argument(s), got %d" name n (List.length args)
+  in
+  let numeric i =
+    let t = term_ty env (arg i) in
+    if not (is_numeric t) then
+      fail p "argument %d of %s must be a number, got %s" (i + 1) name (ty_name t);
+    t
+  in
+  match name with
+  | "abs" ->
+    arity 1;
+    numeric 0
+  | "sqrt" ->
+    arity 1;
+    ignore (numeric 0);
+    Ty_float
+  | "min" | "max" ->
+    arity 2;
+    join_numeric p (numeric 0) (numeric 1)
+  | "random" ->
+    arity 1;
+    ignore (numeric 0);
+    Ty_int
+  | "norm" ->
+    arity 1;
+    let t = term_ty env (arg 0) in
+    if t <> Ty_vec && t <> Ty_any then fail p "norm expects a vec, got %s" (ty_name t);
+    Ty_float
+  | "dist" ->
+    arity 2;
+    List.iteri
+      (fun i a ->
+        let t = term_ty env a in
+        if t <> Ty_vec && t <> Ty_any then
+          fail p "argument %d of dist must be a vec, got %s" (i + 1) (ty_name t))
+      args;
+    Ty_float
+  | other -> begin
+    match Ast.find_decl env.prog other with
+    | Some (Ast.D_aggregate _ as d) ->
+      check_call_args env ~decl:d ~args p;
+      agg_result_ty env d p
+    | Some (Ast.D_action _) -> fail p "action %S can only be used with perform" other
+    | Some (Ast.D_script _) -> fail p "script %S can only be used with perform" other
+    | Some (Ast.D_const _) -> fail p "constant %S is not a function" other
+    | None -> fail p "unknown function %S" other
+  end
+
+(* Arity and unit-record checks shared by aggregate calls and performs. *)
+and check_call_args env ~(decl : Ast.decl) ~(args : Ast.term list) p : unit =
+  let params =
+    match decl with
+    | Ast.D_aggregate { params; _ } | Ast.D_action { params; _ } | Ast.D_script { params; _ } ->
+      params
+    | Ast.D_const _ -> fail p "constants take no arguments"
+  in
+  let name = Ast.decl_name decl in
+  if List.length params <> List.length args then
+    fail p "%s expects %d argument(s), got %d" name (List.length params) (List.length args);
+  (match args with
+  | [] -> fail p "%s must be called with the unit record first" name
+  | first :: rest ->
+    (match first with
+    | Ast.T_var (v, vp) -> begin
+      match List.assoc_opt v env.vars with
+      | Some V_unit -> ()
+      | _ -> fail vp "the first argument of %s must be the unit record" name
+    end
+    | _ -> fail p "the first argument of %s must be the unit record" name);
+    (* Remaining arguments are ordinary values. *)
+    List.iter (fun a -> ignore (term_ty env a)) rest)
+
+and term_ty env (t : Ast.term) : ty =
+  match t with
+  | Ast.T_int _ -> Ty_int
+  | Ast.T_float _ -> Ty_float
+  | Ast.T_bool _ -> Ty_bool
+  | Ast.T_var (name, p) -> begin
+    match List.assoc_opt name env.vars with
+    | Some (V_val ty) -> ty
+    | Some V_unit -> fail p "the unit record %S cannot be used as a plain value" name
+    | Some V_env -> fail p "the environment tuple %S cannot be used as a plain value" name
+    | None -> begin
+      match Hashtbl.find_opt env.consts name with
+      | Some ty -> ty
+      | None -> fail p "unknown variable %S" name
+    end
+  end
+  | Ast.T_dot (Ast.T_var (base, bp), field, p) -> begin
+    match List.assoc_opt base env.vars with
+    | Some V_unit -> attr_ty env p field
+    | Some V_env ->
+      if not env.e_allowed then
+        fail bp "environment tuple %S is only available inside aggregate and action bodies" base
+      else attr_ty env p field
+    | Some _ | None -> field_ty env (Ast.T_var (base, bp)) field p
+  end
+  | Ast.T_dot (base, field, p) -> field_ty env base field p
+  | Ast.T_binop (op, a, b) -> begin
+    let ta = term_ty env a and tb = term_ty env b in
+    match op with
+    | Expr.Mod ->
+      if ta <> Ty_int && ta <> Ty_any then fail (pos_of_term a) "mod needs ints";
+      if tb <> Ty_int && tb <> Ty_any then fail (pos_of_term b) "mod needs ints";
+      Ty_int
+    | Expr.Add | Expr.Sub -> begin
+      match (ta, tb) with
+      | Ty_vec, Ty_vec -> Ty_vec
+      | Ty_vec, Ty_any | Ty_any, Ty_vec -> Ty_vec
+      | _ -> join_numeric (pos_of_term a) ta tb
+    end
+    | Expr.Mul -> begin
+      match (ta, tb) with
+      | Ty_vec, other when is_numeric other -> Ty_vec
+      | other, Ty_vec when is_numeric other -> Ty_vec
+      | _ -> join_numeric (pos_of_term a) ta tb
+    end
+    | Expr.Div -> begin
+      match (ta, tb) with
+      | Ty_vec, other when is_numeric other -> Ty_vec
+      | _ ->
+        ignore (join_numeric (pos_of_term a) ta tb);
+        Ty_float
+    end
+  end
+  | Ast.T_cmp (op, a, b) -> begin
+    let ta = term_ty env a and tb = term_ty env b in
+    (match op with
+    | Expr.Eq | Expr.Ne -> () (* any pair of equal-kind values; vec allowed *)
+    | Expr.Lt | Expr.Le | Expr.Gt | Expr.Ge -> ignore (join_numeric (pos_of_term a) ta tb));
+    Ty_bool
+  end
+  | Ast.T_and (a, b) | Ast.T_or (a, b) ->
+    expect_bool env a;
+    expect_bool env b;
+    Ty_bool
+  | Ast.T_not a ->
+    expect_bool env a;
+    Ty_bool
+  | Ast.T_neg a ->
+    let t = term_ty env a in
+    if t = Ty_vec then Ty_vec
+    else if is_numeric t then t
+    else fail (pos_of_term a) "cannot negate a %s" (ty_name t)
+  | Ast.T_vec (a, b) ->
+    let ta = term_ty env a and tb = term_ty env b in
+    if not (is_numeric ta && is_numeric tb) then
+      fail (pos_of_term a) "vector components must be numbers";
+    Ty_vec
+  | Ast.T_call (name, args, p) -> call_ty env name args p
+
+and attr_ty env p field =
+  match Schema.find_opt env.schema field with
+  | Some i -> of_value_ty (Schema.ty_at env.schema i)
+  | None -> fail p "unknown attribute %S" field
+
+and field_ty env base field p =
+  let t = term_ty env base in
+  if t <> Ty_vec && t <> Ty_any then fail p "component access .%s needs a vec, got %s" field (ty_name t);
+  match field with
+  | "x" | "y" -> Ty_float
+  | other -> fail p "unknown vector component %S (expected .x or .y)" other
+
+and expect_bool env t =
+  let ty = term_ty env t in
+  if ty <> Ty_bool && ty <> Ty_any then
+    fail (pos_of_term t) "expected a boolean condition, got %s" (ty_name ty)
+
+and pos_of_term = function
+  | Ast.T_var (_, p) | Ast.T_dot (_, _, p) | Ast.T_call (_, _, p) -> p
+  | Ast.T_int _ | Ast.T_float _ | Ast.T_bool _ -> Ast.no_pos
+  | Ast.T_binop (_, a, _)
+  | Ast.T_cmp (_, a, _)
+  | Ast.T_and (a, _)
+  | Ast.T_or (a, _)
+  | Ast.T_not a
+  | Ast.T_neg a
+  | Ast.T_vec (a, _) ->
+    pos_of_term a
+
+(* ------------------------------------------------------------------ *)
+(* Actions *)
+
+let rec check_action env (a : Ast.action) : unit =
+  match a with
+  | Ast.A_skip -> ()
+  | Ast.A_let (v, t, k) ->
+    let ty = term_ty env t in
+    let env' = bind env (pos_of_term t) v (V_val ty) in
+    check_action env' k
+  | Ast.A_seq (a1, a2) ->
+    check_action env a1;
+    check_action env a2
+  | Ast.A_if (c, a1, a2) ->
+    expect_bool env c;
+    check_action env a1;
+    check_action env a2
+  | Ast.A_perform (name, args, p) -> begin
+    match Ast.find_decl env.prog name with
+    | Some ((Ast.D_action _ | Ast.D_script _) as d) -> check_call_args env ~decl:d ~args p
+    | Some (Ast.D_aggregate _) -> fail p "aggregate %S cannot be performed" name
+    | Some (Ast.D_const _) -> fail p "constant %S cannot be performed" name
+    | None -> fail p "unknown action function %S" name
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Declarations *)
+
+let check_params pos params =
+  match params with
+  | [] -> fail pos "declaration must take the unit record as its first parameter"
+  | _ ->
+    List.iter (fun p -> reserved_name pos p) params;
+    let sorted = List.sort compare params in
+    let rec dup = function
+      | a :: b :: _ when a = b -> fail pos "duplicate parameter %S" a
+      | _ :: rest -> dup rest
+      | [] -> ()
+    in
+    dup sorted
+
+let decl_env env pos params =
+  match params with
+  | [] -> fail pos "declaration must take the unit record as its first parameter"
+  | unit_param :: rest ->
+    List.fold_left
+      (fun acc r -> bind acc pos r (V_val Ty_any))
+      (bind { env with vars = [] } pos unit_param V_unit)
+      rest
+
+let check_aggregate env ~name:_ ~params ~components ~where_ ~default pos =
+  check_params pos params;
+  (* The implicit [e] bypasses [bind]: the name is reserved for exactly
+     this binding. *)
+  let body_env =
+    let base = decl_env env pos params in
+    { base with vars = ("e", V_env) :: base.vars; e_allowed = true }
+  in
+  let check_component = function
+    | Ast.G_count -> ()
+    | Ast.G_sum t | Ast.G_avg t | Ast.G_stddev t | Ast.G_min t | Ast.G_max t ->
+      let ty = term_ty body_env t in
+      if not (is_numeric ty) then fail pos "aggregate component needs a numeric term"
+    | Ast.G_argmin (o, r) | Ast.G_argmax (o, r) ->
+      let ty = term_ty body_env o in
+      if not (is_numeric ty) then fail pos "argmin/argmax objective must be numeric";
+      ignore (term_ty body_env r)
+    | Ast.G_nearest (ex, ey, ux, uy, r) ->
+      List.iter
+        (fun t ->
+          let ty = term_ty body_env t in
+          if not (is_numeric ty) then fail pos "nearest coordinates must be numeric")
+        [ ex; ey; ux; uy ];
+      ignore (term_ty body_env r)
+  in
+  (match components with
+  | [ c ] -> check_component c
+  | [ c1; c2 ] ->
+    check_component c1;
+    check_component c2
+  | [] -> fail pos "aggregate must have at least one component"
+  | _ -> fail pos "aggregate must have at most two components");
+  Option.iter (fun w -> expect_bool body_env w) where_;
+  (* The default may not mention e. *)
+  Option.iter (fun d -> ignore (term_ty { body_env with e_allowed = false } d)) default
+
+let check_action_decl env ~name:_ ~params ~clauses pos =
+  check_params pos params;
+  let base = decl_env env pos params in
+  let clause_env =
+    { { base with vars = ("e", V_env) :: base.vars } with e_allowed = true }
+  in
+  List.iter
+    (fun (c : Ast.effect_clause) ->
+      (match c.Ast.target with
+      | Ast.E_self -> ()
+      | Ast.E_key t ->
+        let ty = term_ty { clause_env with e_allowed = false } t in
+        if not (is_numeric ty) then fail pos "key target must be an integer expression"
+      | Ast.E_all t -> expect_bool clause_env t);
+      if c.Ast.updates = [] then fail pos "effect clause must update at least one attribute";
+      List.iter
+        (fun (attr, t) ->
+          match Schema.find_opt env.schema attr with
+          | None -> fail pos "unknown attribute %S" attr
+          | Some i -> begin
+            let ty = term_ty clause_env t in
+            match Schema.tag_at env.schema i with
+            | Schema.Const ->
+              fail pos "attribute %S is const and cannot be the subject of an effect" attr
+            | Schema.Pmax ->
+              if ty <> Ty_vec && ty <> Ty_any then
+                fail pos
+                  "effect contribution for priority-set attribute %S must be a (priority, value) \
+                   vec, got %s"
+                  attr (ty_name ty)
+            | Schema.Sum | Schema.Max | Schema.Min ->
+              if not (is_numeric ty) then
+                fail pos "effect contribution for %S must be numeric, got %s" attr (ty_name ty)
+          end)
+        c.Ast.updates)
+    clauses
+
+(* Perform-reachability cycle detection over scripts. *)
+let check_no_recursion (prog : Ast.program) =
+  let callees body =
+    let acc = ref [] in
+    let rec go = function
+      | Ast.A_skip -> ()
+      | Ast.A_let (_, _, k) -> go k
+      | Ast.A_seq (a, b) | Ast.A_if (_, a, b) ->
+        go a;
+        go b
+      | Ast.A_perform (n, _, _) -> acc := n :: !acc
+    in
+    go body;
+    !acc
+  in
+  let graph =
+    List.filter_map
+      (function
+        | Ast.D_script { name; body; _ } -> Some (name, callees body)
+        | Ast.D_const _ | Ast.D_aggregate _ | Ast.D_action _ -> None)
+      prog
+  in
+  let rec dfs visiting name =
+    if List.mem name visiting then
+      raise (Type_error (Fmt.str "recursive perform cycle involving %S" name));
+    match List.assoc_opt name graph with
+    | None -> () (* action declaration or unknown: flagged elsewhere *)
+    | Some next -> List.iter (dfs (name :: visiting)) next
+  in
+  List.iter (fun (name, _) -> dfs [] name) graph
+
+let check ?(consts : (string * Value.t) list = []) ~(schema : Schema.t) (prog : Ast.program) :
+    unit =
+  (* Duplicate declaration names *)
+  let names = List.map Ast.decl_name prog in
+  let rec dup = function
+    | a :: b :: _ when a = b -> raise (Type_error (Fmt.str "duplicate declaration %S" a))
+    | _ :: rest -> dup rest
+    | [] -> ()
+  in
+  dup (List.sort compare names);
+  let const_table = Hashtbl.create 16 in
+  let value_ty v = of_value_ty (Value.ty_of v) in
+  List.iter (fun (n, v) -> Hashtbl.replace const_table n (value_ty v)) consts;
+  List.iter
+    (function
+      | Ast.D_const (n, v) -> Hashtbl.replace const_table n (value_ty v)
+      | Ast.D_aggregate _ | Ast.D_action _ | Ast.D_script _ -> ())
+    prog;
+  let env = { prog; schema; consts = const_table; vars = []; e_allowed = false } in
+  List.iter
+    (function
+      | Ast.D_const _ -> ()
+      | Ast.D_aggregate { name; params; components; where_; default; pos } ->
+        check_aggregate env ~name ~params ~components ~where_ ~default pos
+      | Ast.D_action { name; params; clauses; pos } -> check_action_decl env ~name ~params ~clauses pos
+      | Ast.D_script { name = _; params; body; pos } ->
+        check_params pos params;
+        check_action (decl_env env pos params) body)
+    prog;
+  check_no_recursion prog

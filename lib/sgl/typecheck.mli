@@ -1,0 +1,18 @@
+(** Static checking of SGL programs (pre-normalization).
+
+    Catches unknown attributes and variables, arity and unit-record
+    violations, non-boolean conditions, effects on const attributes,
+    vector/scalar confusion, reserved-name bindings ([e], ["__" ] prefix),
+    duplicate declarations, rebinding, and recursive [perform] cycles. *)
+
+open Sgl_relalg
+
+type ty = Ty_int | Ty_float | Ty_bool | Ty_vec | Ty_any
+
+exception Type_error of string
+
+val ty_name : ty -> string
+
+(** [check ?consts ~schema prog] raises {!Type_error} on the first
+    violation. *)
+val check : ?consts:(string * Value.t) list -> schema:Schema.t -> Ast.program -> unit

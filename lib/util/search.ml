@@ -1,0 +1,53 @@
+(* Binary searches over sorted float arrays.
+
+   All the geometric indexes reduce range decomposition to lower/upper bound
+   searches, so these live in one place and are tested once. *)
+
+(* Index of the first element >= [x]; [Array.length arr] when none. *)
+let lower_bound arr x =
+  let rec go lo hi =
+    if lo >= hi then lo
+    else begin
+      let mid = (lo + hi) / 2 in
+      if arr.(mid) < x then go (mid + 1) hi else go lo mid
+    end
+  in
+  go 0 (Array.length arr)
+
+(* Index of the first element > [x]; [Array.length arr] when none. *)
+let upper_bound arr x =
+  let rec go lo hi =
+    if lo >= hi then lo
+    else begin
+      let mid = (lo + hi) / 2 in
+      if arr.(mid) <= x then go (mid + 1) hi else go lo mid
+    end
+  in
+  go 0 (Array.length arr)
+
+(* Count of elements in the closed interval [lo, hi]. *)
+let count_in_range arr ~lo ~hi =
+  let a = lower_bound arr lo and b = upper_bound arr hi in
+  max 0 (b - a)
+
+(* Generic lower bound on an abstract sorted sequence given by [get]/[len],
+   with a custom key projection. *)
+let lower_bound_by ~len ~get key x =
+  let rec go lo hi =
+    if lo >= hi then lo
+    else begin
+      let mid = (lo + hi) / 2 in
+      if key (get mid) < x then go (mid + 1) hi else go lo mid
+    end
+  in
+  go 0 len
+
+let upper_bound_by ~len ~get key x =
+  let rec go lo hi =
+    if lo >= hi then lo
+    else begin
+      let mid = (lo + hi) / 2 in
+      if key (get mid) <= x then go (mid + 1) hi else go lo mid
+    end
+  in
+  go 0 len

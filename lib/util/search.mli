@@ -1,0 +1,13 @@
+(** Binary search over sorted data. *)
+
+(** First index whose element is [>= x]; array length when none. *)
+val lower_bound : float array -> float -> int
+
+(** First index whose element is [> x]; array length when none. *)
+val upper_bound : float array -> float -> int
+
+(** Number of elements inside the closed interval [\[lo, hi\]]. *)
+val count_in_range : float array -> lo:float -> hi:float -> int
+
+val lower_bound_by : len:int -> get:(int -> 'a) -> ('a -> float) -> float -> int
+val upper_bound_by : len:int -> get:(int -> 'a) -> ('a -> float) -> float -> int

@@ -1,0 +1,52 @@
+(* Streaming statistics: used by benchmark reporting and by the engine's
+   per-phase timing accumulators. *)
+
+type t = {
+  mutable n : int;
+  mutable mean : float;
+  mutable m2 : float; (* sum of squared deviations (Welford) *)
+  mutable min : float;
+  mutable max : float;
+}
+
+let create () = { n = 0; mean = 0.; m2 = 0.; min = infinity; max = neg_infinity }
+
+let add t x =
+  t.n <- t.n + 1;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. float_of_int t.n);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+  if x < t.min then t.min <- x;
+  if x > t.max then t.max <- x
+
+let count t = t.n
+let mean t = if t.n = 0 then nan else t.mean
+let total t = t.mean *. float_of_int t.n
+let variance t = if t.n < 2 then 0. else t.m2 /. float_of_int (t.n - 1)
+let stddev t = sqrt (variance t)
+let min_value t = if t.n = 0 then nan else t.min
+let max_value t = if t.n = 0 then nan else t.max
+
+let reset t =
+  t.n <- 0;
+  t.mean <- 0.;
+  t.m2 <- 0.;
+  t.min <- infinity;
+  t.max <- neg_infinity
+
+(* One-shot helpers over arrays; population variance to match the battle
+   scripts' "standard deviation of all troop positions" aggregate. *)
+let mean_of arr =
+  let n = Array.length arr in
+  if n = 0 then nan else Array.fold_left ( +. ) 0. arr /. float_of_int n
+
+let population_variance_of arr =
+  let n = Array.length arr in
+  if n = 0 then nan
+  else begin
+    let m = mean_of arr in
+    let acc = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0. arr in
+    acc /. float_of_int n
+  end
+
+let population_stddev_of arr = sqrt (population_variance_of arr)

@@ -1,0 +1,24 @@
+(** Streaming and one-shot statistics. *)
+
+type t
+
+val create : unit -> t
+
+(** [add t x] folds the observation [x] into the accumulator (Welford). *)
+val add : t -> float -> unit
+
+val count : t -> int
+val mean : t -> float
+val total : t -> float
+
+(** Sample variance (n-1 denominator); 0 when fewer than two samples. *)
+val variance : t -> float
+
+val stddev : t -> float
+val min_value : t -> float
+val max_value : t -> float
+val reset : t -> unit
+
+val mean_of : float array -> float
+val population_variance_of : float array -> float
+val population_stddev_of : float array -> float

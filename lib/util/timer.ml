@@ -1,0 +1,45 @@
+(* Wall-clock phase timing for the simulation engine and bench harness. *)
+
+let now () = Unix.gettimeofday ()
+
+type t = { mutable elapsed : float; mutable started : float option }
+
+let create () = { elapsed = 0.; started = None }
+
+let start t =
+  match t.started with
+  | Some _ -> invalid_arg "Timer.start: already running"
+  | None -> t.started <- Some (now ())
+
+let stop t =
+  match t.started with
+  | None -> invalid_arg "Timer.stop: not running"
+  | Some s ->
+    t.elapsed <- t.elapsed +. (now () -. s);
+    t.started <- None
+
+let elapsed t =
+  match t.started with
+  | None -> t.elapsed
+  | Some s -> t.elapsed +. (now () -. s)
+
+let reset t =
+  t.elapsed <- 0.;
+  t.started <- None
+
+(* [timed f] runs [f ()] and returns its result with the seconds it took. *)
+let timed f =
+  let t0 = now () in
+  let result = f () in
+  (result, now () -. t0)
+
+(* Accumulate the run time of [f] into [t] even if [f] raises. *)
+let record t f =
+  start t;
+  match f () with
+  | result ->
+    stop t;
+    result
+  | exception e ->
+    stop t;
+    raise e

@@ -1,0 +1,25 @@
+(** Wall-clock timers that accumulate across start/stop cycles. *)
+
+type t
+
+val create : unit -> t
+
+(** Raises [Invalid_argument] if the timer is already running. *)
+val start : t -> unit
+
+(** Raises [Invalid_argument] if the timer is not running. *)
+val stop : t -> unit
+
+(** Total accumulated seconds, including the in-flight interval if running. *)
+val elapsed : t -> float
+
+val reset : t -> unit
+
+(** [timed f] is [(f (), seconds_taken)]. *)
+val timed : (unit -> 'a) -> 'a * float
+
+(** [record t f] accumulates the run time of [f] into [t]. *)
+val record : t -> (unit -> 'a) -> 'a
+
+(** Current wall-clock time in seconds. *)
+val now : unit -> float

@@ -1,0 +1,30 @@
+(** Growable arrays with amortized O(1) push. *)
+
+type 'a t
+
+(** [create ?capacity dummy] makes an empty array.  [dummy] fills unused
+    slots; it is never observable through the API. *)
+val create : ?capacity:int -> 'a -> 'a t
+
+val length : 'a t -> int
+val push : 'a t -> 'a -> unit
+
+(** [get t i] and [set t i x] raise [Invalid_argument] when out of bounds. *)
+val get : 'a t -> int -> 'a
+
+val set : 'a t -> int -> 'a -> unit
+
+(** Remove and return the last element.  Raises [Invalid_argument] if empty. *)
+val pop : 'a t -> 'a
+
+val clear : 'a t -> unit
+val iter : ('a -> unit) -> 'a t -> unit
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+val fold_left : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+val exists : ('a -> bool) -> 'a t -> bool
+val to_array : 'a t -> 'a array
+val to_list : 'a t -> 'a list
+val of_array : 'a -> 'a array -> 'a t
+
+(** O(1) unordered removal: the last element replaces slot [i]. *)
+val swap_remove : 'a t -> int -> unit

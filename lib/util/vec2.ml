@@ -1,0 +1,28 @@
+(* Two-dimensional vectors: unit positions, movement vectors, centroids. *)
+
+type t = { x : float; y : float }
+
+let make x y = { x; y }
+let zero = { x = 0.; y = 0. }
+let add a b = { x = a.x +. b.x; y = a.y +. b.y }
+let sub a b = { x = a.x -. b.x; y = a.y -. b.y }
+let scale k a = { x = k *. a.x; y = k *. a.y }
+let dot a b = (a.x *. b.x) +. (a.y *. b.y)
+let norm2 a = dot a a
+let norm a = sqrt (norm2 a)
+let dist2 a b = norm2 (sub a b)
+let dist a b = sqrt (dist2 a b)
+
+let normalize a =
+  let n = norm a in
+  if n = 0. then zero else scale (1. /. n) a
+
+(* Clamp the length of [a] to at most [len]; used to cap per-tick movement. *)
+let clamp_norm len a =
+  let n = norm a in
+  if n <= len || n = 0. then a else scale (len /. n) a
+
+let lerp t a b = add (scale (1. -. t) a) (scale t b)
+let equal a b = a.x = b.x && a.y = b.y
+let pp ppf a = Fmt.pf ppf "(%g, %g)" a.x a.y
+let to_string a = Fmt.str "%a" pp a

@@ -1,0 +1,28 @@
+(** Two-dimensional float vectors. *)
+
+type t = { x : float; y : float }
+
+val make : float -> float -> t
+val zero : t
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : float -> t -> t
+val dot : t -> t -> float
+
+(** Squared Euclidean norm. *)
+val norm2 : t -> float
+
+val norm : t -> float
+val dist2 : t -> t -> float
+val dist : t -> t -> float
+
+(** Unit-length vector in the same direction; [zero] maps to [zero]. *)
+val normalize : t -> t
+
+(** [clamp_norm len a] shortens [a] to length [len] if it is longer. *)
+val clamp_norm : float -> t -> t
+
+val lerp : float -> t -> t -> t
+val equal : t -> t -> bool
+val pp : t Fmt.t
+val to_string : t -> string

@@ -1,0 +1,316 @@
+(* Tests for the discrete simulation engine: post-processing, movement with
+   collision detection, resurrection, and tick orchestration. *)
+
+open Sgl_relalg
+open Sgl_util
+open Sgl_engine
+
+let schema () = Sgl_battle.Unit_types.schema ()
+
+let knight s ~key ~player ~x ~y =
+  Sgl_battle.Unit_types.make_unit s ~key ~player ~klass:Sgl_battle.D20.Knight ~x ~y
+
+let a s name = Schema.find s name
+let no_rand ~key:_ (_ : int) = 0
+
+(* ------------------------------------------------------------------ *)
+(* Postprocess *)
+
+let test_post_health_and_death () =
+  let s = schema () in
+  let spec = Postprocess.battle_spec ~schema:s in
+  let u0 = knight s ~key:0 ~player:0 ~x:1 ~y:1 in
+  let u1 = knight s ~key:1 ~player:1 ~x:5 ~y:5 in
+  let acc = Combine.Acc.create s in
+  (* unit 0 takes 15 damage and 4 healing; unit 1 takes lethal damage *)
+  Combine.Acc.add_attr acc ~base:u0 ~key:0 (a s "damage") (Value.Float 15.);
+  Combine.Acc.add_attr acc ~base:u0 ~key:0 (a s "inaura") (Value.Float 4.);
+  Combine.Acc.add_attr acc ~base:u1 ~key:1 (a s "damage") (Value.Float 1000.);
+  let results = Postprocess.apply spec ~schema:s ~rand_for:no_rand ~units:[| u0; u1 |] ~acc in
+  (match results.(0) with
+  | row, true ->
+    Alcotest.(check (float 1e-9)) "healed and hurt" 49. (Value.to_float (Tuple.get row (a s "health")))
+  | _, false -> Alcotest.fail "unit 0 should survive");
+  match results.(1) with
+  | _, false -> ()
+  | _, true -> Alcotest.fail "unit 1 should die"
+
+let test_post_health_clamped_to_max () =
+  let s = schema () in
+  let spec = Postprocess.battle_spec ~schema:s in
+  let u0 = knight s ~key:0 ~player:0 ~x:1 ~y:1 in
+  let acc = Combine.Acc.create s in
+  Combine.Acc.add_attr acc ~base:u0 ~key:0 (a s "inaura") (Value.Float 50.);
+  let results = Postprocess.apply spec ~schema:s ~rand_for:no_rand ~units:[| u0 |] ~acc in
+  let row, _ = results.(0) in
+  Alcotest.(check (float 1e-9)) "clamped" 60. (Value.to_float (Tuple.get row (a s "health")))
+
+let test_post_cooldown () =
+  let s = schema () in
+  let spec = Postprocess.battle_spec ~schema:s in
+  let u0 = knight s ~key:0 ~player:0 ~x:1 ~y:1 in
+  Tuple.set u0 (a s "cooldown") (Value.Int 3);
+  let acc = Combine.Acc.create s in
+  let results = Postprocess.apply spec ~schema:s ~rand_for:no_rand ~units:[| u0 |] ~acc in
+  let row, _ = results.(0) in
+  Alcotest.(check int) "decremented" 2 (Value.to_int (Tuple.get row (a s "cooldown")));
+  (* fire at cooldown 0: restart from the unit's reload *)
+  Tuple.set u0 (a s "cooldown") (Value.Int 0);
+  let acc = Combine.Acc.create s in
+  Combine.Acc.add_attr acc ~base:u0 ~key:0 (a s "weaponused") (Value.Int 1);
+  let results = Postprocess.apply spec ~schema:s ~rand_for:no_rand ~units:[| u0 |] ~acc in
+  let row, _ = results.(0) in
+  Alcotest.(check int) "reloaded" Sgl_battle.D20.knight.Sgl_battle.D20.reload
+    (Value.to_int (Tuple.get row (a s "cooldown")))
+
+let test_post_rejects_effect_attr () =
+  let s = schema () in
+  Alcotest.(check bool) "damage is not state" true
+    (try
+       ignore
+         (Postprocess.make ~schema:s
+            ~updates:[ (a s "damage", Expr.Const (Value.Float 0.)) ]
+            ~remove_when:(Expr.Const (Value.Bool false)));
+       false
+     with Postprocess.Postprocess_error _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Movement *)
+
+let movement_config s ~width ~height =
+  {
+    Movement.posx = a s "posx";
+    posy = a s "posy";
+    mvx = a s "movevect_x";
+    mvy = a s "movevect_y";
+    speed = 2.;
+    speed_attr = None;
+    width;
+    height;
+  }
+
+let move_one s config ~units ~vectors =
+  let acc = Combine.Acc.create s in
+  List.iter
+    (fun (key, vx, vy) ->
+      let u = Array.get units key in
+      Combine.Acc.add_attr acc ~base:u ~key (a s "movevect_x") (Value.Float vx);
+      Combine.Acc.add_attr acc ~base:u ~key (a s "movevect_y") (Value.Float vy))
+    vectors;
+  let prng = Prng.create 1 in
+  Movement.run config ~schema:s ~prng ~tick:0 ~units ~acc
+
+let test_movement_moves_and_clamps () =
+  let s = schema () in
+  let config = movement_config s ~width:20 ~height:20 in
+  let units = [| knight s ~key:0 ~player:0 ~x:5 ~y:5 |] in
+  ignore (move_one s config ~units ~vectors:[ (0, 10., 0.) ]);
+  (* vector length 10 clamped to speed 2 *)
+  Alcotest.(check (float 1e-9)) "clamped x" 7.
+    (Value.to_float (Tuple.get units.(0) (a s "posx")));
+  Alcotest.(check (float 1e-9)) "y unchanged" 5.
+    (Value.to_float (Tuple.get units.(0) (a s "posy")))
+
+let test_movement_collision () =
+  let s = schema () in
+  let config = movement_config s ~width:20 ~height:20 in
+  (* unit 1 sits exactly where unit 0 wants to go; x-only and half-step
+     candidates collide too, so unit 0 ends up sliding or staying *)
+  let units = [| knight s ~key:0 ~player:0 ~x:5 ~y:5; knight s ~key:1 ~player:0 ~x:7 ~y:5 |] in
+  ignore (move_one s config ~units ~vectors:[ (0, 2., 0.) ]);
+  let x0 = Value.to_float (Tuple.get units.(0) (a s "posx")) in
+  let y0 = Value.to_float (Tuple.get units.(0) (a s "posy")) in
+  Alcotest.(check bool) "did not stack" true (not (x0 = 7. && y0 = 5.));
+  (* the half-step candidate (6, 5) is free: simple pathfinding takes it *)
+  Alcotest.(check (float 1e-9)) "slid to half step" 6. x0
+
+let test_movement_bounds () =
+  let s = schema () in
+  let config = movement_config s ~width:10 ~height:10 in
+  let units = [| knight s ~key:0 ~player:0 ~x:9 ~y:9 |] in
+  ignore (move_one s config ~units ~vectors:[ (0, 5., 5.) ]);
+  let x = Value.to_float (Tuple.get units.(0) (a s "posx")) in
+  let y = Value.to_float (Tuple.get units.(0) (a s "posy")) in
+  Alcotest.(check bool) "stays in bounds" true (x < 10. && y < 10.)
+
+let test_movement_zero_vector_stays () =
+  let s = schema () in
+  let config = movement_config s ~width:10 ~height:10 in
+  let units = [| knight s ~key:0 ~player:0 ~x:4 ~y:4 |] in
+  ignore (move_one s config ~units ~vectors:[]);
+  Alcotest.(check (float 1e-9)) "no move" 4. (Value.to_float (Tuple.get units.(0) (a s "posx")))
+
+let test_random_free_cell () =
+  let s = schema () in
+  let config = movement_config s ~width:4 ~height:1 in
+  let units =
+    [| knight s ~key:0 ~player:0 ~x:0 ~y:0; knight s ~key:1 ~player:0 ~x:1 ~y:0;
+       knight s ~key:2 ~player:0 ~x:2 ~y:0 |]
+  in
+  let g = move_one s config ~units ~vectors:[] in
+  let prng = Prng.create 3 in
+  (match Movement.random_free_cell g prng ~tick:0 ~salt:0 with
+  | Some (x, y) ->
+    Alcotest.(check (pair int int)) "only free cell" (3, 0) (x, y)
+  | None -> Alcotest.fail "expected a free cell")
+
+(* ------------------------------------------------------------------ *)
+(* Simulation orchestration *)
+
+let test_simulation_resurrect_keeps_population () =
+  let scenario =
+    Sgl_battle.Scenario.setup ~density:0.02
+      ~per_side:(Sgl_battle.Scenario.standard_mix 20) ()
+  in
+  let sim = Sgl_battle.Scenario.simulation ~evaluator:Simulation.Indexed scenario in
+  let n0 = Array.length (Simulation.units sim) in
+  Simulation.run sim ~ticks:30;
+  Alcotest.(check int) "population constant" n0 (Array.length (Simulation.units sim));
+  let r = Simulation.report sim in
+  Alcotest.(check int) "ticks advanced" 30 r.Simulation.ticks;
+  Alcotest.(check int) "resurrections = deaths" r.Simulation.deaths r.Simulation.resurrections;
+  Alcotest.(check bool) "battle actually happened" true (r.Simulation.deaths > 0)
+
+let test_simulation_no_position_stacking () =
+  let scenario =
+    Sgl_battle.Scenario.setup ~density:0.05
+      ~per_side:(Sgl_battle.Scenario.standard_mix 25) ()
+  in
+  let sim = Sgl_battle.Scenario.simulation ~evaluator:Simulation.Indexed scenario in
+  Simulation.run sim ~ticks:15;
+  let s = Simulation.schema sim in
+  let seen = Hashtbl.create 64 in
+  Array.iter
+    (fun u ->
+      let p = Sgl_battle.Unit_types.pos_of s u in
+      if Hashtbl.mem seen p then Alcotest.failf "two units on cell (%g, %g)" (fst p) (snd p);
+      Hashtbl.add seen p ())
+    (Simulation.units sim)
+
+let test_simulation_health_invariants () =
+  let scenario =
+    Sgl_battle.Scenario.setup ~density:0.03
+      ~per_side:(Sgl_battle.Scenario.standard_mix 20) ()
+  in
+  let sim = Sgl_battle.Scenario.simulation ~evaluator:Simulation.Naive scenario in
+  let s = Simulation.schema sim in
+  for _ = 1 to 25 do
+    Simulation.step sim;
+    Array.iter
+      (fun u ->
+        let h = Value.to_float (Tuple.get u (a s "health")) in
+        let m = Value.to_float (Tuple.get u (a s "max_health")) in
+        Alcotest.(check bool) "alive units have positive health" true (h > 0.);
+        Alcotest.(check bool) "health never exceeds max" true (h <= m);
+        let cd = Value.to_int (Tuple.get u (a s "cooldown")) in
+        Alcotest.(check bool) "cooldown non-negative" true (cd >= 0))
+      (Simulation.units sim)
+  done
+
+let test_simulation_deterministic_same_seed () =
+  let scenario =
+    Sgl_battle.Scenario.setup ~density:0.02
+      ~per_side:(Sgl_battle.Scenario.standard_mix 15) ()
+  in
+  let run () =
+    let sim = Sgl_battle.Scenario.simulation ~seed:7 ~evaluator:Simulation.Indexed scenario in
+    Simulation.run sim ~ticks:15;
+    let units = Array.copy (Simulation.units sim) in
+    Array.sort compare units;
+    units
+  in
+  Alcotest.(check bool) "same seed, same battle" true (run () = run ())
+
+let test_simulation_seed_changes_outcome () =
+  let scenario =
+    Sgl_battle.Scenario.setup ~density:0.02
+      ~per_side:(Sgl_battle.Scenario.standard_mix 15) ()
+  in
+  let run seed =
+    let sim = Sgl_battle.Scenario.simulation ~seed ~evaluator:Simulation.Indexed scenario in
+    Simulation.run sim ~ticks:15;
+    let units = Array.copy (Simulation.units sim) in
+    Array.sort compare units;
+    units
+  in
+  Alcotest.(check bool) "different seed, different battle" false (run 1 = run 2)
+
+let base_suite =
+  let tc = Alcotest.test_case in
+  [
+    ( "engine.postprocess",
+      [
+        tc "health and death" `Quick test_post_health_and_death;
+        tc "health clamped to max" `Quick test_post_health_clamped_to_max;
+        tc "cooldown and reload" `Quick test_post_cooldown;
+        tc "rejects effect attrs" `Quick test_post_rejects_effect_attr;
+      ] );
+    ( "engine.movement",
+      [
+        tc "moves and clamps speed" `Quick test_movement_moves_and_clamps;
+        tc "collision detection" `Quick test_movement_collision;
+        tc "bounds" `Quick test_movement_bounds;
+        tc "no vector, no move" `Quick test_movement_zero_vector_stays;
+        tc "random free cell" `Quick test_random_free_cell;
+      ] );
+    ( "engine.simulation",
+      [
+        tc "resurrection keeps population" `Quick test_simulation_resurrect_keeps_population;
+        tc "one unit per cell" `Quick test_simulation_no_position_stacking;
+        tc "health and cooldown invariants" `Quick test_simulation_health_invariants;
+        tc "deterministic under a seed" `Quick test_simulation_deterministic_same_seed;
+        tc "seed changes the battle" `Quick test_simulation_seed_changes_outcome;
+      ] );
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Trace recording *)
+
+let test_trace_records_csv () =
+  let scenario =
+    Sgl_battle.Scenario.setup ~density:0.02 ~per_side:(Sgl_battle.Scenario.standard_mix 10) ()
+  in
+  let sim = Sgl_battle.Scenario.simulation ~evaluator:Simulation.Indexed scenario in
+  let path = Filename.temp_file "sgl_trace" ".csv" in
+  let rows = Trace.run_traced ~path ~attrs:[ "key"; "posx"; "posy"; "health" ] sim ~ticks:4 in
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  Sys.remove path;
+  let lines = List.rev !lines in
+  (* 5 recorded states (initial + 4 ticks) x 20 units, plus the header *)
+  Alcotest.(check int) "rows counted" rows (List.length lines - 1);
+  Alcotest.(check int) "all states recorded" (5 * 20) rows;
+  Alcotest.(check string) "header" "tick,key,posx,posy,health" (List.hd lines);
+  (* every data row has 5 comma-separated fields *)
+  List.iteri
+    (fun i line ->
+      if i > 0 then
+        Alcotest.(check int)
+          (Printf.sprintf "fields in row %d" i)
+          5
+          (List.length (String.split_on_char ',' line)))
+    lines
+
+let test_trace_unknown_attribute () =
+  let s = schema () in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Trace.create ~path:(Filename.temp_file "t" ".csv") ~schema:s ~attrs:[ "mana" ]);
+       false
+     with Trace.Trace_error _ -> true)
+
+let trace_suite =
+  [
+    ( "engine.trace",
+      [
+        Alcotest.test_case "records CSV rows" `Quick test_trace_records_csv;
+        Alcotest.test_case "unknown attribute rejected" `Quick test_trace_unknown_attribute;
+      ] );
+  ]
+
+let suite = base_suite @ trace_suite

@@ -1,0 +1,377 @@
+(* Property tests for the index structures: every index must agree exactly
+   with a brute-force scan on random inputs. *)
+
+open Sgl_index
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* Random geometry generators.  Coordinates are drawn from a small integer
+   lattice scaled by 0.5 so duplicates and boundary hits are common — the
+   regimes where range trees typically break. *)
+let coord_gen = QCheck.Gen.(map (fun i -> float_of_int i *. 0.5) (int_range (-20) 20))
+
+let point2_gen = QCheck.Gen.pair coord_gen coord_gen
+
+let points2_gen = QCheck.Gen.(list_size (int_range 0 120) point2_gen)
+
+let interval_gen =
+  QCheck.Gen.(
+    map
+      (fun (a, b, ls, hs) ->
+        let lo = Float.min a b and hi = Float.max a b in
+        Interval.make ~lo ~lo_strict:ls ~hi ~hi_strict:hs ())
+      (tup4 coord_gen coord_gen bool bool))
+
+let arbitrary_points2 = QCheck.make ~print:(fun l -> QCheck.Print.(list (pair float float)) l) points2_gen
+
+(* ------------------------------------------------------------------ *)
+(* Interval *)
+
+let interval_mem_matches_positions =
+  QCheck.Test.make ~name:"interval: positions = members of sorted array" ~count:300
+    (QCheck.make QCheck.Gen.(pair (list_size (int_range 0 60) coord_gen) interval_gen))
+    (fun (l, iv) ->
+      let arr = Array.of_list (List.sort compare l) in
+      let a, b = Interval.positions iv arr in
+      let expected = Array.to_list arr |> List.filter (Interval.mem iv) |> List.length in
+      b - a = expected
+      && Array.for_all (fun x -> not (Interval.mem iv x))
+           (Array.append (Array.sub arr 0 a) (Array.sub arr b (Array.length arr - b))))
+
+let test_interval_inter () =
+  let a = Interval.make ~lo:0. ~hi:10. () in
+  let b = Interval.make ~lo:5. ~lo_strict:true ~hi:20. () in
+  let c = Interval.inter a b in
+  Alcotest.(check bool) "left strict" true c.Interval.lo_strict;
+  Alcotest.(check (float 0.)) "lo" 5. c.Interval.lo;
+  Alcotest.(check (float 0.)) "hi" 10. c.Interval.hi;
+  Alcotest.(check bool) "5 excluded" false (Interval.mem c 5.);
+  Alcotest.(check bool) "10 included" true (Interval.mem c 10.)
+
+let test_interval_empty () =
+  Alcotest.(check bool) "reversed" true (Interval.is_empty (Interval.make ~lo:3. ~hi:1. ()));
+  Alcotest.(check bool) "point strict" true
+    (Interval.is_empty (Interval.make ~lo:3. ~hi:3. ~hi_strict:true ()));
+  Alcotest.(check bool) "point closed" false (Interval.is_empty (Interval.make ~lo:3. ~hi:3. ()))
+
+(* ------------------------------------------------------------------ *)
+(* Segment tree *)
+
+let segment_tree_sum_matches_fold =
+  QCheck.Test.make ~name:"segment tree: range sum = array fold" ~count:200
+    QCheck.(pair (list_of_size (QCheck.Gen.int_range 0 50) (QCheck.int_range (-100) 100)) QCheck.small_int)
+    (fun (l, seed) ->
+      let arr = Array.of_list l in
+      let n = Array.length arr in
+      let t = Segment_tree.build ~neutral:0 ~op:( + ) arr in
+      let ok = ref true in
+      for i = 0 to 20 do
+        let a = (seed + (i * 7)) mod (n + 1) and b = (seed + (i * 13)) mod (n + 1) in
+        let lo = min a b and hi = max a b in
+        let expected = Array.fold_left ( + ) 0 (Array.sub arr lo (hi - lo)) in
+        if Segment_tree.query t ~lo ~hi <> expected then ok := false
+      done;
+      !ok)
+
+let test_segment_tree_updates () =
+  let t = Segment_tree.create ~neutral:max_int ~op:min 10 in
+  for i = 0 to 9 do
+    Segment_tree.set t i (100 - i)
+  done;
+  Alcotest.(check int) "min all" 91 (Segment_tree.query_all t);
+  Segment_tree.set t 3 (-5);
+  Alcotest.(check int) "after update" (-5) (Segment_tree.query t ~lo:0 ~hi:10);
+  Alcotest.(check int) "excluding slot" 92 (Segment_tree.query t ~lo:4 ~hi:9);
+  Segment_tree.clear t 3;
+  Alcotest.(check int) "cleared" 91 (Segment_tree.query_all t)
+
+let test_segment_tree_empty_range () =
+  let t = Segment_tree.create ~neutral:0 ~op:( + ) 5 in
+  Alcotest.(check int) "empty range" 0 (Segment_tree.query t ~lo:2 ~hi:2);
+  Alcotest.check_raises "bad range" (Invalid_argument "Segment_tree.query: bad range")
+    (fun () -> ignore (Segment_tree.query t ~lo:3 ~hi:2))
+
+let test_segment_tree_zero_size () =
+  let t = Segment_tree.create ~neutral:max_int ~op:min 0 in
+  Alcotest.(check int) "neutral" max_int (Segment_tree.query_all t)
+
+(* ------------------------------------------------------------------ *)
+(* Range tree *)
+
+(* Brute-force statistic sum over a boxed point set. *)
+let brute_stats points box stats m =
+  let acc = Array.make m 0. in
+  Array.iteri
+    (fun id coords ->
+      if List.for_all2 (fun iv c -> Interval.mem iv c) box coords then begin
+        let s = stats id in
+        for j = 0 to m - 1 do
+          acc.(j) <- acc.(j) +. s.(j)
+        done
+      end)
+    points;
+  acc
+
+let float_array_eq a b =
+  Array.length a = Array.length b
+  && Array.for_all2 (fun x y -> Float.abs (x -. y) < 1e-6) a b
+
+let range_tree_test ~name ~dims_count =
+  QCheck.Test.make ~name ~count:150
+    (QCheck.make
+       QCheck.Gen.(
+         pair
+           (list_size (int_range 0 80) (list_repeat dims_count coord_gen))
+           (list_repeat dims_count interval_gen)))
+    (fun (pts, box) ->
+      let points = Array.of_list (List.map (fun c -> c) pts) in
+      let n = Array.length points in
+      let dims = List.init dims_count (fun d id -> List.nth points.(id) d) in
+      (* stats: [1; first coordinate] so both count and sum paths are hit *)
+      let stats id = [| 1.; List.nth points.(id) 0 |] in
+      let tree = Range_tree.build ~dims ~stats:(Some stats) ~m:2 (Array.init n (fun i -> i)) in
+      let got = Range_tree.query_stats tree box in
+      let expected =
+        brute_stats (Array.map (fun p -> p) points) box stats 2
+      in
+      let enum = ref [] in
+      Range_tree.query_enum tree box (fun id -> enum := id :: !enum);
+      let expected_ids =
+        List.init n (fun id -> id)
+        |> List.filter (fun id ->
+               List.for_all2 (fun iv c -> Interval.mem iv c) box points.(id))
+      in
+      float_array_eq got expected
+      && List.sort compare !enum = List.sort compare expected_ids)
+
+let range_tree_1d = range_tree_test ~name:"range tree 1d = brute force" ~dims_count:1
+let range_tree_2d = range_tree_test ~name:"range tree 2d = brute force" ~dims_count:2
+let range_tree_3d = range_tree_test ~name:"range tree 3d = brute force" ~dims_count:3
+
+let test_range_tree_empty () =
+  let tree = Range_tree.build ~dims:[ (fun _ -> 0.); (fun _ -> 0.) ] ~stats:None ~m:0 [||] in
+  let box = [ Interval.everything; Interval.everything ] in
+  Alcotest.(check int) "no points" 0 (Range_tree.query_count tree box);
+  (* An empty tree collapses to its first (empty) level. *)
+  Alcotest.(check int) "depth" 1 (Range_tree.depth tree)
+
+let test_range_tree_bad_arity () =
+  let tree = Range_tree.build ~dims:[ (fun _ -> 0.) ] ~stats:None ~m:0 [| 0 |] in
+  Alcotest.check_raises "arity"
+    (Invalid_argument "Range_tree.query_enum: box arity does not match tree depth") (fun () ->
+      Range_tree.query_enum tree [ Interval.everything; Interval.everything ] ignore)
+
+(* ------------------------------------------------------------------ *)
+(* Cascade tree *)
+
+let cascade_matches_brute =
+  QCheck.Test.make ~name:"cascade tree = brute force" ~count:300
+    (QCheck.make QCheck.Gen.(pair points2_gen (pair interval_gen interval_gen)))
+    (fun (pts, (ivx, ivy)) ->
+      let points = Array.of_list pts in
+      let n = Array.length points in
+      let x id = fst points.(id) and y id = snd points.(id) in
+      let stats id = [| 1.; x id; y id; x id *. x id |] in
+      let tree = Cascade_tree.build ~x ~y ~stats ~m:4 (Array.init n (fun i -> i)) in
+      let got = Cascade_tree.query tree ~x:ivx ~y:ivy in
+      let expected = Array.make 4 0. in
+      for id = 0 to n - 1 do
+        if Interval.mem ivx (x id) && Interval.mem ivy (y id) then begin
+          let s = stats id in
+          for j = 0 to 3 do
+            expected.(j) <- expected.(j) +. s.(j)
+          done
+        end
+      done;
+      float_array_eq got expected)
+
+let cascade_matches_range_tree =
+  QCheck.Test.make ~name:"cascade tree = layered range tree" ~count:200
+    (QCheck.make QCheck.Gen.(pair points2_gen (pair interval_gen interval_gen)))
+    (fun (pts, (ivx, ivy)) ->
+      let points = Array.of_list pts in
+      let n = Array.length points in
+      let x id = fst points.(id) and y id = snd points.(id) in
+      let stats id = [| 1.; y id |] in
+      let ids = Array.init n (fun i -> i) in
+      let cascade = Cascade_tree.build ~x ~y ~stats ~m:2 ids in
+      let layered = Range_tree.build ~dims:[ x; y ] ~stats:(Some stats) ~m:2 ids in
+      float_array_eq (Cascade_tree.query cascade ~x:ivx ~y:ivy)
+        (Range_tree.query_stats layered [ ivx; ivy ]))
+
+let test_cascade_empty () =
+  let tree = Cascade_tree.build ~x:(fun _ -> 0.) ~y:(fun _ -> 0.) ~stats:(fun _ -> [||]) ~m:3 [||] in
+  let got = Cascade_tree.query tree ~x:Interval.everything ~y:Interval.everything in
+  Alcotest.(check int) "zero vector" 3 (Array.length got);
+  Alcotest.(check bool) "all zero" true (Array.for_all (fun v -> v = 0.) got)
+
+(* ------------------------------------------------------------------ *)
+(* kD-tree *)
+
+let kd_nearest_matches_scan =
+  QCheck.Test.make ~name:"kd tree nearest = linear scan" ~count:300
+    (QCheck.make QCheck.Gen.(pair points2_gen point2_gen))
+    (fun (pts, (qx, qy)) ->
+      let points = Array.of_list pts in
+      let n = Array.length points in
+      let x id = fst points.(id) and y id = snd points.(id) in
+      let tree = Kd_tree.build ~x ~y (Array.init n (fun i -> i)) in
+      let d2 id =
+        let dx = x id -. qx and dy = y id -. qy in
+        (dx *. dx) +. (dy *. dy)
+      in
+      let scan filter =
+        let best = ref None in
+        for id = 0 to n - 1 do
+          if filter id then begin
+            match !best with
+            | Some (bid, bd2) when bd2 < d2 id || (bd2 = d2 id && bid < id) -> ()
+            | _ -> best := Some (id, d2 id)
+          end
+        done;
+        !best
+      in
+      let all _ = true in
+      let even id = id mod 2 = 0 in
+      Kd_tree.nearest tree ~qx ~qy = scan all
+      && Kd_tree.nearest ~filter:even tree ~qx ~qy = scan even)
+
+let kd_box_matches_scan =
+  QCheck.Test.make ~name:"kd tree box query = linear scan" ~count:200
+    (QCheck.make QCheck.Gen.(pair points2_gen (pair interval_gen interval_gen)))
+    (fun (pts, (ivx, ivy)) ->
+      let points = Array.of_list pts in
+      let n = Array.length points in
+      let x id = fst points.(id) and y id = snd points.(id) in
+      let tree = Kd_tree.build ~x ~y (Array.init n (fun i -> i)) in
+      let got = ref [] in
+      Kd_tree.query_box tree ~x:ivx ~y:ivy (fun id -> got := id :: !got);
+      let expected =
+        List.init n (fun id -> id)
+        |> List.filter (fun id -> Interval.mem ivx (x id) && Interval.mem ivy (y id))
+      in
+      List.sort compare !got = expected)
+
+let test_kd_empty () =
+  let tree = Kd_tree.build ~x:(fun _ -> 0.) ~y:(fun _ -> 0.) [||] in
+  Alcotest.(check bool) "no nearest" true (Kd_tree.nearest tree ~qx:0. ~qy:0. = None)
+
+(* ------------------------------------------------------------------ *)
+(* Sweepline *)
+
+let sweep_case kind =
+  QCheck.Test.make
+    ~name:
+      (Printf.sprintf "sweepline %s = brute force"
+         (match kind with Sweepline.Min -> "min" | Sweepline.Max -> "max"))
+    ~count:300
+    (QCheck.make
+       QCheck.Gen.(
+         tup4
+           (list_size (int_range 0 60) (tup3 coord_gen coord_gen coord_gen))
+           (list_size (int_range 0 40) point2_gen)
+           (map Float.abs coord_gen)
+           (map Float.abs coord_gen)))
+    (fun (data_l, query_l, rx, ry) ->
+      let data =
+        Array.of_list
+          (List.mapi (fun id (x, y, v) -> { Sweepline.x; y; value = v; id }) data_l)
+      in
+      let queries =
+        Array.of_list (List.mapi (fun qid (qx, qy) -> { Sweepline.qx; qy; qid }) query_l)
+      in
+      let got = Sweepline.run kind ~data ~queries ~rx ~ry ~n_queries:(Array.length queries) in
+      let ok = ref true in
+      Array.iter
+        (fun q ->
+          let candidates =
+            Array.to_list data
+            |> List.filter (fun d ->
+                   Float.abs (d.Sweepline.x -. q.Sweepline.qx) <= rx
+                   && Float.abs (d.Sweepline.y -. q.Sweepline.qy) <= ry)
+          in
+          let expected =
+            List.fold_left
+              (fun best d ->
+                let v = d.Sweepline.value and id = d.Sweepline.id in
+                match best with
+                | None -> Some (id, v)
+                | Some (bid, bv) ->
+                  let cmp = compare v bv in
+                  let beats =
+                    match kind with
+                    | Sweepline.Min -> cmp < 0 || (cmp = 0 && id < bid)
+                    | Sweepline.Max -> cmp > 0 || (cmp = 0 && id < bid)
+                  in
+                  if beats then Some (id, v) else best)
+              None candidates
+          in
+          if got.(q.Sweepline.qid) <> expected then ok := false)
+        queries;
+      !ok)
+
+let sweep_min = sweep_case Sweepline.Min
+let sweep_max = sweep_case Sweepline.Max
+
+(* ------------------------------------------------------------------ *)
+(* Cat index *)
+
+let test_cat_index_partitions () =
+  let ids = Array.init 20 (fun i -> i) in
+  let keys id = [ id mod 2; id mod 3 ] in
+  let built = ref 0 in
+  let t =
+    Cat_index.create ~keys ~ids ~builder:(fun members ->
+        incr built;
+        Array.length members)
+  in
+  Alcotest.(check int) "6 partitions" 6 (Cat_index.partition_count t);
+  Alcotest.(check int) "lazy" 0 !built;
+  (match Cat_index.find t [ 0; 0 ] with
+  | Some n -> Alcotest.(check int) "partition size" 4 n (* ids 0,6,12,18 *)
+  | None -> Alcotest.fail "partition missing");
+  ignore (Cat_index.find t [ 0; 0 ]);
+  Alcotest.(check int) "cached" 1 !built;
+  let others = Cat_index.find_matching t ~accept:(fun k -> List.hd k <> 0) in
+  Alcotest.(check int) "odd partitions" 3 (List.length others);
+  Alcotest.(check int) "missing partition" 0 (Array.length (Cat_index.members t [ 9; 9 ]));
+  Alcotest.(check bool) "missing find" true (Cat_index.find t [ 9; 9 ] = None)
+
+let suite =
+  let tc = Alcotest.test_case in
+  [
+    ( "index.interval",
+      [
+        qtest interval_mem_matches_positions;
+        tc "intersection" `Quick test_interval_inter;
+        tc "emptiness" `Quick test_interval_empty;
+      ] );
+    ( "index.segment_tree",
+      [
+        qtest segment_tree_sum_matches_fold;
+        tc "point updates with min" `Quick test_segment_tree_updates;
+        tc "empty range" `Quick test_segment_tree_empty_range;
+        tc "zero size" `Quick test_segment_tree_zero_size;
+      ] );
+    ( "index.range_tree",
+      [
+        qtest range_tree_1d;
+        qtest range_tree_2d;
+        qtest range_tree_3d;
+        tc "empty tree" `Quick test_range_tree_empty;
+        tc "arity mismatch" `Quick test_range_tree_bad_arity;
+      ] );
+    ( "index.cascade_tree",
+      [
+        qtest cascade_matches_brute;
+        qtest cascade_matches_range_tree;
+        tc "empty tree" `Quick test_cascade_empty;
+      ] );
+    ( "index.kd_tree",
+      [ qtest kd_nearest_matches_scan; qtest kd_box_matches_scan; tc "empty" `Quick test_kd_empty ]
+    );
+    ("index.sweepline", [ qtest sweep_min; qtest sweep_max ]);
+    ("index.cat_index", [ tc "partitions, laziness, caching" `Quick test_cat_index_partitions ]);
+  ]
+
+let _ = arbitrary_points2

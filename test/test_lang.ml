@@ -1,0 +1,443 @@
+(* Tests for the SGL language pipeline: lexer, parser, pretty round-trip,
+   typechecker rejections, normalization, resolution and the reference
+   interpreter — including the paper's Figure 3 script. *)
+
+open Sgl_relalg
+open Sgl_lang
+
+let schema () =
+  Schema.create
+    [
+      Schema.attr "key" Value.TInt;
+      Schema.attr "player" Value.TInt;
+      Schema.attr "posx" Value.TFloat;
+      Schema.attr "posy" Value.TFloat;
+      Schema.attr "health" Value.TInt;
+      Schema.attr "range" Value.TFloat;
+      Schema.attr "morale" Value.TInt;
+      Schema.attr "cooldown" Value.TInt;
+      Schema.attr ~tag:Schema.Max "weaponused" Value.TInt;
+      Schema.attr ~tag:Schema.Sum "movevect_x" Value.TFloat;
+      Schema.attr ~tag:Schema.Sum "movevect_y" Value.TFloat;
+      Schema.attr ~tag:Schema.Sum "damage" Value.TFloat;
+      Schema.attr ~tag:Schema.Max "inaura" Value.TFloat;
+    ]
+
+let mk_unit s ~key ~player ~x ~y ~health ~range ~morale ~cooldown =
+  Tuple.of_list s
+    [
+      Value.Int key; Value.Int player; Value.Float x; Value.Float y; Value.Int health;
+      Value.Float range; Value.Int morale; Value.Int cooldown; Value.Int 0; Value.Float 0.;
+      Value.Float 0.; Value.Float 0.; Value.Float 0.;
+    ]
+
+(* The paper's Figure 3 script, in our concrete syntax, with the aggregates
+   of Figure 4 and actions in the spirit of Figure 5. *)
+let figure3_source =
+  {|
+const ARROW_HIT_DAMAGE = 10;
+const ARMOR = 2;
+
+aggregate CountEnemiesInRange(u, range) {
+  count(*)
+  where e.posx >= u.posx - range and e.posx <= u.posx + range
+    and e.posy >= u.posy - range and e.posy <= u.posy + range
+    and e.player <> u.player
+}
+
+aggregate CentroidOfEnemyUnits(u, range) {
+  (avg(e.posx), avg(e.posy))
+  where e.posx >= u.posx - range and e.posx <= u.posx + range
+    and e.posy >= u.posy - range and e.posy <= u.posy + range
+    and e.player <> u.player
+  default (u.posx, u.posy)
+}
+
+aggregate NearestEnemy(u) {
+  nearest(e.posx, e.posy, u.posx, u.posy; e.key)
+  where e.player <> u.player
+  default -1
+}
+
+action FireAt(u, target_key) {
+  on key(target_key) {
+    damage <- (ARROW_HIT_DAMAGE - ARMOR) * (random(1) mod 2);
+  }
+  on self {
+    weaponused <- 1;
+  }
+}
+
+action MoveInDirection(u, v) {
+  on self {
+    movevect_x <- v.x;
+    movevect_y <- v.y;
+  }
+}
+
+script main(u) {
+  let c = CountEnemiesInRange(u, u.range);
+  let away_vector = (u.posx, u.posy) - CentroidOfEnemyUnits(u, u.range);
+  if c > u.morale then {
+    perform MoveInDirection(u, away_vector);
+  } else {
+    if c > 0 and u.cooldown = 0 then {
+      let target_key = NearestEnemy(u);
+      perform FireAt(u, target_key);
+    }
+  }
+}
+|}
+
+let compile_figure3 () =
+  Compile.compile ~schema:(schema ()) figure3_source
+
+(* ------------------------------------------------------------------ *)
+(* Lexer *)
+
+let test_lexer_tokens () =
+  let toks = Lexer.tokenize "let x = 3.5 + y_2; # comment\nif <> <= <- //c\nkey" in
+  let kinds = List.map (fun l -> l.Lexer.token) toks in
+  Alcotest.(check bool) "shape" true
+    (kinds
+    = [
+        Lexer.KW_let; Lexer.IDENT "x"; Lexer.EQ; Lexer.FLOAT 3.5; Lexer.PLUS; Lexer.IDENT "y_2";
+        Lexer.SEMI; Lexer.KW_if; Lexer.NE; Lexer.LE; Lexer.ARROW; Lexer.KW_key; Lexer.EOF;
+      ])
+
+let test_lexer_positions () =
+  let toks = Lexer.tokenize "a\n  b" in
+  match toks with
+  | [ a; b; _eof ] ->
+    Alcotest.(check (pair int int)) "a" (1, 1) (a.Lexer.line, a.Lexer.col);
+    Alcotest.(check (pair int int)) "b" (2, 3) (b.Lexer.line, b.Lexer.col)
+  | _ -> Alcotest.fail "expected three tokens"
+
+let test_lexer_int_dot () =
+  (* "3.x" must lex as INT DOT IDENT, not a float *)
+  let toks = List.map (fun l -> l.Lexer.token) (Lexer.tokenize "3.x") in
+  Alcotest.(check bool) "int dot ident" true
+    (toks = [ Lexer.INT 3; Lexer.DOT; Lexer.IDENT "x"; Lexer.EOF ])
+
+let test_lexer_error () =
+  Alcotest.(check bool) "bad char" true
+    (try ignore (Lexer.tokenize "a $ b"); false with Lexer.Lex_error _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Parser *)
+
+let test_parse_figure3 () =
+  let ast = Parser.parse_string figure3_source in
+  Alcotest.(check int) "decl count" 8 (List.length ast);
+  Alcotest.(check (list string)) "scripts" [ "main" ] (Ast.scripts ast)
+
+let test_parse_precedence () =
+  let t = Parser.parse_term_string "1 + 2 * 3 < 4 and not 5 > 6" in
+  (match t with
+  | Ast.T_and (Ast.T_cmp (Expr.Lt, Ast.T_binop (Expr.Add, _, Ast.T_binop (Expr.Mul, _, _)), _), Ast.T_not _)
+    -> ()
+  | _ -> Alcotest.fail "precedence mis-parse");
+  let v = Parser.parse_term_string "(a, b)" in
+  match v with
+  | Ast.T_vec (Ast.T_var ("a", _), Ast.T_var ("b", _)) -> ()
+  | _ -> Alcotest.fail "vector literal mis-parse"
+
+let test_parse_errors () =
+  let fails src = try ignore (Parser.parse_string src); false with Parser.Parse_error _ -> true in
+  Alcotest.(check bool) "missing semi" true (fails "script m(u) { let x = 1 }");
+  Alcotest.(check bool) "bad decl" true (fails "frobnicate m(u) {}");
+  Alcotest.(check bool) "unclosed" true (fails "script m(u) {");
+  Alcotest.(check bool) "lone let in if" true
+    (fails "script m(u) { if true then let x = 1; }")
+
+let test_parse_roundtrip () =
+  let ast = Parser.parse_string figure3_source in
+  let printed = Pretty.program_to_string ast in
+  let ast2 = Parser.parse_string printed in
+  Alcotest.(check bool) "round trip" true
+    (Pretty.strip_program ast = Pretty.strip_program ast2)
+
+(* ------------------------------------------------------------------ *)
+(* Typechecker *)
+
+let expect_type_error src =
+  let s = schema () in
+  match Compile.compile ~schema:s src with
+  | exception Compile.Compile_error (Compile.Type _) -> ()
+  | exception e -> Alcotest.failf "expected a type error, got %s" (Printexc.to_string e)
+  | _ -> Alcotest.fail "expected a type error"
+
+let test_type_unknown_attr () =
+  expect_type_error "script m(u) { if u.mana > 0 then { skip; } }"
+
+let test_type_bool_condition () = expect_type_error "script m(u) { if u.posx then { skip; } }"
+
+let test_type_unknown_var () = expect_type_error "script m(u) { let a = b + 1; skip; }"
+
+let test_type_const_effect () =
+  expect_type_error "action A(u) { on self { posx <- 1; } } script m(u) { perform A(u); }"
+
+let test_type_arity () =
+  expect_type_error
+    "aggregate C(u) { count(*) } script m(u) { let a = C(u, 3); skip; }"
+
+let test_type_first_arg_unit () =
+  expect_type_error "aggregate C(u) { count(*) } script m(u) { let a = C(3); skip; }"
+
+let test_type_recursion () =
+  expect_type_error "script a(u) { perform b(u); } script b(u) { perform a(u); }"
+
+let test_type_reserved_names () =
+  expect_type_error "script m(u) { let e = 1; skip; }";
+  expect_type_error "script m(u) { let __x = 1; skip; }"
+
+let test_type_duplicate_decl () =
+  expect_type_error "script m(u) { skip; } script m(u) { skip; }"
+
+let test_type_rebind () = expect_type_error "script m(u) { let a = 1; let a = 2; skip; }"
+
+let test_type_vec_misuse () =
+  expect_type_error "script m(u) { let a = (u.posx, u.posy) + 1; skip; }";
+  expect_type_error "script m(u) { let a = u.posx.x; skip; }"
+
+let test_type_e_outside () = expect_type_error "script m(u) { let a = e.posx; skip; }"
+
+(* ------------------------------------------------------------------ *)
+(* Normalization *)
+
+let test_normalize_hoists () =
+  let src =
+    "aggregate C(u) { count(*) } script m(u) { if C(u) + C(u) > 2 then { skip; } }"
+  in
+  let ast = Parser.parse_string src in
+  Alcotest.(check bool) "not normal" false (Normalize.is_normal ast);
+  let norm = Normalize.normalize ast in
+  Alcotest.(check bool) "normal" true (Normalize.is_normal norm);
+  (* Two hoisted lets expected in the script body. *)
+  match Ast.find_decl norm "m" with
+  | Some (Ast.D_script { body = Ast.A_let (v1, _, Ast.A_let (v2, _, Ast.A_if _)); _ }) ->
+    Alcotest.(check bool) "fresh names" true (v1 <> v2 && String.length v1 > 2)
+  | _ -> Alcotest.fail "unexpected normal form shape"
+
+let test_normalize_nested_agg_args () =
+  let src =
+    "aggregate C(u, r) { count(*) where e.posx < r } script m(u) { let a = C(u, C(u, 1) + 1); \
+     skip; }"
+  in
+  let norm = Normalize.normalize (Parser.parse_string src) in
+  Alcotest.(check bool) "normal" true (Normalize.is_normal norm)
+
+let test_normalize_idempotent () =
+  (* Figure 3 is not in normal form: the centroid call is nested inside a
+     vector subtraction. *)
+  let ast = Parser.parse_string figure3_source in
+  Alcotest.(check bool) "figure3 not yet normal" false (Normalize.is_normal ast);
+  let n1 = Normalize.normalize ast in
+  Alcotest.(check bool) "normalized" true (Normalize.is_normal n1);
+  Alcotest.(check bool) "stable" true (Normalize.is_normal (Normalize.normalize n1))
+
+(* ------------------------------------------------------------------ *)
+(* Resolution *)
+
+let test_resolve_figure3 () =
+  let prog = compile_figure3 () in
+  Alcotest.(check int) "three aggregate instances" 3 (Array.length prog.Core_ir.aggregates);
+  Alcotest.(check int) "one entry script" 1 (List.length prog.Core_ir.scripts);
+  let main = Option.get (Core_ir.find_script prog "main") in
+  Alcotest.(check (list int)) "aggregates used in order" [ 0; 1; 2 ]
+    (Core_ir.aggregates_used main.Core_ir.body)
+
+let test_resolve_dedups_instances () =
+  let src =
+    {|
+aggregate C(u, r) {
+  count(*) where e.posx >= u.posx - r and e.posx <= u.posx + r
+}
+script a(u) { let x = C(u, 5.0); skip; }
+script b(u) { let x = C(u, 5.0); let y = C(u, 7.0); skip; }
+|}
+  in
+  let prog = Compile.compile ~schema:(schema ()) src in
+  (* C(u,5) shared between scripts; C(u,7) distinct. *)
+  Alcotest.(check int) "two instances" 2 (Array.length prog.Core_ir.aggregates)
+
+let test_resolve_inlines_helper_scripts () =
+  let src =
+    {|
+action A(u) { on self { damage <- 1; } }
+script helper(u, n) { if n > 0 then { perform A(u); } }
+script main(u) { perform helper(u, u.health); }
+|}
+  in
+  let prog = Compile.compile ~schema:(schema ()) src in
+  (* helper takes parameters, so only main is an entry point. *)
+  Alcotest.(check int) "entry scripts" 1 (List.length prog.Core_ir.scripts);
+  (* The helper's parameter is inlined, so main's body is the helper's
+     conditional directly. *)
+  match (List.hd prog.Core_ir.scripts).Core_ir.body with
+  | Core_ir.If (_, Core_ir.Effects _, Core_ir.Skip) -> ()
+  | other -> Alcotest.failf "unexpected inline shape: %a" Core_ir.pp other
+
+let test_resolve_const_fold () =
+  let src = "const K = 4; script main(u) { let a = K; if a > 3 then { skip; } }" in
+  let prog = Compile.compile ~schema:(schema ()) src in
+  match (List.hd prog.Core_ir.scripts).Core_ir.body with
+  | Core_ir.Let (Expr.Const (Value.Int 4), _) -> ()
+  | other -> Alcotest.failf "constant not resolved: %a" Core_ir.pp other
+
+(* ------------------------------------------------------------------ *)
+(* Interpreter: Figure 3 end-to-end *)
+
+let figure3_units s =
+  [|
+    (* unit 0: player 0, two enemies in range, cooldown ready, high morale *)
+    mk_unit s ~key:0 ~player:0 ~x:0. ~y:0. ~health:100 ~range:5. ~morale:10 ~cooldown:0;
+    (* unit 1: player 0, far corner *)
+    mk_unit s ~key:1 ~player:0 ~x:50. ~y:50. ~health:100 ~range:5. ~morale:10 ~cooldown:0;
+    (* enemies: player 1 *)
+    mk_unit s ~key:2 ~player:1 ~x:1. ~y:1. ~health:100 ~range:5. ~morale:0 ~cooldown:3;
+    mk_unit s ~key:3 ~player:1 ~x:2. ~y:0. ~health:100 ~range:5. ~morale:0 ~cooldown:3;
+  |]
+
+let test_interp_figure3_fires () =
+  let s = schema () in
+  let prog = compile_figure3 () in
+  let script = Option.get (Core_ir.find_script prog "main") in
+  let units = figure3_units s in
+  (* rand = 1 so (random(1) mod 2) = 1 and arrows hit *)
+  let effects = Interp.run_script ~prog ~script ~units ~rand_for:(fun _ _ -> 1) in
+  let combined = Combine.combine effects in
+  (* Unit 0 fires at its nearest enemy (key 2): 8 damage there. *)
+  let find k = List.find (fun t -> Tuple.key s t = k) (Relation.to_list combined) in
+  let damage_ix = Schema.find s "damage" and weapon_ix = Schema.find s "weaponused" in
+  Alcotest.(check (float 1e-9)) "unit 2 damaged" 8. (Value.to_float (Tuple.get (find 2) damage_ix));
+  Alcotest.(check int) "unit 0 fired" 1 (Value.to_int (Tuple.get (find 0) weapon_ix));
+  (* Enemies with morale 0 and two player-0... unit 2 sees 2 enemies (0 in range? unit 0 and 1...) *)
+  (* Unit 1 is isolated: no enemies within 5, so it contributes nothing. *)
+  Alcotest.(check bool) "unit 1 idle" true
+    (not (List.exists (fun t -> Tuple.key s t = 1) (Relation.to_list combined)))
+
+let test_interp_flees_when_outnumbered () =
+  let s = schema () in
+  let prog = compile_figure3 () in
+  let script = Option.get (Core_ir.find_script prog "main") in
+  (* Unit 0 has morale 1 and faces two enemies: it must flee. *)
+  let units = figure3_units s in
+  Tuple.set units.(0) (Schema.find s "morale") (Value.Int 1);
+  let effects = Interp.run_script ~prog ~script ~units ~rand_for:(fun _ _ -> 0) in
+  let combined = Combine.combine effects in
+  let row0 = List.find (fun t -> Tuple.key s t = 0) (Relation.to_list combined) in
+  let mvx = Value.to_float (Tuple.get row0 (Schema.find s "movevect_x")) in
+  let mvy = Value.to_float (Tuple.get row0 (Schema.find s "movevect_y")) in
+  (* enemies centroid is at (1.5, 0.5); away vector points negative. *)
+  Alcotest.(check bool) "flees away" true (mvx < 0. && mvy < 0.);
+  Alcotest.(check int) "did not fire" 0
+    (Value.to_int (Tuple.get row0 (Schema.find s "weaponused")))
+
+let test_interp_aoe_heal () =
+  let s = schema () in
+  let src =
+    {|
+const HEAL_AURA = 5;
+const HEALER_RANGE = 3.0;
+action Heal(u) {
+  on all(u.player = e.player
+         and e.posx >= u.posx - HEALER_RANGE and e.posx <= u.posx + HEALER_RANGE
+         and e.posy >= u.posy - HEALER_RANGE and e.posy <= u.posy + HEALER_RANGE) {
+    inaura <- HEAL_AURA;
+  }
+}
+script main(u) { perform Heal(u); }
+|}
+  in
+  let prog = Compile.compile ~schema:s src in
+  let script = Option.get (Core_ir.find_script prog "main") in
+  let units = figure3_units s in
+  let effects = Interp.run_script ~prog ~script ~units ~rand_for:(fun _ _ -> 0) in
+  let combined = Combine.combine effects in
+  let aura_ix = Schema.find s "inaura" in
+  let row0 = List.find (fun t -> Tuple.key s t = 0) (Relation.to_list combined) in
+  (* Unit 0 is healed by itself only (unit 1 is out of range): aura max = 5,
+     and crucially not 10 — healing auras do not stack. *)
+  Alcotest.(check (float 1e-9)) "nonstackable" 5. (Value.to_float (Tuple.get row0 aura_ix));
+  let row2 = List.find (fun t -> Tuple.key s t = 2) (Relation.to_list combined) in
+  (* Units 2 and 3 heal each other and themselves: still max 5. *)
+  Alcotest.(check (float 1e-9)) "nonstackable 2" 5. (Value.to_float (Tuple.get row2 aura_ix))
+
+let test_interp_key_miss_fizzles () =
+  let s = schema () in
+  let src =
+    {|
+action Hit(u, k) { on key(k) { damage <- 1; } }
+script main(u) { perform Hit(u, 999); }
+|}
+  in
+  let prog = Compile.compile ~schema:s src in
+  let script = Option.get (Core_ir.find_script prog "main") in
+  let units = figure3_units s in
+  let effects = Interp.run_script ~prog ~script ~units ~rand_for:(fun _ _ -> 0) in
+  Alcotest.(check int) "no effects" 0 (Relation.cardinality effects)
+
+let test_interp_random_stability () =
+  let s = schema () in
+  let src = "script main(u) { let a = random(7); if a >= 0 then { skip; } }" in
+  let prog = Compile.compile ~schema:s src in
+  ignore prog;
+  (* Random is threaded through Expr.eval; stability within a tick is the
+     Prng module's contract, tested in test_util. *)
+  ()
+
+let suite =
+  let tc = Alcotest.test_case in
+  [
+    ( "lang.lexer",
+      [
+        tc "token stream" `Quick test_lexer_tokens;
+        tc "positions" `Quick test_lexer_positions;
+        tc "int-dot-ident" `Quick test_lexer_int_dot;
+        tc "bad character" `Quick test_lexer_error;
+      ] );
+    ( "lang.parser",
+      [
+        tc "figure 3 parses" `Quick test_parse_figure3;
+        tc "precedence" `Quick test_parse_precedence;
+        tc "errors" `Quick test_parse_errors;
+        tc "pretty round-trip" `Quick test_parse_roundtrip;
+      ] );
+    ( "lang.typecheck",
+      [
+        tc "unknown attribute" `Quick test_type_unknown_attr;
+        tc "non-bool condition" `Quick test_type_bool_condition;
+        tc "unknown variable" `Quick test_type_unknown_var;
+        tc "const attr effect" `Quick test_type_const_effect;
+        tc "call arity" `Quick test_type_arity;
+        tc "first arg must be unit" `Quick test_type_first_arg_unit;
+        tc "recursion rejected" `Quick test_type_recursion;
+        tc "reserved names" `Quick test_type_reserved_names;
+        tc "duplicate declarations" `Quick test_type_duplicate_decl;
+        tc "rebinding rejected" `Quick test_type_rebind;
+        tc "vector misuse" `Quick test_type_vec_misuse;
+        tc "e outside aggregate" `Quick test_type_e_outside;
+      ] );
+    ( "lang.normalize",
+      [
+        tc "hoists aggregate calls" `Quick test_normalize_hoists;
+        tc "nested aggregate arguments" `Quick test_normalize_nested_agg_args;
+        tc "idempotent" `Quick test_normalize_idempotent;
+      ] );
+    ( "lang.resolve",
+      [
+        tc "figure 3 instances" `Quick test_resolve_figure3;
+        tc "instance dedup" `Quick test_resolve_dedups_instances;
+        tc "helper inlining" `Quick test_resolve_inlines_helper_scripts;
+        tc "constant folding" `Quick test_resolve_const_fold;
+      ] );
+    ( "lang.interp",
+      [
+        tc "figure 3 fires at nearest" `Quick test_interp_figure3_fires;
+        tc "figure 3 flees when outnumbered" `Quick test_interp_flees_when_outnumbered;
+        tc "healing aura is nonstackable" `Quick test_interp_aoe_heal;
+        tc "missing key fizzles" `Quick test_interp_key_miss_fizzles;
+        tc "random stability" `Quick test_interp_random_stability;
+      ] );
+  ]

@@ -1,0 +1,201 @@
+(* Tests for the utility substrate. *)
+
+open Sgl_util
+
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Prng *)
+
+let test_prng_deterministic () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  for i = 0 to 100 do
+    check_int "same stream" (Prng.int a ~bound:1000 [ i ]) (Prng.int b ~bound:1000 [ i ])
+  done
+
+let test_prng_seed_sensitivity () =
+  let a = Prng.create 1 and b = Prng.create 2 in
+  let same = ref 0 in
+  for i = 0 to 99 do
+    if Prng.int a ~bound:1_000_000 [ i ] = Prng.int b ~bound:1_000_000 [ i ] then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 5)
+
+let test_prng_bounds () =
+  let t = Prng.create 7 in
+  for i = 0 to 999 do
+    let v = Prng.int t ~bound:17 [ i ] in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17);
+    let f = Prng.float t [ i ] in
+    Alcotest.(check bool) "float in range" true (f >= 0. && f < 1.)
+  done
+
+let test_prng_bad_bound () =
+  let t = Prng.create 7 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int t ~bound:0 [ 1 ]))
+
+let test_script_random_stable_within_tick () =
+  let t = Prng.create 5 in
+  check_int "stable" (Prng.script_random t ~tick:3 ~key:9 1) (Prng.script_random t ~tick:3 ~key:9 1);
+  Alcotest.(check bool)
+    "varies across ticks" true
+    (let same = ref 0 in
+     for tick = 0 to 50 do
+       if Prng.script_random t ~tick ~key:9 1 = Prng.script_random t ~tick:(tick + 1) ~key:9 1
+       then incr same
+     done;
+     !same < 3)
+
+let test_shuffle_is_permutation () =
+  let t = Prng.create 11 in
+  let arr = Array.init 50 (fun i -> i) in
+  Prng.shuffle_in_place t [ 1; 2 ] arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 (fun i -> i)) sorted
+
+(* ------------------------------------------------------------------ *)
+(* Vec2 *)
+
+let test_vec2_arithmetic () =
+  let a = Vec2.make 3. 4. in
+  check_float "norm" 5. (Vec2.norm a);
+  check_float "dist" 5. (Vec2.dist Vec2.zero a);
+  let b = Vec2.add a (Vec2.make 1. (-2.)) in
+  check_float "add x" 4. b.Vec2.x;
+  check_float "add y" 2. b.Vec2.y;
+  let n = Vec2.normalize a in
+  check_float "unit" 1. (Vec2.norm n)
+
+let test_vec2_normalize_zero () =
+  Alcotest.(check bool) "zero stays zero" true (Vec2.equal Vec2.zero (Vec2.normalize Vec2.zero))
+
+let test_vec2_clamp () =
+  let a = Vec2.make 30. 40. in
+  check_float "clamped" 5. (Vec2.norm (Vec2.clamp_norm 5. a));
+  let b = Vec2.make 0.3 0.4 in
+  check_float "short unchanged" (Vec2.norm b) (Vec2.norm (Vec2.clamp_norm 5. b))
+
+(* ------------------------------------------------------------------ *)
+(* Varray *)
+
+let test_varray_push_get () =
+  let v = Varray.create 0 in
+  for i = 0 to 99 do
+    Varray.push v (i * i)
+  done;
+  check_int "length" 100 (Varray.length v);
+  check_int "get" 49 (Varray.get v 7);
+  Varray.set v 7 1;
+  check_int "set" 1 (Varray.get v 7)
+
+let test_varray_bounds () =
+  let v = Varray.create 0 in
+  Varray.push v 1;
+  Alcotest.check_raises "get oob" (Invalid_argument "Varray.get: index out of bounds")
+    (fun () -> ignore (Varray.get v 1))
+
+let test_varray_pop_clear () =
+  let v = Varray.of_array 0 [| 1; 2; 3 |] in
+  check_int "pop" 3 (Varray.pop v);
+  check_int "len" 2 (Varray.length v);
+  Varray.clear v;
+  check_int "cleared" 0 (Varray.length v)
+
+let test_varray_swap_remove () =
+  let v = Varray.of_array 0 [| 10; 20; 30; 40 |] in
+  Varray.swap_remove v 1;
+  let l = List.sort compare (Varray.to_list v) in
+  Alcotest.(check (list int)) "removed 20" [ 10; 30; 40 ] l
+
+let test_varray_fold_iter () =
+  let v = Varray.of_array 0 [| 1; 2; 3; 4 |] in
+  check_int "fold" 10 (Varray.fold_left ( + ) 0 v);
+  Alcotest.(check bool) "exists" true (Varray.exists (fun x -> x = 3) v);
+  Alcotest.(check bool) "not exists" false (Varray.exists (fun x -> x = 9) v)
+
+(* ------------------------------------------------------------------ *)
+(* Stats *)
+
+let test_stats_welford () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ];
+  check_float "mean" 5. (Stats.mean s);
+  check_float "min" 2. (Stats.min_value s);
+  check_float "max" 9. (Stats.max_value s);
+  check_int "count" 8 (Stats.count s);
+  (* Sample variance of this classic data set is 32/7. *)
+  check_float "variance" (32. /. 7.) (Stats.variance s)
+
+let test_stats_population () =
+  let arr = [| 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. |] in
+  check_float "pop stddev" 2. (Stats.population_stddev_of arr)
+
+(* ------------------------------------------------------------------ *)
+(* Search *)
+
+let test_search_bounds () =
+  let arr = [| 1.; 2.; 2.; 2.; 5.; 8. |] in
+  check_int "lower 2" 1 (Search.lower_bound arr 2.);
+  check_int "upper 2" 4 (Search.upper_bound arr 2.);
+  check_int "lower 0" 0 (Search.lower_bound arr 0.);
+  check_int "lower 9" 6 (Search.lower_bound arr 9.);
+  check_int "count [2,5]" 4 (Search.count_in_range arr ~lo:2. ~hi:5.);
+  check_int "count empty" 0 (Search.count_in_range arr ~lo:3. ~hi:4.)
+
+let search_matches_scan =
+  QCheck.Test.make ~name:"lower/upper bound match linear scan" ~count:200
+    QCheck.(pair (list (float_bound_inclusive 100.)) (float_bound_inclusive 100.))
+    (fun (l, x) ->
+      let arr = Array.of_list (List.sort compare l) in
+      let lower = Search.lower_bound arr x and upper = Search.upper_bound arr x in
+      let scan_lower = Array.fold_left (fun acc v -> if v < x then acc + 1 else acc) 0 arr in
+      let scan_upper = Array.fold_left (fun acc v -> if v <= x then acc + 1 else acc) 0 arr in
+      lower = scan_lower && upper = scan_upper)
+
+let timer_accumulates () =
+  let t = Timer.create () in
+  Timer.start t;
+  Timer.stop t;
+  Alcotest.(check bool) "non-negative" true (Timer.elapsed t >= 0.);
+  Alcotest.check_raises "double stop" (Invalid_argument "Timer.stop: not running") (fun () ->
+      Timer.stop t)
+
+let suite =
+  let tc = Alcotest.test_case in
+  [
+    ( "util.prng",
+      [
+        tc "deterministic" `Quick test_prng_deterministic;
+        tc "seed sensitivity" `Quick test_prng_seed_sensitivity;
+        tc "bounds" `Quick test_prng_bounds;
+        tc "bad bound" `Quick test_prng_bad_bound;
+        tc "script random stable within tick" `Quick test_script_random_stable_within_tick;
+        tc "shuffle is a permutation" `Quick test_shuffle_is_permutation;
+      ] );
+    ( "util.vec2",
+      [
+        tc "arithmetic" `Quick test_vec2_arithmetic;
+        tc "normalize zero" `Quick test_vec2_normalize_zero;
+        tc "clamp norm" `Quick test_vec2_clamp;
+      ] );
+    ( "util.varray",
+      [
+        tc "push/get/set" `Quick test_varray_push_get;
+        tc "bounds checking" `Quick test_varray_bounds;
+        tc "pop and clear" `Quick test_varray_pop_clear;
+        tc "swap_remove" `Quick test_varray_swap_remove;
+        tc "fold/iter/exists" `Quick test_varray_fold_iter;
+      ] );
+    ( "util.stats",
+      [ tc "welford" `Quick test_stats_welford; tc "population stddev" `Quick test_stats_population ]
+    );
+    ( "util.search",
+      [
+        tc "bounds on duplicates" `Quick test_search_bounds;
+        QCheck_alcotest.to_alcotest search_matches_scan;
+      ] );
+    ("util.timer", [ tc "accumulates" `Quick timer_accumulates ]);
+  ]
