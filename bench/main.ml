@@ -4,7 +4,8 @@
      dune exec bench/main.exe            -- quick pass over everything
      dune exec bench/main.exe -- full    -- the paper-scale sweeps
      dune exec bench/main.exe -- fig10 capacity density \
-         ablate-divisible ablate-sweep ablate-nn ablate-combine phases micro
+         ablate-divisible ablate-sweep ablate-nn ablate-combine phases \
+         parallel micro
 
    Absolute numbers differ from the paper's 2 GHz Core Duo C++ engine; the
    *shape* is what reproduces: the naive evaluator is quadratic in the unit
@@ -42,7 +43,7 @@ let battle_seconds ~(evaluator : Simulation.evaluator_kind) ~(n : int) ~(density
 let ticks_for ~evaluator ~n =
   match evaluator with
   | Simulation.Naive -> if n >= 4000 then 2 else if n >= 1000 then 3 else 10
-  | Simulation.Indexed -> if n >= 8000 then 3 else 10
+  | Simulation.Indexed | Simulation.Parallel _ -> if n >= 8000 then 3 else 10
 
 (* ------------------------------------------------------------------ *)
 (* Figure 10: total time versus number of units, naive vs indexed *)
@@ -87,8 +88,8 @@ let capacity ~full () =
   let max_probe evaluator = match (evaluator, full) with
     | Simulation.Naive, false -> 4_000
     | Simulation.Naive, true -> 16_000
-    | Simulation.Indexed, false -> 32_000
-    | Simulation.Indexed, true -> 64_000
+    | (Simulation.Indexed | Simulation.Parallel _), false -> 32_000
+    | (Simulation.Indexed | Simulation.Parallel _), true -> 64_000
   in
   let tick_time evaluator n =
     let per_tick, _ = battle_seconds ~evaluator ~n ~density:0.01 ~ticks:2 in
@@ -419,6 +420,50 @@ let ablate_share () =
     [ 1000; 2000; 4000 ]
 
 (* ------------------------------------------------------------------ *)
+(* Parallel decision phase: sequential indexed vs domain-pool fan-out *)
+
+(* Decision-phase seconds per tick, measured from the engine's own phase
+   timer so movement/post noise stays out of the scaling curve. *)
+let decision_per_tick ~(evaluator : Simulation.evaluator_kind) ~(n : int) ~(ticks : int) : float =
+  let scenario =
+    Battle.Scenario.setup ~density:0.01 ~per_side:(Battle.Scenario.standard_mix (n / 2)) ()
+  in
+  let sim = Battle.Scenario.simulation ~evaluator scenario in
+  (* warm one tick outside the measurement: compilation, pool spin-up *)
+  Simulation.step sim;
+  let before = (Simulation.report sim).Simulation.decision_s in
+  Simulation.run sim ~ticks;
+  let after = (Simulation.report sim).Simulation.decision_s in
+  (after -. before) /. float_of_int ticks
+
+let parallel_scaling ~full () =
+  header "Parallel decision phase - domain-pool fan-out vs sequential indexed";
+  pr "(decision-phase wall time per tick; results are bit-identical across@.";
+  pr " domain counts by construction - the differential suite pins that)@.@.";
+  let sizes = if full then [ 2_000; 10_000; 20_000 ] else [ 1_000; 4_000; 10_000 ] in
+  let domain_counts = [ 1; 2; 4; 8 ] in
+  pr "%8s %14s" "units" "seq (s/t)";
+  List.iter (fun d -> pr " %13s" (Printf.sprintf "%dd (s/t)" d)) domain_counts;
+  pr " %10s@." "4d speedup";
+  List.iter
+    (fun n ->
+      let ticks = ticks_for ~evaluator:Simulation.Indexed ~n in
+      let seq = decision_per_tick ~evaluator:Simulation.Indexed ~n ~ticks in
+      let par =
+        List.map
+          (fun domains ->
+            (domains, decision_per_tick ~evaluator:(Simulation.Parallel { domains }) ~n ~ticks))
+          domain_counts
+      in
+      pr "%8d %14.4f" n seq;
+      List.iter (fun (_, t) -> pr " %13.4f" t) par;
+      let four = List.assoc 4 par in
+      pr " %9.2fx@." (seq /. four))
+    sizes;
+  pr "@.(on a single-core host the fan-out can only add overhead; the curve@.";
+  pr " is still useful as a regression bound on that overhead)@."
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the index kernels *)
 
 let micro () =
@@ -516,6 +561,7 @@ let everything ~full () =
   ablate_combine ();
   ablate_share ();
   phases ();
+  parallel_scaling ~full ();
   micro ()
 
 let () =
@@ -537,6 +583,8 @@ let () =
         | "ablate-combine" -> ablate_combine ()
         | "ablate-share" -> ablate_share ()
         | "phases" -> phases ()
+        | "parallel" -> parallel_scaling ~full:false ()
+        | "parallel-full" -> parallel_scaling ~full:true ()
         | "micro" -> micro ()
         | other ->
           Fmt.epr "unknown benchmark %S@." other;

@@ -2,17 +2,22 @@
    line, with either aggregate evaluator.
 
      dune exec bin/battle_sim.exe -- --units 1000 --ticks 100 --evaluator indexed
+     dune exec bin/battle_sim.exe -- --units 5000 --evaluator parallel --domains 4
 *)
 
 open Cmdliner
 open Sgl
 
-let run units ticks evaluator density seed optimize resurrect verbose ascii trace =
+let run units ticks evaluator domains density seed optimize resurrect verbose ascii trace =
   let evaluator_kind =
-    match evaluator with
-    | "naive" -> Simulation.Naive
-    | "indexed" -> Simulation.Indexed
-    | other -> Fmt.failwith "unknown evaluator %S (expected naive or indexed)" other
+    match (evaluator, domains) with
+    (* --domains N forces the parallel evaluator regardless of --evaluator *)
+    | _, n when n > 0 -> Simulation.Parallel { domains = n }
+    | "naive", _ -> Simulation.Naive
+    | "indexed", _ -> Simulation.Indexed
+    | "parallel", _ -> Simulation.Parallel { domains = Domain.recommended_domain_count () }
+    | other, _ ->
+      Fmt.failwith "unknown evaluator %S (expected naive, indexed or parallel)" other
   in
   let scenario =
     Battle.Scenario.setup ~density ~per_side:(Battle.Scenario.standard_mix (units / 2)) ()
@@ -20,7 +25,8 @@ let run units ticks evaluator density seed optimize resurrect verbose ascii trac
   Fmt.pr "battlefield %dx%d, %d units, density %.1f%%, evaluator %s@."
     scenario.Battle.Scenario.width scenario.Battle.Scenario.height
     (Array.length scenario.Battle.Scenario.units)
-    (density *. 100.) evaluator;
+    (density *. 100.)
+    (Simulation.evaluator_name evaluator_kind);
   let sim =
     Battle.Scenario.simulation ~optimize ~seed ~resurrect ~evaluator:evaluator_kind scenario
   in
@@ -85,7 +91,20 @@ let units_arg = Arg.(value & opt int 500 & info [ "units"; "n" ] ~doc:"Total uni
 let ticks_arg = Arg.(value & opt int 100 & info [ "ticks"; "t" ] ~doc:"Clock ticks to simulate.")
 
 let evaluator_arg =
-  Arg.(value & opt string "indexed" & info [ "evaluator"; "e" ] ~doc:"Aggregate evaluator: naive or indexed.")
+  Arg.(
+    value
+    & opt string "indexed"
+    & info [ "evaluator"; "e" ]
+        ~doc:"Aggregate evaluator: naive, indexed, or parallel (indexed with the decision phase \
+              fanned out over OCaml domains).")
+
+let domains_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "domains" ]
+        ~doc:"Run the parallel evaluator over this many domains (0: follow --evaluator; \
+              'parallel' without --domains uses the recommended domain count).")
 
 let density_arg =
   Arg.(value & opt float 0.01 & info [ "density" ] ~doc:"Fraction of grid squares occupied.")
@@ -107,8 +126,9 @@ let cmd =
   Cmd.v
     (Cmd.info "battle_sim" ~version:Sgl.version ~doc)
     Term.(
-      const (fun u t e d s no_opt no_res v a tr -> run u t e d s (not no_opt) (not no_res) v a tr)
-      $ units_arg $ ticks_arg $ evaluator_arg $ density_arg $ seed_arg $ optimize_arg
-      $ resurrect_arg $ verbose_arg $ ascii_arg $ trace_arg)
+      const (fun u t e dom d s no_opt no_res v a tr ->
+          run u t e dom d s (not no_opt) (not no_res) v a tr)
+      $ units_arg $ ticks_arg $ evaluator_arg $ domains_arg $ density_arg $ seed_arg
+      $ optimize_arg $ resurrect_arg $ verbose_arg $ ascii_arg $ trace_arg)
 
 let () = exit (Cmd.eval' cmd)

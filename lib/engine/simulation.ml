@@ -31,11 +31,21 @@ type config = {
   optimize : bool; (* run the Section 5.2 plan rewrites *)
 }
 
-type evaluator_kind = Naive | Indexed
+type evaluator_kind =
+  | Naive
+  | Indexed
+  | Parallel of { domains : int } (* chunked decision phase over a domain pool *)
 
 let evaluator_name = function
   | Naive -> "naive"
   | Indexed -> "indexed"
+  | Parallel { domains } -> Printf.sprintf "parallel:%d" domains
+
+(* The engine behind a simulation: one evaluator driven sequentially, or a
+   family of evaluators fanned out over a shared domain pool. *)
+type engine =
+  | Seq of Eval.t
+  | Par of { pool : Domain_pool.t; family : Eval.family }
 
 type timings = {
   decision : Timer.t; (* includes index building; see evaluator stats *)
@@ -47,7 +57,7 @@ type timings = {
 type t = {
   config : config;
   compiled : Exec.compiled;
-  evaluator : Eval.t;
+  engine : engine;
   prng : Prng.t;
   mutable units : Tuple.t array;
   mutable tick : int;
@@ -58,15 +68,23 @@ type t = {
 
 let create (config : config) ~(evaluator : evaluator_kind) ~(units : Tuple.t array) : t =
   let schema = config.prog.Core_ir.schema in
-  let ev =
+  let aggregates = config.prog.Core_ir.aggregates in
+  let engine =
     match evaluator with
-    | Naive -> Eval.naive ~schema ~aggregates:config.prog.Core_ir.aggregates
-    | Indexed -> Eval.indexed ~schema ~aggregates:config.prog.Core_ir.aggregates ()
+    | Naive -> Seq (Eval.naive ~schema ~aggregates)
+    | Indexed -> Seq (Eval.indexed ~schema ~aggregates ())
+    | Parallel { domains } ->
+      (* Pools are shared process-wide by size: repeated simulations reuse
+         the same worker domains instead of exhausting the runtime's
+         domain budget. *)
+      let pool = Domain_pool.shared ~domains in
+      let family = Eval.indexed_family ~schema ~aggregates ~chunks:(Domain_pool.size pool) () in
+      Par { pool; family }
   in
   {
     config;
     compiled = Exec.compile ~optimize:config.optimize config.prog;
-    evaluator = ev;
+    engine;
     prng = Prng.create config.seed;
     units = Array.map Tuple.copy units;
     tick = 0;
@@ -110,8 +128,12 @@ let step (t : t) : unit =
   (* decision + action *)
   let acc =
     Timer.record t.timings.decision (fun () ->
-        Exec.run_tick t.compiled ~evaluator:t.evaluator ~units:t.units ~groups:(groups t)
-          ~rand_for)
+        match t.engine with
+        | Seq evaluator ->
+          Exec.run_tick t.compiled ~evaluator ~units:t.units ~groups:(groups t) ~rand_for
+        | Par { pool; family } ->
+          Exec.run_tick_parallel t.compiled ~pool ~family ~units:t.units ~groups:(groups t)
+            ~rand_for)
   in
   (* post-processing *)
   let results =
@@ -170,7 +192,11 @@ let step (t : t) : unit =
   t.tick <- t.tick + 1
 
 let run (t : t) ~(ticks : int) : unit =
-  for _ = 1 to ticks do
+  (* Fix the target tick up front: [step] can grow or shrink [t.units]
+     (death, resurrection), and the bound must not depend on anything a
+     tick mutates. *)
+  let target = t.tick + ticks in
+  while t.tick < target do
     step t
   done
 
@@ -195,7 +221,11 @@ type report = {
 }
 
 let report (t : t) : report =
-  let s = t.evaluator.Eval.stats in
+  let s =
+    match t.engine with
+    | Seq evaluator -> evaluator.Eval.stats
+    | Par { family; _ } -> Eval.family_stats family
+  in
   let decision_s = Timer.elapsed t.timings.decision in
   let post_s = Timer.elapsed t.timings.post in
   let movement_s = Timer.elapsed t.timings.movement in

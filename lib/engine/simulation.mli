@@ -21,7 +21,15 @@ type config = {
   optimize : bool;
 }
 
-type evaluator_kind = Naive | Indexed
+type evaluator_kind =
+  | Naive
+  | Indexed
+  | Parallel of { domains : int }
+      (** The indexed evaluator with the decision phase fanned out over a
+          shared pool of [domains] OCaml domains (clamped to [\[1, 64\]]).
+          Produces tick-for-tick the same unit states as [Indexed] for any
+          domain count: chunks merge through the combination operator (+),
+          which is associative and commutative. *)
 
 val evaluator_name : evaluator_kind -> string
 

@@ -57,12 +57,12 @@ let dummy_rand (_ : int) = 0
 (* ------------------------------------------------------------------ *)
 (* Naive evaluator *)
 
-let naive ~(schema : Schema.t) ~(aggregates : Aggregate.t array) : t =
-  let units = ref [||] in
-  let stats = fresh_stats () in
+let naive_core ~(schema : Schema.t) ~(aggregates : Aggregate.t array)
+    ~(units : Tuple.t array ref) ~(stats : eval_stats)
+    ~(begin_tick : Tuple.t array -> unit) : t =
   {
     name = "naive";
-    begin_tick = (fun e -> units := e);
+    begin_tick;
     eval_agg =
       (fun ~agg_id ~rows ~rands ->
         let agg = aggregates.(agg_id) in
@@ -91,6 +91,11 @@ let naive ~(schema : Schema.t) ~(aggregates : Aggregate.t array) : t =
           contributors);
     stats;
   }
+
+let naive ~(schema : Schema.t) ~(aggregates : Aggregate.t array) : t =
+  let units = ref [||] in
+  let stats = fresh_stats () in
+  naive_core ~schema ~aggregates ~units ~stats ~begin_tick:(fun e -> units := e)
 
 (* ------------------------------------------------------------------ *)
 (* Index groups: instances that can share trees *)
@@ -223,7 +228,14 @@ let probe_box (access : Agg_plan.access) ~(row : Tuple.t) ~(rand : int -> int) :
       Interval.make ~lo ~lo_strict ~hi ~hi_strict ())
     access.Agg_plan.boxes
 
-let ensure_divisible st (bi : built_index) (sub : sub_index) : div_struct =
+(* The [memoize] flag on the [ensure_*] builders: when false, a missing
+   structure is built and returned but NOT stored in [sub].  Members of a
+   shared-index family run with [memoize:false] so that — should the eager
+   [prebuild] pass ever miss a structure — two domains can never race on
+   the [sub_index] fields; they only ever read them.  Sequential
+   evaluators (and call-local indexes like the AoE contributor index) pass
+   [memoize:true] and keep the original caching behaviour. *)
+let ensure_divisible ~(memoize : bool) st (bi : built_index) (sub : sub_index) : div_struct =
   match sub.divisible with
   | Some d -> d
   | None ->
@@ -250,12 +262,12 @@ let ensure_divisible st (bi : built_index) (sub : sub_index) : div_struct =
       | many ->
         Div_range (Range_tree.build ~dims:(List.map coord many) ~stats:(Some stat) ~m sub.members)
     in
-    sub.divisible <- Some d;
+    if memoize then sub.divisible <- Some d;
     st.index_builds <- st.index_builds + 1;
     st.build_seconds <- st.build_seconds +. (Timer.now () -. t0);
     d
 
-let ensure_enum_tree st (bi : built_index) (sub : sub_index) : Range_tree.t =
+let ensure_enum_tree ~(memoize : bool) st (bi : built_index) (sub : sub_index) : Range_tree.t =
   match sub.enum_tree with
   | Some t -> t
   | None ->
@@ -267,19 +279,20 @@ let ensure_enum_tree st (bi : built_index) (sub : sub_index) : Range_tree.t =
       | attrs -> List.map coord attrs
     in
     let t = Range_tree.build ~dims ~stats:None ~m:0 sub.members in
-    sub.enum_tree <- Some t;
+    if memoize then sub.enum_tree <- Some t;
     st.index_builds <- st.index_builds + 1;
     st.build_seconds <- st.build_seconds +. (Timer.now () -. t0);
     t
 
-let ensure_kd st (bi : built_index) ~(ex : int) ~(ey : int) (sub : sub_index) : Kd_tree.t =
+let ensure_kd ~(memoize : bool) st (bi : built_index) ~(ex : int) ~(ey : int) (sub : sub_index) :
+    Kd_tree.t =
   match List.assoc_opt (ex, ey) sub.kds with
   | Some t -> t
   | None ->
     let t0 = Timer.now () in
     let coord attr id = Value.to_float (Tuple.get bi.data.(id) attr) in
     let t = Kd_tree.build ~x:(coord ex) ~y:(coord ey) sub.members in
-    sub.kds <- ((ex, ey), t) :: sub.kds;
+    if memoize then sub.kds <- ((ex, ey), t) :: sub.kds;
     st.index_builds <- st.index_builds + 1;
     st.build_seconds <- st.build_seconds +. (Timer.now () -. t0);
     t
@@ -320,9 +333,9 @@ let fold_best ~(maximize : bool) (best : (float * int) option) (candidate : floa
     in
     if better then Some candidate else best
 
-let rec eval_indexed_batch st ~(strategy : Agg_plan.strategy) ~(agg : Aggregate.t)
-    ~(membership : membership) ~(bi : built_index) ~(rows : Tuple.t array)
-    ~(rands : (int -> int) array) : Value.t array =
+let rec eval_indexed_batch st ~(memoize : bool) ~(strategy : Agg_plan.strategy)
+    ~(agg : Aggregate.t) ~(membership : membership) ~(bi : built_index)
+    ~(rows : Tuple.t array) ~(rands : (int -> int) array) : Value.t array =
   match strategy with
   | Agg_plan.Uniform | Agg_plan.Naive_only _ ->
     invalid_arg "eval_indexed_batch: not an indexed strategy"
@@ -404,12 +417,13 @@ let rec eval_indexed_batch st ~(strategy : Agg_plan.strategy) ~(agg : Aggregate.
             (fun comp ->
               match comp with
               | Agg_plan.C_divisible { kind; stat_offset; stat_count } ->
-                if enumerate then eval_enum_component st ~bi ~access ~row ~rand ~parts ~box kind
+                if enumerate then
+                  eval_enum_component st ~memoize ~bi ~access ~row ~rand ~parts ~box kind
                 else begin
                   let total = Array.make bi.group.n_stats 0. in
                   List.iter
                     (fun sub ->
-                      let d = ensure_divisible st bi sub in
+                      let d = ensure_divisible ~memoize st bi sub in
                       st.index_probes <- st.index_probes + 1;
                       let part =
                         match (d, box) with
@@ -436,7 +450,7 @@ let rec eval_indexed_batch st ~(strategy : Agg_plan.strategy) ~(agg : Aggregate.
                   | None -> None
                   | Some (value, id) -> finish_extremal ~bi ~row ~rand kind value id
                 end
-                | None -> eval_enum_component st ~bi ~access ~row ~rand ~parts ~box kind
+                | None -> eval_enum_component st ~memoize ~bi ~access ~row ~rand ~parts ~box kind
               end
               | Agg_plan.C_nearest { kind } -> begin
                 match kind with
@@ -456,7 +470,7 @@ let rec eval_indexed_batch st ~(strategy : Agg_plan.strategy) ~(agg : Aggregate.
                   let best =
                     List.fold_left
                       (fun best sub ->
-                        let kd = ensure_kd st bi ~ex:exa ~ey:eya sub in
+                        let kd = ensure_kd ~memoize st bi ~ex:exa ~ey:eya sub in
                         st.index_probes <- st.index_probes + 1;
                         match Kd_tree.nearest ~filter kd ~qx ~qy with
                         | None -> best
@@ -480,13 +494,13 @@ let rec eval_indexed_batch st ~(strategy : Agg_plan.strategy) ~(agg : Aggregate.
 
 (* Enumeration path: report the box contents, filter residuals, and fall
    back to the one-component naive evaluation over the candidates. *)
-and eval_enum_component st ~(bi : built_index) ~(access : Agg_plan.access) ~(row : Tuple.t)
+and eval_enum_component st ~(memoize : bool) ~(bi : built_index) ~(access : Agg_plan.access) ~(row : Tuple.t)
     ~(rand : int -> int) ~(parts : sub_index list) ~(box : Interval.t list)
     (kind : Aggregate.kind) : Value.t option =
   let candidates = Varray.create 0 in
   List.iter
     (fun sub ->
-      let tree = ensure_enum_tree st bi sub in
+      let tree = ensure_enum_tree ~memoize st bi sub in
       st.index_probes <- st.index_probes + 1;
       let ivs = if bi.group.box_attrs = [] then [ Interval.everything ] else box in
       Range_tree.query_enum tree ivs (fun id -> Varray.push candidates id))
@@ -523,9 +537,21 @@ let eval_uniform st ~(agg : Aggregate.t) ~(units : Tuple.t array) ~(rows : Tuple
 (* ------------------------------------------------------------------ *)
 (* The indexed evaluator *)
 
-let indexed ?(share = true) ~(schema : Schema.t) ~(aggregates : Aggregate.t array) () : t =
-  let units = ref [||] in
-  let stats = fresh_stats () in
+(* Construction state shared by every evaluator built over one per-tick
+   index cache.  The plain [indexed] evaluator owns a private context; an
+   [indexed_family] shares one context across its members so the parallel
+   decision phase probes one set of indexes from every domain. *)
+type indexed_ctx = {
+  ctx_schema : Schema.t;
+  ctx_aggregates : Aggregate.t array;
+  strategies : Agg_plan.strategy array;
+  memberships : membership option array;
+  ctx_units : Tuple.t array ref;
+  cache : (int, built_index) Hashtbl.t; (* per-tick: group id -> built index *)
+}
+
+let make_indexed_ctx ?(share = true) ~(schema : Schema.t) ~(aggregates : Aggregate.t array) () :
+    indexed_ctx =
   let strategies = Array.map (Agg_plan.analyze schema) aggregates in
   (* Assign every Indexed instance to a group; with sharing disabled, each
      instance gets a private group. *)
@@ -568,19 +594,41 @@ let indexed ?(share = true) ~(schema : Schema.t) ~(aggregates : Aggregate.t arra
         | Agg_plan.Uniform | Agg_plan.Naive_only _ -> None)
       strategies
   in
-  (* per-tick index cache: group id -> built index *)
-  let cache : (int, built_index) Hashtbl.t = Hashtbl.create 32 in
-  let group_index (m : membership) =
-    match Hashtbl.find_opt cache m.group.group_id with
-    | Some bi -> bi
-    | None ->
-      let bi = build_index stats ~group:m.group ~data:!units in
-      Hashtbl.add cache m.group.group_id bi;
-      bi
-  in
+  {
+    ctx_schema = schema;
+    ctx_aggregates = aggregates;
+    strategies;
+    memberships;
+    ctx_units = ref [||];
+    cache = Hashtbl.create 32;
+  }
+
+(* Look a membership's group index up in the shared cache.  The returned
+   flag is true when the index had to be built *call-locally* (cache miss
+   with memoization off): such an index is private to the caller, so the
+   caller may memoize sub-structures on it even from a worker domain. *)
+let group_index (ctx : indexed_ctx) (st : eval_stats) ~(memoize : bool) (m : membership) :
+    built_index * bool =
+  match Hashtbl.find_opt ctx.cache m.group.group_id with
+  | Some bi -> (bi, false)
+  | None ->
+    let bi = build_index st ~group:m.group ~data:!(ctx.ctx_units) in
+    if memoize then Hashtbl.add ctx.cache m.group.group_id bi;
+    (bi, not memoize)
+
+(* One evaluator over a (possibly shared) context.  With [memoize:false]
+   the evaluator never writes into shared index state: cache misses build
+   call-local structures instead.  Family members run with [memoize:false]
+   so every shared structure they touch was published by [prebuild] before
+   the domains forked. *)
+let indexed_member (ctx : indexed_ctx) ~(name : string) ~(stats : eval_stats) ~(memoize : bool)
+    ~(begin_tick : Tuple.t array -> unit) : t =
+  let schema = ctx.ctx_schema in
+  let aggregates = ctx.ctx_aggregates in
+  let units = ctx.ctx_units in
   let eval_agg ~agg_id ~rows ~rands =
     let agg = aggregates.(agg_id) in
-    match strategies.(agg_id) with
+    match ctx.strategies.(agg_id) with
     | Agg_plan.Uniform -> eval_uniform stats ~agg ~units:!units ~rows ~rands
     | Agg_plan.Naive_only _ ->
       Array.mapi
@@ -589,9 +637,10 @@ let indexed ?(share = true) ~(schema : Schema.t) ~(aggregates : Aggregate.t arra
           Aggregate.eval_naive ~units:!units ~ctx:{ Expr.u = row; e = None; rand = rands.(i) } agg)
         rows
     | Agg_plan.Indexed _ as strategy ->
-      let membership = Option.get memberships.(agg_id) in
-      let bi = group_index membership in
-      eval_indexed_batch stats ~strategy ~agg ~membership ~bi ~rows ~rands
+      let membership = Option.get ctx.memberships.(agg_id) in
+      let bi, local = group_index ctx stats ~memoize membership in
+      eval_indexed_batch stats ~memoize:(memoize || local) ~strategy ~agg ~membership ~bi ~rows
+        ~rands
   in
   (* Area-of-effect combination (Section 5.4): swap the roles of u and e so
      contributors become the data set and affected units the probers, then
@@ -699,25 +748,109 @@ let indexed ?(share = true) ~(schema : Schema.t) ~(aggregates : Aggregate.t arra
             | Agg_plan.Uniform ->
               contribute (eval_uniform stats ~agg ~units:contributors ~rows:probers ~rands:prands)
             | Agg_plan.Indexed { access; stats_exprs; _ } ->
-              (* a fresh single-instance group over the contributor set *)
+              (* a fresh single-instance group over the contributor set;
+                 the index is call-local, so memoizing on it is safe from
+                 any domain *)
               let cat_attrs, box_attrs, data_filter = group_signature access in
               let g =
                 { group_id = -1; cat_attrs; box_attrs; data_filter; stats_exprs = []; n_stats = 0 }
               in
               let membership = join_group g stats_exprs in
               let bi = build_index stats ~group:g ~data:contributors in
-              contribute (eval_indexed_batch stats ~strategy ~agg ~membership ~bi ~rows:probers ~rands:prands))
+              contribute
+                (eval_indexed_batch stats ~memoize:true ~strategy ~agg ~membership ~bi
+                   ~rows:probers ~rands:prands))
           plans
       end
     end
   in
-  {
-    name = "indexed";
-    begin_tick =
-      (fun e ->
-        units := e;
-        Hashtbl.reset cache);
-    eval_agg;
-    apply_aoe;
-    stats;
-  }
+  { name; begin_tick; eval_agg; apply_aoe; stats }
+
+let indexed ?(share = true) ~(schema : Schema.t) ~(aggregates : Aggregate.t array) () : t =
+  let ctx = make_indexed_ctx ~share ~schema ~aggregates () in
+  indexed_member ctx ~name:"indexed" ~stats:(fresh_stats ()) ~memoize:true
+    ~begin_tick:(fun e ->
+      ctx.ctx_units := e;
+      Hashtbl.reset ctx.cache)
+
+(* ------------------------------------------------------------------ *)
+(* Families: the parallel decision phase's snapshot discipline *)
+
+(* Force every index structure any member could reach this tick, so that
+   once the domains fork the shared context is read-only.  Mirrors the
+   reachability analysis in [eval_indexed_batch]: group indexes and their
+   categorical partitions always; per-partition divisible / enumeration /
+   kD structures according to the strategy's components (the single-sweep
+   extremal case runs the sweep-line per batch and touches no lazy
+   per-partition structure). *)
+let prebuild (ctx : indexed_ctx) (st : eval_stats) : unit =
+  Array.iteri
+    (fun agg_id m_opt ->
+      match m_opt with
+      | None -> ()
+      | Some m -> begin
+        match ctx.strategies.(agg_id) with
+        | Agg_plan.Uniform | Agg_plan.Naive_only _ -> ()
+        | Agg_plan.Indexed { components; sweep; enumerate; _ } ->
+          let bi, _ = group_index ctx st ~memoize:true m in
+          let single_sweep =
+            match (sweep, components) with
+            | Some _, [ Agg_plan.C_extremal _ ] -> true
+            | _ -> false
+          in
+          List.iter
+            (fun key ->
+              match Cat_index.find bi.cat key with
+              | None -> ()
+              | Some sub ->
+                List.iter
+                  (fun comp ->
+                    match comp with
+                    | Agg_plan.C_divisible _ ->
+                      if enumerate then ignore (ensure_enum_tree ~memoize:true st bi sub)
+                      else ignore (ensure_divisible ~memoize:true st bi sub)
+                    | Agg_plan.C_extremal _ ->
+                      if not single_sweep then ignore (ensure_enum_tree ~memoize:true st bi sub)
+                    | Agg_plan.C_nearest { kind } -> begin
+                      match kind with
+                      | Aggregate.Nearest { ex = Expr.EAttr exa; ey = Expr.EAttr eya; _ } ->
+                        ignore (ensure_kd ~memoize:true st bi ~ex:exa ~ey:eya sub)
+                      | _ -> ()
+                    end)
+                  components)
+            (Cat_index.partition_keys bi.cat)
+      end)
+    ctx.memberships
+
+type family = {
+  members : t array;
+  prepare : Tuple.t array -> unit;
+}
+
+let indexed_family ?(share = true) ~(schema : Schema.t) ~(aggregates : Aggregate.t array)
+    ~(chunks : int) () : family =
+  let ctx = make_indexed_ctx ~share ~schema ~aggregates () in
+  let members =
+    Array.init (max 1 chunks) (fun i ->
+        indexed_member ctx
+          ~name:(Printf.sprintf "indexed#%d" i)
+          ~stats:(fresh_stats ()) ~memoize:false ~begin_tick:ignore)
+  in
+  let prepare units =
+    ctx.ctx_units := units;
+    Hashtbl.reset ctx.cache;
+    prebuild ctx members.(0).stats
+  in
+  { members; prepare }
+
+let family_stats (fam : family) : eval_stats =
+  let out = fresh_stats () in
+  Array.iter
+    (fun m ->
+      out.index_builds <- out.index_builds + m.stats.index_builds;
+      out.index_probes <- out.index_probes + m.stats.index_probes;
+      out.naive_scans <- out.naive_scans + m.stats.naive_scans;
+      out.uniform_hits <- out.uniform_hits + m.stats.uniform_hits;
+      out.build_seconds <- out.build_seconds +. m.stats.build_seconds)
+    fam.members;
+  out

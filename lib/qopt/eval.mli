@@ -35,3 +35,26 @@ val naive : schema:Schema.t -> aggregates:Aggregate.t array -> t
     the same range tree"; [~share:false] gives every instance private trees
     (the ablation baseline). *)
 val indexed : ?share:bool -> schema:Schema.t -> aggregates:Aggregate.t array -> unit -> t
+
+(** A family of indexed evaluators over one shared per-tick index cache,
+    for the parallel decision phase: one member per chunk of the unit
+    array, each safe to drive from its own domain *after* [prepare] has
+    run on the coordinating domain.
+
+    [prepare units] publishes the tick's snapshot: it resets the cache,
+    then eagerly builds every index structure any member could reach
+    (group indexes, categorical partitions, divisible / enumeration / kD
+    sub-structures), so the members' queries never write shared state.
+    Members are constructed memoization-free: should a structure somehow
+    be missed, they rebuild it call-locally rather than racing to publish
+    it. *)
+type family = {
+  members : t array;
+  prepare : Tuple.t array -> unit;
+}
+
+val indexed_family :
+  ?share:bool -> schema:Schema.t -> aggregates:Aggregate.t array -> chunks:int -> unit -> family
+
+(** Counter totals across every member (for reporting). *)
+val family_stats : family -> eval_stats

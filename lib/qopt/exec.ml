@@ -114,29 +114,76 @@ let run_plan ~(schema : Schema.t) ~(evaluator : Eval.t) ~(find_key : int -> Tupl
   in
   go plan (Array.init (Array.length rows) (fun i -> i))
 
+(* The tick's key table: every unit addressable by key for [Core_ir.Key]
+   targets.  Built once per tick; read-only afterwards, so worker domains
+   may probe it concurrently. *)
+let key_table (schema : Schema.t) (units : Tuple.t array) : int -> Tuple.t option =
+  let table = Hashtbl.create (Array.length units * 2) in
+  Array.iter (fun row -> Hashtbl.replace table (Tuple.key schema row) row) units;
+  fun k -> Hashtbl.find_opt table k
+
+(* One group's decision+action work: materialize the members' working rows
+   and random streams, then run the group's plan into [acc]. *)
+let run_group (c : compiled) ~(schema : Schema.t) ~(evaluator : Eval.t)
+    ~(find_key : int -> Tuple.t option) ~(acc : Combine.Acc.t) ~(units : Tuple.t array)
+    ~(rand_for : key:int -> int -> int) (g : group) : unit =
+  match find_plan c g.script with
+  | None -> raise (Exec_error (Fmt.str "no plan for script %S" g.script))
+  | Some plan ->
+    let rows = Array.map (fun i -> make_row c.width units.(i)) g.members in
+    let rands =
+      Array.map
+        (fun i ->
+          let key = Tuple.key schema units.(i) in
+          rand_for ~key)
+        g.members
+    in
+    run_plan ~schema ~evaluator ~find_key ~acc ~plan ~rows ~rands
+
 (* Run a full decision+action pass: each group's script over its members.
    Returns the combined effects of the tick, ready for post-processing. *)
 let run_tick (c : compiled) ~(evaluator : Eval.t) ~(units : Tuple.t array)
     ~(groups : group list) ~(rand_for : key:int -> int -> int) : Combine.Acc.t =
   let schema = c.prog.Core_ir.schema in
   evaluator.Eval.begin_tick units;
-  let table = Hashtbl.create (Array.length units * 2) in
-  Array.iter (fun row -> Hashtbl.replace table (Tuple.key schema row) row) units;
-  let find_key k = Hashtbl.find_opt table k in
+  let find_key = key_table schema units in
   let acc = Combine.Acc.create schema in
-  List.iter
-    (fun g ->
-      match find_plan c g.script with
-      | None -> raise (Exec_error (Fmt.str "no plan for script %S" g.script))
-      | Some plan ->
-        let rows = Array.map (fun i -> make_row c.width units.(i)) g.members in
-        let rands =
-          Array.map
-            (fun i ->
-              let key = Tuple.key schema units.(i) in
-              rand_for ~key)
-            g.members
-        in
-        run_plan ~schema ~evaluator ~find_key ~acc ~plan ~rows ~rands)
-    groups;
+  List.iter (run_group c ~schema ~evaluator ~find_key ~acc ~units ~rand_for) groups;
   acc
+
+(* The parallel decision phase.  The unit array is cut into
+   [Array.length family.members] contiguous chunks; chunk [k] evaluates
+   the intersection of every group with its range on lane [k mod lanes],
+   probing the read-only snapshot [family.prepare] just published.  Each
+   chunk accumulates into a private [Combine.Acc]; the per-chunk bags are
+   folded left-to-right with the accumulator-level (+), whose
+   associativity and commutativity make the merged result independent of
+   how units were chunked — so any chunk count, including 1, reproduces
+   the sequential tick bit-for-bit on integral workloads. *)
+let run_tick_parallel (c : compiled) ~(pool : Sgl_util.Domain_pool.t) ~(family : Eval.family)
+    ~(units : Tuple.t array) ~(groups : group list) ~(rand_for : key:int -> int -> int) :
+    Combine.Acc.t =
+  let schema = c.prog.Core_ir.schema in
+  family.Eval.prepare units;
+  let find_key = key_table schema units in
+  let chunks = Array.length family.Eval.members in
+  let ranges = Sgl_util.Domain_pool.chunk_ranges ~n:(Array.length units) ~chunks in
+  let run_chunk k =
+    let lo, hi = ranges.(k) in
+    let evaluator = family.Eval.members.(k) in
+    let acc = Combine.Acc.create schema in
+    List.iter
+      (fun g ->
+        (* Group membership need not be sorted: filter, don't slice. *)
+        let mine = Array.of_list (List.filter (fun i -> lo <= i && i < hi)
+                                    (Array.to_list g.members)) in
+        if Array.length mine > 0 then
+          run_group c ~schema ~evaluator ~find_key ~acc ~units ~rand_for
+            { g with members = mine })
+      groups;
+    acc
+  in
+  let accs = Sgl_util.Domain_pool.parallel_map pool run_chunk (Array.init chunks (fun k -> k)) in
+  let out = Combine.Acc.create schema in
+  Array.iter (fun acc -> Combine.Acc.merge_into ~dst:out acc) accs;
+  out

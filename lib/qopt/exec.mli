@@ -46,3 +46,20 @@ val run_tick :
   groups:group list ->
   rand_for:(key:int -> int -> int) ->
   Combine.Acc.t
+
+(** [run_tick_parallel c ~pool ~family ~units ~groups ~rand_for] is
+    [run_tick] with the decision phase fanned out over [pool]: the unit
+    array is split into one contiguous chunk per family member, each chunk
+    evaluated against the read-only index snapshot published by
+    [family.prepare], and the per-chunk effect bags folded with the
+    combination operator (+).  Because (+) is associative and commutative
+    and the chunking is a pure function of [units], the result is
+    independent of the chunk count and of domain scheduling. *)
+val run_tick_parallel :
+  compiled ->
+  pool:Sgl_util.Domain_pool.t ->
+  family:Eval.family ->
+  units:Tuple.t array ->
+  groups:group list ->
+  rand_for:(key:int -> int -> int) ->
+  Combine.Acc.t

@@ -113,4 +113,12 @@ module Acc = struct
 
   let iter f t = List.iter (fun k -> f (Hashtbl.find t.table k)) (List.rev t.order)
   let cardinality t = Hashtbl.length t.table
+
+  (* Fold every group of [src] into [dst], in [src]'s insertion order.
+     Each accumulated row is itself a combined contribution, so merging
+     with [add] is exactly (+) — associativity and commutativity of the
+     per-tag folds make the result independent of how contributions were
+     partitioned across accumulators (the fact the parallel decision phase
+     rests on; test_laws pins it on random partitions). *)
+  let merge_into ~(dst : t) (src : t) : unit = iter (add dst) src
 end

@@ -1,0 +1,45 @@
+(** A fixed-size, work-stealing-free pool of OCaml 5 domains.
+
+    The pool spawns [lanes - 1] worker domains once and reuses them for
+    every subsequent call, so the per-tick cost of parallelism is two
+    condition-variable handshakes per worker, not a domain spawn.  Work is
+    distributed *statically*: task [i] always runs on lane [i mod lanes].
+    There is no stealing and no shared queue, so the assignment of work to
+    domains — and therefore any order-sensitive float arithmetic inside a
+    task — is a pure function of the task array, never of scheduling. *)
+
+type t
+
+(** [create ~domains] spawns a pool of [domains] lanes: the caller plus
+    [domains - 1] worker domains.  [domains] is clamped to [\[1, 64\]]; a
+    1-lane pool runs everything on the caller and spawns nothing.  The
+    requested count may exceed the physical core count (useful for
+    determinism tests with prime lane counts). *)
+val create : domains:int -> t
+
+(** [shared ~domains] returns a process-wide pool of that size, creating it
+    on first use.  Repeated simulations reuse the same worker domains
+    instead of spawning fresh ones, which keeps the total number of live
+    domains bounded by the sum of distinct sizes ever requested (the OCaml
+    runtime caps live domains at ~128).  Shared pools are shut down at
+    process exit. *)
+val shared : domains:int -> t
+
+(** Number of lanes, including the caller's. *)
+val size : t -> int
+
+(** [parallel_map t f items] is [Array.map f items], with [items.(i)]
+    evaluated on lane [i mod size t].  The caller runs lane 0's share; the
+    call returns when every lane has finished.  If any task raises, the
+    first exception in lane order is re-raised after all lanes complete.
+    Must not be called re-entrantly from inside a task. *)
+val parallel_map : t -> ('a -> 'b) -> 'a array -> 'b array
+
+(** [chunk_ranges ~n ~chunks] splits [0, n) into [chunks] contiguous
+    [(lo, hi)] half-open ranges whose lengths differ by at most one —
+    the canonical deterministic partition of an array for [parallel_map]. *)
+val chunk_ranges : n:int -> chunks:int -> (int * int) array
+
+(** Join the workers.  The pool must be quiescent (no in-flight
+    [parallel_map]).  Idempotent; using the pool afterwards raises. *)
+val shutdown : t -> unit

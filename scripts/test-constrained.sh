@@ -1,0 +1,17 @@
+#!/bin/sh
+# Run the full test suite pinned to two CPUs, so the domain-pool tests
+# exercise the oversubscribed case (more domains than cores).  Falls back
+# to an unconstrained run where taskset is unavailable (macOS, BSDs) or
+# the machine has fewer than two CPUs.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+if command -v taskset >/dev/null 2>&1 && command -v nproc >/dev/null 2>&1 \
+   && [ "$(nproc)" -ge 2 ]; then
+  echo "running tests constrained to CPUs 0,1"
+  exec taskset -c 0,1 dune runtest --force "$@"
+else
+  echo "taskset or a second CPU unavailable; running unconstrained"
+  exec dune runtest --force "$@"
+fi

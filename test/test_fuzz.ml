@@ -403,11 +403,60 @@ let four_way_equivalence =
       && Relation.equal_as_multiset reference unshared
       && Relation.equal_as_multiset reference unoptimized)
 
+(* Full-simulation differential fuzzing for the parallel decision phase:
+   random scripts driven for 20 ticks under [Naive] and under
+   [Parallel { domains = 3 }] from the same seed must leave identical
+   unit states.  Random movement, deaths and key-targeted effects all
+   flow through the chunk merge; on failure QCheck prints the generated
+   script. *)
+let parallel_sim_equivalence =
+  QCheck.Test.make ~name:"fuzz: 20-tick simulation, naive = parallel:3" ~count:25
+    (QCheck.pair arb_program (QCheck.int_range 0 1000))
+    (fun (ast, seed) ->
+      let s = schema () in
+      let prog = Compile.compile_ast ~schema:s ast in
+      let units = Test_qopt.random_units s ~n:30 ~seed:(seed + 1) in
+      let config =
+        {
+          Sgl_engine.Simulation.prog;
+          script_of = (fun _ -> Some "main");
+          postprocess =
+            Sgl_engine.Postprocess.make ~schema:s ~updates:[]
+              ~remove_when:(Expr.Const (Value.Bool false));
+          movement =
+            Some
+              {
+                Sgl_engine.Movement.posx = Schema.find s "posx";
+                posy = Schema.find s "posy";
+                mvx = Schema.find s "movevect_x";
+                mvy = Schema.find s "movevect_y";
+                speed = 3.;
+                speed_attr = None;
+                width = 64;
+                height = 64;
+              };
+          death = Sgl_engine.Simulation.Remove;
+          seed = seed + 9000;
+          optimize = true;
+        }
+      in
+      let final evaluator =
+        let sim = Sgl_engine.Simulation.create config ~evaluator ~units in
+        Sgl_engine.Simulation.run sim ~ticks:20;
+        let out = Array.map Tuple.copy (Sgl_engine.Simulation.units sim) in
+        Array.sort (fun a b -> compare (Tuple.key s a) (Tuple.key s b)) out;
+        out
+      in
+      let naive = final Sgl_engine.Simulation.Naive in
+      let parallel = final (Sgl_engine.Simulation.Parallel { domains = 3 }) in
+      compare naive parallel = 0)
+
 let _ = no_rand_key
 
 let suite =
   [
     ( "fuzz.pipeline",
       [ QCheck_alcotest.to_alcotest pipeline_accepts;
-        QCheck_alcotest.to_alcotest four_way_equivalence ] );
+        QCheck_alcotest.to_alcotest four_way_equivalence;
+        QCheck_alcotest.to_alcotest parallel_sim_equivalence ] );
   ]

@@ -1,0 +1,283 @@
+(* The parallel decision phase: Domain_pool unit tests plus the
+   differential harness pinning determinism.
+
+   The contract under test: [Simulation.Parallel { domains = k }] produces
+   *bit-identical* unit states to [Naive] and [Indexed] for every k —
+   including k = 1 (degenerate fan-out) and k = 7 (prime, so chunks split
+   unevenly and never align with script-group or army boundaries).  The
+   argument is algebraic — per-chunk effect bags merge through the
+   combination operator (+), which is associative and commutative — and
+   exactness of float sums on integer lattices turns "same multiset of
+   contributions" into "same bits". *)
+
+open Sgl_util
+open Sgl_relalg
+open Sgl_engine
+open Sgl_battle
+
+(* ------------------------------------------------------------------ *)
+(* Domain_pool *)
+
+let pool_map () =
+  let pool = Domain_pool.create ~domains:3 in
+  let squares = Domain_pool.parallel_map pool (fun x -> x * x) (Array.init 20 (fun i -> i)) in
+  Alcotest.(check (array int)) "squares" (Array.init 20 (fun i -> i * i)) squares;
+  (* the pool is reusable: same workers, new job *)
+  let negs = Domain_pool.parallel_map pool (fun x -> -x) (Array.init 5 (fun i -> i)) in
+  Alcotest.(check (array int)) "reused" [| 0; -1; -2; -3; -4 |] negs;
+  (* fewer items than lanes *)
+  let one = Domain_pool.parallel_map pool (fun x -> x + 1) [| 41 |] in
+  Alcotest.(check (array int)) "short input" [| 42 |] one;
+  Alcotest.(check (array int)) "empty input" [||] (Domain_pool.parallel_map pool (fun x -> x) [||]);
+  Domain_pool.shutdown pool
+
+let pool_exception () =
+  let pool = Domain_pool.create ~domains:4 in
+  let boom =
+    try
+      ignore (Domain_pool.parallel_map pool (fun x -> if x = 5 then failwith "boom" else x)
+                (Array.init 8 (fun i -> i)));
+      false
+    with Failure m -> m = "boom"
+  in
+  Alcotest.(check bool) "exception re-raised" true boom;
+  (* a failed map leaves the pool consistent *)
+  let again = Domain_pool.parallel_map pool (fun x -> x * 2) [| 1; 2; 3; 4; 5 |] in
+  Alcotest.(check (array int)) "usable after failure" [| 2; 4; 6; 8; 10 |] again;
+  Domain_pool.shutdown pool
+
+let chunk_ranges () =
+  let check ~n ~chunks =
+    let ranges = Domain_pool.chunk_ranges ~n ~chunks in
+    Alcotest.(check int) "chunk count" (max 1 chunks) (Array.length ranges);
+    (* the ranges tile [0, n) exactly, in order, balanced to within one *)
+    let expected_lo = ref 0 in
+    Array.iter
+      (fun (lo, hi) ->
+        Alcotest.(check int) "contiguous" !expected_lo lo;
+        Alcotest.(check bool) "non-negative" true (hi >= lo);
+        Alcotest.(check bool) "balanced"
+          true
+          (hi - lo >= n / max 1 chunks && hi - lo <= (n / max 1 chunks) + 1);
+        expected_lo := hi)
+      ranges;
+    Alcotest.(check int) "covers n" n !expected_lo
+  in
+  check ~n:10 ~chunks:3;
+  check ~n:100 ~chunks:7;
+  check ~n:64 ~chunks:64;
+  check ~n:3 ~chunks:8 (* more chunks than items: trailing chunks are empty *);
+  check ~n:0 ~chunks:4;
+  check ~n:17 ~chunks:1
+
+(* ------------------------------------------------------------------ *)
+(* Differential harness *)
+
+(* Canonical view of a simulation's unit state: sorted by key (unique in
+   every scenario here), compared tuple-by-tuple.  [compare] rather than
+   [(=)] so the check is total even if a NaN ever leaks into a state. *)
+let sorted_units (sim : Simulation.t) : Tuple.t array =
+  let s = Simulation.schema sim in
+  let out = Array.map Tuple.copy (Simulation.units sim) in
+  Array.sort (fun a b -> compare (Tuple.key s a) (Tuple.key s b)) out;
+  out
+
+let check_states ~(msg : string) (expected : Tuple.t array) (got : Tuple.t array) =
+  Alcotest.(check int) (msg ^ ": population") (Array.length expected) (Array.length got);
+  Array.iteri
+    (fun i e ->
+      if compare e got.(i) <> 0 then
+        Alcotest.failf "%s: unit %d diverged@.expected %s@.got      %s" msg i
+          (Fmt.str "%a" Tuple.pp e) (Fmt.str "%a" Tuple.pp got.(i)))
+    expected
+
+let domain_counts = [ 1; 2; 4; 7 ]
+
+(* Run one scenario under every evaluator and insist on identical states
+   after [ticks]. *)
+let differential ~(ticks : int) ~(make_sim : Simulation.evaluator_kind -> Simulation.t) : unit =
+  let run evaluator =
+    let sim = make_sim evaluator in
+    Simulation.run sim ~ticks;
+    Alcotest.(check int) "tick count" ticks (Simulation.tick_count sim);
+    sorted_units sim
+  in
+  let baseline = run Simulation.Naive in
+  check_states ~msg:"indexed vs naive" baseline (run Simulation.Indexed);
+  List.iter
+    (fun domains ->
+      check_states
+        ~msg:(Fmt.str "parallel:%d vs naive" domains)
+        baseline
+        (run (Simulation.Parallel { domains })))
+    domain_counts
+
+let formation_battle () =
+  differential ~ticks:50 ~make_sim:(fun evaluator ->
+      let scenario =
+        Scenario.setup ~density:0.02
+          ~per_side:(Scenario.standard_mix 60)
+          ()
+      in
+      Scenario.simulation ~seed:11 ~evaluator scenario)
+
+(* The frost-mage scenario (Section 2.2's priority-set effects): Pmax
+   combination under chunked evaluation, with overlapping cones from many
+   casters so chunk boundaries cut straight through aura overlaps. *)
+let frost_schema () =
+  Schema.create
+    [
+      Schema.attr "key" Value.TInt;
+      Schema.attr "player" Value.TInt;
+      Schema.attr "rank" Value.TInt; (* 0 = grunt, 1 = frost mage, 2 = archmage *)
+      Schema.attr "posx" Value.TFloat;
+      Schema.attr "posy" Value.TFloat;
+      Schema.attr "speed" Value.TFloat;
+      Schema.attr "base_speed" Value.TFloat;
+      Schema.attr ~tag:Schema.Sum "movevect_x" Value.TFloat;
+      Schema.attr ~tag:Schema.Sum "movevect_y" Value.TFloat;
+      Schema.attr ~tag:Schema.Pmax "setspeed" Value.TVec; (* (priority, value) *)
+    ]
+
+let frost_behaviour =
+  {|
+action ConeOfCold(u) {
+  on all(e.player <> u.player
+         and e.posx >= u.posx - 8.0 and e.posx <= u.posx + 8.0
+         and e.posy >= u.posy - 8.0 and e.posy <= u.posy + 8.0) {
+    setspeed <- (1.0, 0.0);
+  }
+}
+
+action GreaterHaste(u) {
+  on all(e.player <> u.player and e.rank = 0
+         and e.posx >= u.posx - 6.0 and e.posx <= u.posx + 6.0
+         and e.posy >= u.posy - 3.0 and e.posy <= u.posy + 3.0) {
+    setspeed <- (2.0, 3.0);
+  }
+}
+
+action March(u) {
+  on self { movevect_x <- 5; }
+}
+
+script grunt(u) { perform March(u); }
+script frost_mage(u) { perform ConeOfCold(u); }
+script archmage(u) { perform GreaterHaste(u); }
+|}
+
+let frost_mage_sim (evaluator : Simulation.evaluator_kind) : Simulation.t =
+  let schema = frost_schema () in
+  let open Sgl_lang in
+  let prog = Compile.compile ~schema frost_behaviour in
+  let make ~key ~player ~rank ~x ~y =
+    Tuple.of_list schema
+      [
+        Value.Int key; Value.Int player; Value.Int rank; Value.Float x; Value.Float y;
+        Value.Float 2.; Value.Float 2.; Value.Float 0.; Value.Float 0.;
+        Value.Vec (Vec2.make 0. 0.);
+      ]
+  in
+  (* 60 grunts on an integer lattice marching into a picket line of 14
+     frost mages and 5 archmages with heavily overlapping auras *)
+  let grunts =
+    List.init 60 (fun i ->
+        make ~key:i ~player:0 ~rank:0
+          ~x:(float_of_int (8 + (i mod 6)))
+          ~y:(float_of_int (2 + (2 * (i / 6)))))
+  in
+  let mages =
+    List.init 14 (fun i ->
+        make ~key:(100 + i) ~player:1 ~rank:1 ~x:(float_of_int (18 + (i mod 3)))
+          ~y:(float_of_int (1 + (2 * i / 2))))
+  in
+  let archmages =
+    List.init 5 (fun i ->
+        make ~key:(200 + i) ~player:1 ~rank:2 ~x:17. ~y:(float_of_int (4 + (4 * i))))
+  in
+  let units = Array.of_list (grunts @ mages @ archmages) in
+  let speed = Schema.find schema "speed" and setspeed = Schema.find schema "setspeed" in
+  let base_speed = Schema.find schema "base_speed" in
+  let open Expr in
+  let hit = MinOf (Const (Value.Float 1.), MaxOf (Const (Value.Float 0.), VecX (EAttr setspeed))) in
+  let new_speed =
+    Binop
+      ( Add,
+        Binop (Mul, UAttr base_speed, Binop (Sub, Const (Value.Float 1.), hit)),
+        Binop (Mul, VecY (EAttr setspeed), hit) )
+  in
+  let rank = Schema.find schema "rank" in
+  let config =
+    {
+      Simulation.prog;
+      script_of =
+        (fun u ->
+          Some
+            (match Value.to_int (Tuple.get u rank) with
+            | 1 -> "frost_mage"
+            | 2 -> "archmage"
+            | _ -> "grunt"));
+      postprocess =
+        Postprocess.make ~schema ~updates:[ (speed, new_speed) ]
+          ~remove_when:(Const (Value.Bool false));
+      movement =
+        Some
+          {
+            Movement.posx = Schema.find schema "posx";
+            posy = Schema.find schema "posy";
+            mvx = Schema.find schema "movevect_x";
+            mvy = Schema.find schema "movevect_y";
+            speed = 3.;
+            speed_attr = Some speed;
+            width = 80;
+            height = 48;
+          };
+      death = Simulation.Remove;
+      seed = 8;
+      optimize = true;
+    }
+  in
+  Simulation.create config ~evaluator ~units
+
+let frost_mage () = differential ~ticks:50 ~make_sim:frost_mage_sim
+
+(* [Simulation.run] must execute exactly [ticks] steps even while the
+   death rule rewrites the unit array every tick (resurrection keeps the
+   population constant; removal shrinks it) — the loop bound is fixed up
+   front, not re-read from mutated state. *)
+let resurrection_fixed_ticks () =
+  let scenario =
+    Scenario.setup ~density:0.02 ~per_side:(Scenario.standard_mix 40) ()
+  in
+  let population = Array.length scenario.Scenario.units in
+  let sim =
+    Scenario.simulation ~seed:3 ~resurrect:true
+      ~evaluator:(Simulation.Parallel { domains = 2 })
+      scenario
+  in
+  Simulation.run sim ~ticks:50;
+  Alcotest.(check int) "exactly 50 ticks" 50 (Simulation.tick_count sim);
+  Alcotest.(check int) "resurrection keeps the workload constant" population
+    (Array.length (Simulation.units sim));
+  (* a second run starts from the current tick and adds exactly as asked *)
+  Simulation.run sim ~ticks:7;
+  Alcotest.(check int) "incremental run" 57 (Simulation.tick_count sim)
+
+let suite =
+  [
+    ( "parallel.pool",
+      [
+        Alcotest.test_case "parallel_map computes and reuses" `Quick pool_map;
+        Alcotest.test_case "exceptions propagate, pool survives" `Quick pool_exception;
+        Alcotest.test_case "chunk_ranges tiles [0, n)" `Quick chunk_ranges;
+      ] );
+    ( "parallel.differential",
+      [
+        Alcotest.test_case "formation battle: naive = indexed = parallel 1/2/4/7" `Slow
+          formation_battle;
+        Alcotest.test_case "frost mage (Pmax): naive = indexed = parallel 1/2/4/7" `Slow
+          frost_mage;
+        Alcotest.test_case "resurrection: run executes a fixed tick count" `Quick
+          resurrection_fixed_ticks;
+      ] );
+  ]
