@@ -464,6 +464,74 @@ let parallel_scaling ~full () =
   pr " is still useful as a regression bound on that overhead)@."
 
 (* ------------------------------------------------------------------ *)
+(* Fault tolerance: guard overhead and degradation recovery latency *)
+
+let faults_bench () =
+  header "Fault tolerance - guard overhead and recovery latency (battle sim)";
+  pr "(per-tick time under each fault policy with no faults firing: the@.";
+  pr " quarantine guards add a per-group accumulator merge, degrade adds a@.";
+  pr " snapshot of three references - both should sit within run noise)@.@.";
+  let n = 2_000 and ticks = 10 in
+  let per_tick ?fault_policy () =
+    let scenario =
+      Battle.Scenario.setup ~density:0.01 ~per_side:(Battle.Scenario.standard_mix (n / 2)) ()
+    in
+    let sim =
+      Battle.Scenario.simulation ?fault_policy ~evaluator:Simulation.Indexed scenario
+    in
+    Simulation.step sim;
+    let (), seconds = Timer.timed (fun () -> Simulation.run sim ~ticks) in
+    seconds /. float_of_int ticks
+  in
+  let base = per_tick () in
+  pr "%-28s %12s %10s@." "policy (no faults)" "s/tick" "vs fail";
+  List.iter
+    (fun (name, policy) ->
+      let t = per_tick ~fault_policy:policy () in
+      pr "%-28s %12.4f %9.2fx@." name t (t /. base))
+    [
+      ("fail (baseline)", Simulation.Fail);
+      ("quarantine", Simulation.Quarantine_script);
+      ("degrade", Simulation.Degrade);
+    ];
+  (* Recovery latency: arm an injection that fires mid-run and measure the
+     tick that absorbs the rollback + demotion + retry. *)
+  pr "@.recovery latency (degrade, %d units, fault on tick 6 of %d):@." n ticks;
+  List.iter
+    (fun (label, evaluator, point) ->
+      Fun.protect ~finally:Fault_inject.reset (fun () ->
+          Fault_inject.reset ();
+          let scenario =
+            Battle.Scenario.setup ~density:0.01
+              ~per_side:(Battle.Scenario.standard_mix (n / 2))
+              ()
+          in
+          let sim =
+            Battle.Scenario.simulation ~fault_policy:Simulation.Degrade ~evaluator scenario
+          in
+          Simulation.step sim;
+          let healthy = ref 0. and faulty = ref 0. and after = ref 0. in
+          for t = 2 to ticks + 1 do
+            Fault_inject.reset ();
+            if t = 6 then Fault_inject.arm ~point Fault_inject.Always;
+            let (), seconds = Timer.timed (fun () -> Simulation.step sim) in
+            if t < 6 then healthy := !healthy +. seconds
+            else if t = 6 then faulty := seconds
+            else after := !after +. seconds
+          done;
+          pr "  %-26s healthy %.4fs/t, faulty tick %.4fs, after %.4fs/t (%d retries)@."
+            (label ^ " @ " ^ point)
+            (!healthy /. 4.) !faulty
+            (!after /. float_of_int (ticks - 5))
+            (Simulation.retries sim)))
+    [
+      ("indexed->naive", Simulation.Indexed, "eval.member");
+      ("parallel->indexed", Simulation.Parallel { domains = 2 }, "pool.lane");
+    ];
+  pr "@.(the faulty tick pays the failed partial tick plus a full retry on the@.";
+  pr " weaker evaluator; every later tick runs at the weaker evaluator's pace)@."
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the index kernels *)
 
 let micro () =
@@ -562,6 +630,7 @@ let everything ~full () =
   ablate_share ();
   phases ();
   parallel_scaling ~full ();
+  faults_bench ();
   micro ()
 
 let () =
@@ -585,6 +654,7 @@ let () =
         | "phases" -> phases ()
         | "parallel" -> parallel_scaling ~full:false ()
         | "parallel-full" -> parallel_scaling ~full:true ()
+        | "faults" -> faults_bench ()
         | "micro" -> micro ()
         | other ->
           Fmt.epr "unknown benchmark %S@." other;

@@ -8,7 +8,8 @@
 open Cmdliner
 open Sgl
 
-let run units ticks evaluator domains density seed optimize resurrect verbose ascii trace =
+let run units ticks evaluator domains density seed optimize resurrect verbose ascii trace
+    fault_policy injects =
   let evaluator_kind =
     match (evaluator, domains) with
     (* --domains N forces the parallel evaluator regardless of --evaluator *)
@@ -19,16 +20,37 @@ let run units ticks evaluator domains density seed optimize resurrect verbose as
     | other, _ ->
       Fmt.failwith "unknown evaluator %S (expected naive, indexed or parallel)" other
   in
+  let fault_policy =
+    match fault_policy with
+    | "fail" -> Simulation.Fail
+    | "quarantine" -> Simulation.Quarantine_script
+    | "degrade" -> Simulation.Degrade
+    | other ->
+      Fmt.failwith "unknown fault policy %S (expected fail, quarantine or degrade)" other
+  in
+  Fault_inject.reset ();
+  List.iter
+    (fun arg ->
+      match Fault_inject.parse_arg arg with
+      | Error msg -> Fmt.failwith "--inject %s: %s" arg msg
+      | Ok (point, spec) ->
+        if not (List.mem point Fault_inject.points) then
+          Fmt.failwith "--inject %s: unknown point %S (known: %s)" arg point
+            (String.concat ", " Fault_inject.points);
+        Fault_inject.arm ~point spec)
+    injects;
   let scenario =
     Battle.Scenario.setup ~density ~per_side:(Battle.Scenario.standard_mix (units / 2)) ()
   in
-  Fmt.pr "battlefield %dx%d, %d units, density %.1f%%, evaluator %s@."
+  Fmt.pr "battlefield %dx%d, %d units, density %.1f%%, evaluator %s, fault policy %s@."
     scenario.Battle.Scenario.width scenario.Battle.Scenario.height
     (Array.length scenario.Battle.Scenario.units)
     (density *. 100.)
-    (Simulation.evaluator_name evaluator_kind);
+    (Simulation.evaluator_name evaluator_kind)
+    (Simulation.fault_policy_name fault_policy);
   let sim =
-    Battle.Scenario.simulation ~optimize ~seed ~resurrect ~evaluator:evaluator_kind scenario
+    Battle.Scenario.simulation ~optimize ~seed ~resurrect ~fault_policy
+      ~evaluator:evaluator_kind scenario
   in
   let s = Simulation.schema sim in
   let draw () =
@@ -65,27 +87,47 @@ let run units ticks evaluator domains density seed optimize resurrect verbose as
   Option.iter (fun t -> Trace.record t ~tick:0 (Simulation.units sim)) tracer;
   let wall = Timer.create () in
   Timer.start wall;
-  for t = 1 to ticks do
-    Simulation.step sim;
-    Option.iter (fun tr -> Trace.record tr ~tick:t (Simulation.units sim)) tracer;
-    if verbose && t mod (max 1 (ticks / 10)) = 0 then begin
-      let r = Simulation.report sim in
-      Fmt.pr "tick %4d: %d units, %d deaths so far, %.3fs elapsed@." t r.Simulation.n_units
-        r.Simulation.deaths (Timer.elapsed wall)
-    end
-  done;
-  Timer.stop wall;
-  Option.iter
-    (fun tr ->
-      Trace.close tr;
-      Fmt.pr "trace: %d rows written to %s@." (Trace.rows tr) (Option.get trace))
-    tracer;
+  (* Whatever happens in the tick loop — including a [Fault.Error] under
+     the fail policy — the trace file is flushed and closed. *)
+  let failed =
+    Fun.protect
+      ~finally:(fun () ->
+        Timer.stop wall;
+        Option.iter
+          (fun tr ->
+            Trace.close tr;
+            Fmt.pr "trace: %d rows written to %s@." (Trace.rows tr) (Option.get trace))
+          tracer)
+      (fun () ->
+        try
+          for t = 1 to ticks do
+            Simulation.step sim;
+            Option.iter (fun tr -> Trace.record tr ~tick:t (Simulation.units sim)) tracer;
+            if verbose && t mod (max 1 (ticks / 10)) = 0 then begin
+              let r = Simulation.report sim in
+              Fmt.pr "tick %4d: %d units, %d deaths so far, %.3fs elapsed@." t
+                r.Simulation.n_units r.Simulation.deaths (Timer.elapsed wall)
+            end
+          done;
+          false
+        with Fault.Error f ->
+          Fmt.epr "fault: %a@." Fault.pp f;
+          true)
+  in
   if ascii then draw ();
   let r = Simulation.report sim in
   Fmt.pr "@.%a@." Simulation.pp_report r;
-  Fmt.pr "wall clock: %.3fs (%.1f ticks/s)@." (Timer.elapsed wall)
-    (float_of_int ticks /. Timer.elapsed wall);
-  0
+  (match Simulation.faults sim with
+  | [] -> ()
+  | fs ->
+    Fmt.pr "fault log (%d retained of %d):@." (List.length fs) (Simulation.fault_count sim);
+    List.iter (fun f -> Fmt.pr "  %a@." Fault.pp f) fs);
+  let elapsed = Timer.elapsed wall in
+  let done_ticks = Simulation.tick_count sim in
+  if done_ticks > 0 && elapsed > 1e-9 then
+    Fmt.pr "wall clock: %.3fs (%.1f ticks/s)@." elapsed (float_of_int done_ticks /. elapsed)
+  else Fmt.pr "wall clock: %.3fs@." elapsed;
+  if failed then 3 else 0
 
 let units_arg = Arg.(value & opt int 500 & info [ "units"; "n" ] ~doc:"Total units across both armies.")
 let ticks_arg = Arg.(value & opt int 100 & info [ "ticks"; "t" ] ~doc:"Clock ticks to simulate.")
@@ -121,14 +163,32 @@ let trace_arg =
     & opt (some string) None
     & info [ "trace" ] ~docv:"FILE" ~doc:"Record a per-tick CSV trace of every unit to $(docv).")
 
+let fault_policy_arg =
+  Arg.(
+    value
+    & opt string "fail"
+    & info [ "fault-policy" ]
+        ~doc:"What a tick does when a phase raises: fail (rollback and abort), quarantine \
+              (exclude the failing script group and keep going), or degrade (demote the \
+              evaluator parallel -> indexed -> naive and retry the tick).")
+
+let inject_arg =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "inject" ] ~docv:"POINT:SPEC"
+        ~doc:"Arm a fault-injection point, e.g. eval.member:count=3, exec.group:always, \
+              pool.lane:p=0.1,seed=7.  Repeatable.")
+
 let cmd =
   let doc = "run the SGL battle simulation (knights, archers, healers)" in
   Cmd.v
     (Cmd.info "battle_sim" ~version:Sgl.version ~doc)
     Term.(
-      const (fun u t e dom d s no_opt no_res v a tr ->
-          run u t e dom d s (not no_opt) (not no_res) v a tr)
+      const (fun u t e dom d s no_opt no_res v a tr fp inj ->
+          run u t e dom d s (not no_opt) (not no_res) v a tr fp inj)
       $ units_arg $ ticks_arg $ evaluator_arg $ domains_arg $ density_arg $ seed_arg
-      $ optimize_arg $ resurrect_arg $ verbose_arg $ ascii_arg $ trace_arg)
+      $ optimize_arg $ resurrect_arg $ verbose_arg $ ascii_arg $ trace_arg $ fault_policy_arg
+      $ inject_arg)
 
 let () = exit (Cmd.eval' cmd)

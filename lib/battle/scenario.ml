@@ -77,7 +77,7 @@ let setup ?(density = 0.01) ~(per_side : army) () : t =
   { schema = s; units = Varray.to_array out; width; height; density }
 
 (* Assemble a full simulation over the scenario. *)
-let simulation ?(optimize = true) ?(seed = 42) ?(resurrect = true)
+let simulation ?(optimize = true) ?(seed = 42) ?(resurrect = true) ?fault_policy
     ~(evaluator : Simulation.evaluator_kind) (t : t) : Simulation.t =
   let s = t.schema in
   let prog = Scripts.compile () in
@@ -112,4 +112,4 @@ let simulation ?(optimize = true) ?(seed = 42) ?(resurrect = true)
       optimize;
     }
   in
-  Simulation.create config ~evaluator ~units:t.units
+  Simulation.create ?fault_policy config ~evaluator ~units:t.units

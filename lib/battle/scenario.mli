@@ -34,6 +34,7 @@ val simulation :
   ?optimize:bool ->
   ?seed:int ->
   ?resurrect:bool ->
+  ?fault_policy:Simulation.fault_policy ->
   evaluator:Simulation.evaluator_kind ->
   t ->
   Simulation.t

@@ -16,6 +16,7 @@
 
 (* Utilities *)
 module Prng = Sgl_util.Prng
+module Fault_inject = Sgl_util.Fault_inject
 module Vec2 = Sgl_util.Vec2
 module Varray = Sgl_util.Varray
 module Stats = Sgl_util.Stats
@@ -65,6 +66,7 @@ module Postprocess = Sgl_engine.Postprocess
 module Movement = Sgl_engine.Movement
 module Simulation = Sgl_engine.Simulation
 module Trace = Sgl_engine.Trace
+module Fault = Sgl_engine.Fault
 
 (* The battle case study *)
 module Battle = struct

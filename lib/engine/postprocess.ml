@@ -46,6 +46,7 @@ let effects_row (schema : Schema.t) (acc : Combine.Acc.t) (key : int) : Tuple.t 
    survived; effect attributes of the new state are reset to zero. *)
 let apply (t : t) ~(schema : Schema.t) ~(rand_for : key:int -> int -> int)
     ~(units : Tuple.t array) ~(acc : Combine.Acc.t) : (Tuple.t * bool) array =
+  Sgl_util.Fault_inject.hit "post.apply";
   Array.map
     (fun u ->
       let key = Tuple.key schema u in

@@ -41,6 +41,24 @@ let evaluator_name = function
   | Indexed -> "indexed"
   | Parallel { domains } -> Printf.sprintf "parallel:%d" domains
 
+(* What [step] does when a tick phase raises (ticks are transactional:
+   the pre-tick state is always intact when the policy gets to decide). *)
+type fault_policy =
+  | Fail (* roll back, re-raise with context *)
+  | Quarantine_script (* a failing script group is excluded and reported *)
+  | Degrade (* demote the evaluator parallel -> indexed -> naive and retry *)
+
+let fault_policy_name = function
+  | Fail -> "fail"
+  | Quarantine_script -> "quarantine"
+  | Degrade -> "degrade"
+
+(* The next-weaker evaluator of the demotion chain. *)
+let demotion = function
+  | Parallel _ -> Some Indexed
+  | Indexed -> Some Naive
+  | Naive -> None
+
 (* The engine behind a simulation: one evaluator driven sequentially, or a
    family of evaluators fanned out over a shared domain pool. *)
 type engine =
@@ -57,34 +75,47 @@ type timings = {
 type t = {
   config : config;
   compiled : Exec.compiled;
-  engine : engine;
+  mutable engine : engine; (* replaced when [Degrade] demotes *)
+  mutable evaluator : evaluator_kind;
+  policy : fault_policy;
   prng : Prng.t;
   mutable units : Tuple.t array;
   mutable tick : int;
   timings : timings;
   mutable deaths : int;
   mutable resurrections : int;
+  (* fault-tolerance state *)
+  fault_log : Fault.Log.t;
+  mutable phase : Fault.phase; (* the phase currently executing, for context *)
+  mutable quarantined : string list; (* script groups excluded from future ticks *)
+  mutable degradations : (int * string * string) list; (* tick, from, to *)
+  mutable retries : int;
+  mutable retired_stats : Eval.eval_stats; (* totals of engines retired by demotion *)
 }
 
-let create (config : config) ~(evaluator : evaluator_kind) ~(units : Tuple.t array) : t =
+let make_engine ~(schema : Schema.t) ~(aggregates : Aggregate.t array)
+    (evaluator : evaluator_kind) : engine =
+  match evaluator with
+  | Naive -> Seq (Eval.naive ~schema ~aggregates)
+  | Indexed -> Seq (Eval.indexed ~schema ~aggregates ())
+  | Parallel { domains } ->
+    (* Pools are shared process-wide by size: repeated simulations reuse
+       the same worker domains instead of exhausting the runtime's
+       domain budget. *)
+    let pool = Domain_pool.shared ~domains in
+    let family = Eval.indexed_family ~schema ~aggregates ~chunks:(Domain_pool.size pool) () in
+    Par { pool; family }
+
+let create ?(fault_policy = Fail) ?(fault_log_capacity = 64) (config : config)
+    ~(evaluator : evaluator_kind) ~(units : Tuple.t array) : t =
   let schema = config.prog.Core_ir.schema in
   let aggregates = config.prog.Core_ir.aggregates in
-  let engine =
-    match evaluator with
-    | Naive -> Seq (Eval.naive ~schema ~aggregates)
-    | Indexed -> Seq (Eval.indexed ~schema ~aggregates ())
-    | Parallel { domains } ->
-      (* Pools are shared process-wide by size: repeated simulations reuse
-         the same worker domains instead of exhausting the runtime's
-         domain budget. *)
-      let pool = Domain_pool.shared ~domains in
-      let family = Eval.indexed_family ~schema ~aggregates ~chunks:(Domain_pool.size pool) () in
-      Par { pool; family }
-  in
   {
     config;
     compiled = Exec.compile ~optimize:config.optimize config.prog;
-    engine;
+    engine = make_engine ~schema ~aggregates evaluator;
+    evaluator;
+    policy = fault_policy;
     prng = Prng.create config.seed;
     units = Array.map Tuple.copy units;
     tick = 0;
@@ -93,6 +124,12 @@ let create (config : config) ~(evaluator : evaluator_kind) ~(units : Tuple.t arr
         death = Timer.create () };
     deaths = 0;
     resurrections = 0;
+    fault_log = Fault.Log.create ~capacity:fault_log_capacity ();
+    phase = Fault.Decision;
+    quarantined = [];
+    degradations = [];
+    retries = 0;
+    retired_stats = Eval.fresh_stats ();
   }
 
 let schema t = t.config.prog.Core_ir.schema
@@ -120,22 +157,81 @@ let groups (t : t) : Exec.group list =
   List.rev_map
     (fun name -> { Exec.script = name; members = Varray.to_array (Hashtbl.find by_script name) })
     !order
+  |> List.filter (fun (g : Exec.group) -> not (List.mem g.Exec.script t.quarantined))
 
-let step (t : t) : unit =
+(* ------------------------------------------------------------------ *)
+(* Fault bookkeeping *)
+
+let add_stats (dst : Eval.eval_stats) (src : Eval.eval_stats) : unit =
+  dst.Eval.index_builds <- dst.Eval.index_builds + src.Eval.index_builds;
+  dst.Eval.index_probes <- dst.Eval.index_probes + src.Eval.index_probes;
+  dst.Eval.naive_scans <- dst.Eval.naive_scans + src.Eval.naive_scans;
+  dst.Eval.uniform_hits <- dst.Eval.uniform_hits + src.Eval.uniform_hits;
+  dst.Eval.build_seconds <- dst.Eval.build_seconds +. src.Eval.build_seconds
+
+let engine_stats = function
+  | Seq evaluator -> evaluator.Eval.stats
+  | Par { family; _ } -> Eval.family_stats family
+
+let quarantine (t : t) (gf : Exec.group_fault) : unit =
+  if not (List.mem gf.Exec.gf_script t.quarantined) then
+    t.quarantined <- t.quarantined @ [ gf.Exec.gf_script ];
+  Fault.Log.push t.fault_log
+    (Fault.make ~tick:t.tick ~phase:Fault.Decision ~script:gf.Exec.gf_script
+       ~evaluator:(evaluator_name t.evaluator) ~suppressed:gf.Exec.gf_suppressed gf.Exec.gf_exn
+       gf.Exec.gf_backtrace)
+
+(* Demote to the next-weaker evaluator, retiring the current engine's
+   counters so the report stays cumulative across the whole run. *)
+let demote (t : t) (weaker : evaluator_kind) : unit =
+  add_stats t.retired_stats (engine_stats t.engine);
+  t.degradations <-
+    t.degradations @ [ (t.tick, evaluator_name t.evaluator, evaluator_name weaker) ];
+  let schema = t.config.prog.Core_ir.schema in
+  t.engine <- make_engine ~schema ~aggregates:t.config.prog.Core_ir.aggregates weaker;
+  t.evaluator <- weaker
+
+(* ------------------------------------------------------------------ *)
+(* The tick *)
+
+(* One attempt at the tick's phases.  Raises whatever a phase raises; on
+   success [t.units] holds the post-tick state and the tick counter has
+   advanced.  Crucially for the transactional wrapper in [step], nothing
+   here mutates the pre-tick state: plans work on full-width row copies,
+   post-processing copies every row before updating it, movement and
+   resurrection mutate only those copies, and [t.units] is swapped as the
+   last action of the attempt. *)
+let run_phases (t : t) : unit =
   let sch = schema t in
   let tick = t.tick in
   let rand_for ~key i = Prng.script_random t.prng ~tick ~key i in
   (* decision + action *)
+  t.phase <- Fault.Decision;
   let acc =
     Timer.record t.timings.decision (fun () ->
-        match t.engine with
-        | Seq evaluator ->
+        match (t.policy, t.engine) with
+        | (Fail | Degrade), Seq evaluator ->
           Exec.run_tick t.compiled ~evaluator ~units:t.units ~groups:(groups t) ~rand_for
-        | Par { pool; family } ->
+        | (Fail | Degrade), Par { pool; family } ->
           Exec.run_tick_parallel t.compiled ~pool ~family ~units:t.units ~groups:(groups t)
-            ~rand_for)
+            ~rand_for
+        | Quarantine_script, engine ->
+          (* per-group guards: a failing group contributes an empty effect
+             bag this tick and is excluded from future ones *)
+          let acc, faults =
+            match engine with
+            | Seq evaluator ->
+              Exec.run_tick_guarded t.compiled ~evaluator ~units:t.units ~groups:(groups t)
+                ~rand_for
+            | Par { pool; family } ->
+              Exec.run_tick_parallel_guarded t.compiled ~pool ~family ~units:t.units
+                ~groups:(groups t) ~rand_for
+          in
+          List.iter (quarantine t) faults;
+          acc)
   in
   (* post-processing *)
+  t.phase <- Fault.Post;
   let results =
     Timer.record t.timings.post (fun () ->
         Postprocess.apply t.config.postprocess ~schema:sch ~rand_for ~units:t.units ~acc)
@@ -146,6 +242,7 @@ let step (t : t) : unit =
     results;
   let alive_units = Varray.to_array alive in
   (* movement over the survivors *)
+  t.phase <- Fault.Movement;
   let grid =
     Timer.record t.timings.movement (fun () ->
         Option.map
@@ -154,6 +251,7 @@ let step (t : t) : unit =
           t.config.movement)
   in
   (* death handling *)
+  t.phase <- Fault.Death;
   let final =
     Timer.record t.timings.death (fun () ->
         match t.config.death with
@@ -191,6 +289,52 @@ let step (t : t) : unit =
   t.units <- final;
   t.tick <- t.tick + 1
 
+(* Transactional tick.  The pre-tick state is three references — the unit
+   array (whose rows no phase mutates in place; see [run_phases]) and two
+   counters — so the snapshot is O(1) and the fault-free path pays only
+   the exception handler.  On a fault: restore the snapshot, log the fault
+   with full context, then apply the policy.  [Degrade] retries the tick
+   under the next-weaker evaluator; since every PRNG draw is keyed by
+   [~tick ~key], the retry is bit-identical to a healthy run of that
+   evaluator. *)
+let step (t : t) : unit =
+  let units0 = t.units and deaths0 = t.deaths and resurrections0 = t.resurrections in
+  let rec attempt () =
+    match run_phases t with
+    | () -> ()
+    | exception exn ->
+      let bt = Printexc.get_raw_backtrace () in
+      let suppressed =
+        match t.engine with
+        | Par { pool; _ } -> Domain_pool.suppressed_failures pool
+        | Seq _ -> 0
+      in
+      let fault =
+        Fault.make ~tick:t.tick ~phase:t.phase ~evaluator:(evaluator_name t.evaluator)
+          ~suppressed exn bt
+      in
+      Fault.Log.push t.fault_log fault;
+      t.units <- units0;
+      t.deaths <- deaths0;
+      t.resurrections <- resurrections0;
+      let fail () = Printexc.raise_with_backtrace (Fault.Error fault) bt in
+      (match t.policy with
+      | Fail -> fail ()
+      | Quarantine_script ->
+        (* group faults were absorbed by the guards; anything reaching here
+           is not attributable to one script, so quarantine cannot help *)
+        fail ()
+      | Degrade -> begin
+        match demotion t.evaluator with
+        | None -> fail ()
+        | Some weaker ->
+          demote t weaker;
+          t.retries <- t.retries + 1;
+          attempt ()
+      end)
+  in
+  attempt ()
+
 let run (t : t) ~(ticks : int) : unit =
   (* Fix the target tick up front: [step] can grow or shrink [t.units]
      (death, resurrection), and the bound must not depend on anything a
@@ -218,14 +362,23 @@ type report = {
   uniform_hits : int;
   deaths : int;
   resurrections : int;
+  faults : int; (* faults observed, including any the bounded log dropped *)
+  retries : int; (* tick retries performed by the Degrade policy *)
+  quarantined : string list;
+  degradations : (int * string * string) list; (* tick, from, to *)
 }
 
+let faults (t : t) : Fault.t list = Fault.Log.to_list t.fault_log
+let fault_count (t : t) : int = Fault.Log.total t.fault_log
+let quarantined_scripts (t : t) : string list = t.quarantined
+let degradations (t : t) : (int * string * string) list = t.degradations
+let retries (t : t) : int = t.retries
+let current_evaluator (t : t) : evaluator_kind = t.evaluator
+
 let report (t : t) : report =
-  let s =
-    match t.engine with
-    | Seq evaluator -> evaluator.Eval.stats
-    | Par { family; _ } -> Eval.family_stats family
-  in
+  let s = Eval.fresh_stats () in
+  add_stats s t.retired_stats;
+  add_stats s (engine_stats t.engine);
   let decision_s = Timer.elapsed t.timings.decision in
   let post_s = Timer.elapsed t.timings.post in
   let movement_s = Timer.elapsed t.timings.movement in
@@ -245,11 +398,22 @@ let report (t : t) : report =
     uniform_hits = s.Eval.uniform_hits;
     deaths = t.deaths;
     resurrections = t.resurrections;
+    faults = Fault.Log.total t.fault_log;
+    retries = t.retries;
+    quarantined = t.quarantined;
+    degradations = t.degradations;
   }
 
 let pp_report ppf (r : report) =
   Fmt.pf ppf
     "@[<v>ticks=%d units=%d total=%.3fs (decision=%.3fs [build=%.3fs] post=%.3fs move=%.3fs \
-     death=%.3fs)@,builds=%d probes=%d scans=%d uniform=%d deaths=%d resurrections=%d@]"
+     death=%.3fs)@,builds=%d probes=%d scans=%d uniform=%d deaths=%d resurrections=%d"
     r.ticks r.n_units r.total_s r.decision_s r.build_s r.post_s r.movement_s r.death_s
-    r.index_builds r.index_probes r.naive_scans r.uniform_hits r.deaths r.resurrections
+    r.index_builds r.index_probes r.naive_scans r.uniform_hits r.deaths r.resurrections;
+  (* fault-free runs keep the pre-fault-layer report byte-identical *)
+  if r.faults > 0 || r.retries > 0 || r.quarantined <> [] || r.degradations <> [] then
+    Fmt.pf ppf "@,faults=%d retries=%d quarantined=[%s] degraded=[%s]" r.faults r.retries
+      (String.concat "," r.quarantined)
+      (String.concat ","
+         (List.map (fun (tick, from_, to_) -> Fmt.str "t%d:%s->%s" tick from_ to_) r.degradations));
+  Fmt.pf ppf "@]"

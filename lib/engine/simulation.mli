@@ -33,9 +33,40 @@ type evaluator_kind =
 
 val evaluator_name : evaluator_kind -> string
 
+(** What {!step} does when a tick phase raises.  Ticks are transactional:
+    the pre-tick state is snapshotted at tick start and restored before
+    the policy applies, so no policy ever observes a half-applied tick.
+
+    - [Fail] (the default): re-raise as {!Fault.Error} with full context.
+    - [Quarantine_script]: per-group guards make a failing script group
+      contribute an empty effect bag this tick; the group is excluded from
+      every later tick and reported.  Faults not attributable to one group
+      (index building, post-processing, movement, death) still fail.
+    - [Degrade]: demote the evaluator along parallel -> indexed -> naive
+      and retry the tick.  Every PRNG draw is keyed by [~tick ~key], so
+      the retried tick is bit-identical to a healthy run of the weaker
+      evaluator; when even naive fails, re-raise. *)
+type fault_policy =
+  | Fail
+  | Quarantine_script
+  | Degrade
+
+val fault_policy_name : fault_policy -> string
+
 type t
 
-val create : config -> evaluator:evaluator_kind -> units:Tuple.t array -> t
+(** [create ?fault_policy ?fault_log_capacity config ~evaluator ~units]
+    assembles a simulation.  [fault_policy] defaults to [Fail];
+    [fault_log_capacity] bounds the in-memory fault log (default 64 —
+    later faults are counted but not retained). *)
+val create :
+  ?fault_policy:fault_policy ->
+  ?fault_log_capacity:int ->
+  config ->
+  evaluator:evaluator_kind ->
+  units:Tuple.t array ->
+  t
+
 val schema : t -> Schema.t
 
 (** The current unit state (do not mutate). *)
@@ -44,6 +75,23 @@ val units : t -> Tuple.t array
 val tick_count : t -> int
 val step : t -> unit
 val run : t -> ticks:int -> unit
+
+(** Retained faults, oldest first (bounded by the log capacity). *)
+val faults : t -> Fault.t list
+
+(** Faults ever observed, including any the bounded log dropped. *)
+val fault_count : t -> int
+
+val quarantined_scripts : t -> string list
+
+(** Demotions performed by the [Degrade] policy: (tick, from, to). *)
+val degradations : t -> (int * string * string) list
+
+val retries : t -> int
+
+(** The evaluator currently driving ticks (weaker than the one requested
+    at {!create} after a degradation). *)
+val current_evaluator : t -> evaluator_kind
 
 type timings = {
   decision : Timer.t;
@@ -67,6 +115,10 @@ type report = {
   uniform_hits : int;
   deaths : int;
   resurrections : int;
+  faults : int;
+  retries : int;
+  quarantined : string list;
+  degradations : (int * string * string) list;
 }
 
 val report : t -> report

@@ -174,6 +174,7 @@ let stat_vector (stats_exprs : Expr.t list) (row : Tuple.t) : float array =
   Array.of_list (List.map (fun e -> Expr.eval_float ctx e) stats_exprs)
 
 let build_index (st : eval_stats) ~(group : group) ~(data : Tuple.t array) : built_index =
+  Fault_inject.hit "index.build";
   let t0 = Timer.now () in
   let n = Array.length data in
   let pass id =
@@ -627,6 +628,9 @@ let indexed_member (ctx : indexed_ctx) ~(name : string) ~(stats : eval_stats) ~(
   let aggregates = ctx.ctx_aggregates in
   let units = ctx.ctx_units in
   let eval_agg ~agg_id ~rows ~rands =
+    (* The injection point of the indexed machinery: absent from the naive
+       evaluator, so a [Degrade] retry chain always terminates clean. *)
+    Fault_inject.hit "eval.member";
     let agg = aggregates.(agg_id) in
     match ctx.strategies.(agg_id) with
     | Agg_plan.Uniform -> eval_uniform stats ~agg ~units:!units ~rows ~rands

@@ -127,6 +127,7 @@ let key_table (schema : Schema.t) (units : Tuple.t array) : int -> Tuple.t optio
 let run_group (c : compiled) ~(schema : Schema.t) ~(evaluator : Eval.t)
     ~(find_key : int -> Tuple.t option) ~(acc : Combine.Acc.t) ~(units : Tuple.t array)
     ~(rand_for : key:int -> int -> int) (g : group) : unit =
+  Sgl_util.Fault_inject.hit "exec.group";
   match find_plan c g.script with
   | None -> raise (Exec_error (Fmt.str "no plan for script %S" g.script))
   | Some plan ->
@@ -187,3 +188,109 @@ let run_tick_parallel (c : compiled) ~(pool : Sgl_util.Domain_pool.t) ~(family :
   let out = Combine.Acc.create schema in
   Array.iter (fun acc -> Combine.Acc.merge_into ~dst:out acc) accs;
   out
+
+(* ------------------------------------------------------------------ *)
+(* Guarded (quarantine-mode) execution.
+
+   Each group accumulates into a *private* effect bag merged into the
+   tick's accumulator only when the whole group succeeds, so a group that
+   raises mid-plan contributes nothing at all — the per-group transactional
+   discipline behind the [Quarantine_script] fault policy.  Because bags
+   merge through the combination operator (+), a fault-free guarded tick is
+   bit-identical to the unguarded one on integral workloads. *)
+
+type group_fault = {
+  gf_script : string;
+  gf_exn : exn;
+  gf_backtrace : Printexc.raw_backtrace;
+  gf_suppressed : int; (* further failures of the same group on other chunks *)
+}
+
+let run_tick_guarded (c : compiled) ~(evaluator : Eval.t) ~(units : Tuple.t array)
+    ~(groups : group list) ~(rand_for : key:int -> int -> int) :
+    Combine.Acc.t * group_fault list =
+  let schema = c.prog.Core_ir.schema in
+  evaluator.Eval.begin_tick units;
+  let find_key = key_table schema units in
+  let acc = Combine.Acc.create schema in
+  let faults = ref [] in
+  List.iter
+    (fun g ->
+      let gacc = Combine.Acc.create schema in
+      match run_group c ~schema ~evaluator ~find_key ~acc:gacc ~units ~rand_for g with
+      | () -> Combine.Acc.merge_into ~dst:acc gacc
+      | exception e ->
+        let bt = Printexc.get_raw_backtrace () in
+        faults :=
+          { gf_script = g.script; gf_exn = e; gf_backtrace = bt; gf_suppressed = 0 } :: !faults)
+    groups;
+  (acc, List.rev !faults)
+
+(* One chunk's verdict on one group. *)
+type chunk_outcome =
+  | Chunk_skip (* no members of the group in this chunk *)
+  | Chunk_ok of Combine.Acc.t
+  | Chunk_failed of exn * Printexc.raw_backtrace
+
+let run_tick_parallel_guarded (c : compiled) ~(pool : Sgl_util.Domain_pool.t)
+    ~(family : Eval.family) ~(units : Tuple.t array) ~(groups : group list)
+    ~(rand_for : key:int -> int -> int) : Combine.Acc.t * group_fault list =
+  let schema = c.prog.Core_ir.schema in
+  family.Eval.prepare units;
+  let find_key = key_table schema units in
+  let chunks = Array.length family.Eval.members in
+  let ranges = Sgl_util.Domain_pool.chunk_ranges ~n:(Array.length units) ~chunks in
+  let groups_arr = Array.of_list groups in
+  let run_chunk k =
+    let lo, hi = ranges.(k) in
+    let evaluator = family.Eval.members.(k) in
+    Array.map
+      (fun g ->
+        let mine =
+          Array.of_list
+            (List.filter (fun i -> lo <= i && i < hi) (Array.to_list g.members))
+        in
+        if Array.length mine = 0 then Chunk_skip
+        else begin
+          let gacc = Combine.Acc.create schema in
+          match
+            run_group c ~schema ~evaluator ~find_key ~acc:gacc ~units ~rand_for
+              { g with members = mine }
+          with
+          | () -> Chunk_ok gacc
+          | exception e -> Chunk_failed (e, Printexc.get_raw_backtrace ())
+        end)
+      groups_arr
+  in
+  let per_chunk =
+    Sgl_util.Domain_pool.parallel_map pool run_chunk (Array.init chunks (fun k -> k))
+  in
+  (* A group's bag merges only when every chunk of it succeeded: a group
+     failing on any chunk contributes nothing from any chunk, so quarantine
+     semantics do not depend on where the chunk boundaries fell. *)
+  let acc = Combine.Acc.create schema in
+  let faults = ref [] in
+  Array.iteri
+    (fun gi g ->
+      let failures = ref [] in
+      Array.iter
+        (fun outcomes ->
+          match outcomes.(gi) with
+          | Chunk_skip | Chunk_ok _ -> ()
+          | Chunk_failed (e, bt) -> failures := (e, bt) :: !failures)
+        per_chunk;
+      match List.rev !failures with
+      | [] ->
+        Array.iter
+          (fun outcomes ->
+            match outcomes.(gi) with
+            | Chunk_ok gacc -> Combine.Acc.merge_into ~dst:acc gacc
+            | Chunk_skip | Chunk_failed _ -> ())
+          per_chunk
+      | (e, bt) :: rest ->
+        faults :=
+          { gf_script = g.script; gf_exn = e; gf_backtrace = bt;
+            gf_suppressed = List.length rest }
+          :: !faults)
+    groups_arr;
+  (acc, List.rev !faults)

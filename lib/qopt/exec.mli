@@ -63,3 +63,41 @@ val run_tick_parallel :
   groups:group list ->
   rand_for:(key:int -> int -> int) ->
   Combine.Acc.t
+
+(** One script group's failure under guarded execution.  [gf_suppressed]
+    counts further failures of the same group on other chunks of a
+    parallel tick. *)
+type group_fault = {
+  gf_script : string;
+  gf_exn : exn;
+  gf_backtrace : Printexc.raw_backtrace;
+  gf_suppressed : int;
+}
+
+(** [run_tick] with per-group guards: every group accumulates into a
+    private effect bag merged only on success, so a raising group
+    contributes nothing and execution continues with the remaining groups.
+    Returns the combined effects of the surviving groups plus one
+    {!group_fault} per failed group, in group order.  Fault-free, the
+    result is bit-identical to {!run_tick} on integral workloads (bags
+    merge through the associative-commutative (+)). *)
+val run_tick_guarded :
+  compiled ->
+  evaluator:Eval.t ->
+  units:Tuple.t array ->
+  groups:group list ->
+  rand_for:(key:int -> int -> int) ->
+  Combine.Acc.t * group_fault list
+
+(** Guarded variant of {!run_tick_parallel}.  A group merges only when
+    every chunk of it succeeded, so quarantine semantics are independent
+    of chunk boundaries; a group failing on several chunks yields one
+    fault with the extra failures counted in [gf_suppressed]. *)
+val run_tick_parallel_guarded :
+  compiled ->
+  pool:Sgl_util.Domain_pool.t ->
+  family:Eval.family ->
+  units:Tuple.t array ->
+  groups:group list ->
+  rand_for:(key:int -> int -> int) ->
+  Combine.Acc.t * group_fault list

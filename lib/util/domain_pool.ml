@@ -12,10 +12,12 @@
    There is deliberately no work queue and no stealing: determinism of the
    work assignment is part of the contract. *)
 
+type failure = exn * Printexc.raw_backtrace
+
 type state =
   | Idle
   | Running
-  | Done of exn option
+  | Done of failure option
   | Quit
 
 type slot = {
@@ -30,6 +32,7 @@ type t = {
   slots : slot array; (* lanes - 1 *)
   domains : unit Domain.t array;
   mutable live : bool;
+  mutable suppressed : int; (* extra lane failures hidden by the last re-raise *)
 }
 
 let max_lanes = 64
@@ -51,7 +54,12 @@ let worker_loop (s : slot) : unit =
       let job = Option.get s.job in
       s.job <- None;
       Mutex.unlock s.lock;
-      let outcome = (try job (); None with e -> Some e) in
+      let outcome =
+        try
+          job ();
+          None
+        with e -> Some (e, Printexc.get_raw_backtrace ())
+      in
       Mutex.lock s.lock;
       s.state <- Done outcome;
       Condition.broadcast s.cond;
@@ -68,9 +76,10 @@ let create ~domains =
         { lock = Mutex.create (); cond = Condition.create (); job = None; state = Idle })
   in
   let domains = Array.map (fun s -> Domain.spawn (fun () -> worker_loop s)) slots in
-  { lanes; slots; domains; live = true }
+  { lanes; slots; domains; live = true; suppressed = 0 }
 
 let size t = t.lanes
+let suppressed_failures t = t.suppressed
 
 let submit (s : slot) (f : unit -> unit) : unit =
   Mutex.lock s.lock;
@@ -84,7 +93,7 @@ let submit (s : slot) (f : unit -> unit) : unit =
   Condition.broadcast s.cond;
   Mutex.unlock s.lock
 
-let await (s : slot) : exn option =
+let await (s : slot) : failure option =
   Mutex.lock s.lock;
   let rec wait () =
     match s.state with
@@ -100,6 +109,7 @@ let await (s : slot) : exn option =
 
 let parallel_map (t : t) (f : 'a -> 'b) (items : 'a array) : 'b array =
   if not t.live then invalid_arg "Domain_pool: pool is shut down";
+  t.suppressed <- 0;
   let n = Array.length items in
   if n = 0 then [||]
   else begin
@@ -107,6 +117,7 @@ let parallel_map (t : t) (f : 'a -> 'b) (items : 'a array) : 'b array =
     let results : 'b option array = Array.make n None in
     (* lane [l] owns items l, l + lanes, l + 2*lanes, ... *)
     let work lane () =
+      Fault_inject.hit "pool.lane";
       let i = ref lane in
       while !i < n do
         results.(!i) <- Some (f items.(!i));
@@ -116,15 +127,27 @@ let parallel_map (t : t) (f : 'a -> 'b) (items : 'a array) : 'b array =
     for l = 1 to lanes - 1 do
       submit t.slots.(l - 1) (work l)
     done;
-    let caller_error = (try work 0 (); None with e -> Some e) in
-    let first_error = ref caller_error in
+    let caller_failure =
+      try
+        work 0 ();
+        None
+      with e -> Some (e, Printexc.get_raw_backtrace ())
+    in
+    (* Every lane is always awaited, so the pool stays consistent even when
+       several fail.  The first failure in lane order is re-raised with its
+       original backtrace; the rest are only counted, and the count stays
+       readable through [suppressed_failures] for fault reporting. *)
+    let failures = ref (Option.to_list caller_failure) in
     for l = 1 to lanes - 1 do
       match await t.slots.(l - 1) with
       | None -> ()
-      | Some e -> if !first_error = None then first_error := Some e
+      | Some failure -> failures := failure :: !failures
     done;
-    (match !first_error with Some e -> raise e | None -> ());
-    Array.map Option.get results
+    match List.rev !failures with
+    | [] -> Array.map Option.get results
+    | (e, bt) :: rest ->
+      t.suppressed <- List.length rest;
+      Printexc.raise_with_backtrace e bt
   end
 
 let chunk_ranges ~n ~chunks =

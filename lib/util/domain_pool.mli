@@ -31,9 +31,16 @@ val size : t -> int
 (** [parallel_map t f items] is [Array.map f items], with [items.(i)]
     evaluated on lane [i mod size t].  The caller runs lane 0's share; the
     call returns when every lane has finished.  If any task raises, the
-    first exception in lane order is re-raised after all lanes complete.
-    Must not be called re-entrantly from inside a task. *)
+    first exception in lane order is re-raised after all lanes complete,
+    with its original backtrace; further lane failures are counted and
+    readable through {!suppressed_failures}.  Must not be called
+    re-entrantly from inside a task. *)
 val parallel_map : t -> ('a -> 'b) -> 'a array -> 'b array
+
+(** Lane failures beyond the one re-raised by the *last* [parallel_map]
+    (0 after a clean map).  Read it when catching that exception to report
+    how many additional lanes failed alongside. *)
+val suppressed_failures : t -> int
 
 (** [chunk_ranges ~n ~chunks] splits [0, n) into [chunks] contiguous
     [(lo, hi)] half-open ranges whose lengths differ by at most one —

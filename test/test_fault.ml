@@ -1,0 +1,418 @@
+(* Fault tolerance: the injection registry, transactional ticks, and the
+   three fault policies.
+
+   The differential contract under test mirrors test_parallel: because
+   every PRNG draw is keyed by [~tick ~key] and parallel = indexed = naive
+   bit-for-bit, a [Degrade] run that demotes mid-flight must land on
+   exactly the states of a fault-free run of the weaker evaluator. *)
+
+open Sgl_util
+open Sgl_engine
+open Sgl_battle
+
+(* Every test that arms a point must disarm on any exit, or it poisons
+   whichever test runs next. *)
+let with_injection f = Fun.protect ~finally:Fault_inject.reset f
+
+(* ------------------------------------------------------------------ *)
+(* The injection registry *)
+
+let inject_counting () =
+  with_injection (fun () ->
+      Fault_inject.reset ();
+      (* unarmed points are inert *)
+      Fault_inject.hit "eval.member";
+      Alcotest.(check int) "unarmed: no calls recorded" 0 (Fault_inject.calls "eval.member");
+      Fault_inject.arm ~point:"eval.member" (Fault_inject.At_count 3);
+      Alcotest.(check (list string)) "armed list" [ "eval.member" ] (Fault_inject.armed_points ());
+      Fault_inject.hit "eval.member";
+      Fault_inject.hit "eval.member";
+      let fired =
+        try
+          Fault_inject.hit "eval.member";
+          false
+        with Fault_inject.Injected { point; count } ->
+          Alcotest.(check string) "point name" "eval.member" point;
+          Alcotest.(check int) "fires on the 3rd call" 3 count;
+          true
+      in
+      Alcotest.(check bool) "At_count fires" true fired;
+      (* exactly once: the 4th call passes *)
+      Fault_inject.hit "eval.member";
+      Alcotest.(check int) "calls counted" 4 (Fault_inject.calls "eval.member");
+      Alcotest.(check int) "fired once" 1 (Fault_inject.fired "eval.member");
+      (* other points stay inert while one is armed *)
+      Fault_inject.hit "exec.group";
+      Fault_inject.reset ();
+      Alcotest.(check (list string)) "reset disarms" [] (Fault_inject.armed_points ());
+      Fault_inject.hit "eval.member";
+      Alcotest.(check int) "reset forgets counters" 0 (Fault_inject.calls "eval.member"))
+
+let inject_always () =
+  with_injection (fun () ->
+      Fault_inject.arm ~point:"pool.lane" Fault_inject.Always;
+      for i = 1 to 5 do
+        match Fault_inject.hit "pool.lane" with
+        | () -> Alcotest.failf "call %d did not fire" i
+        | exception Fault_inject.Injected { count; _ } ->
+          Alcotest.(check int) "call number" i count
+      done;
+      Alcotest.(check int) "every call fires" 5 (Fault_inject.fired "pool.lane"))
+
+let inject_prob_deterministic () =
+  let pattern seed =
+    with_injection (fun () ->
+        Fault_inject.arm ~point:"post.apply" (Fault_inject.Prob { p = 0.3; seed });
+        List.init 200 (fun _ ->
+            match Fault_inject.hit "post.apply" with
+            | () -> false
+            | exception Fault_inject.Injected _ -> true))
+  in
+  let a = pattern 7 in
+  Alcotest.(check (list bool)) "same seed, same firing calls" a (pattern 7);
+  let fires l = List.length (List.filter Fun.id l) in
+  Alcotest.(check bool) "p=0.3 fires sometimes, not always" true
+    (fires a > 0 && fires a < 200);
+  Alcotest.(check bool) "different seeds differ" true (a <> pattern 8)
+
+let inject_parse () =
+  let ok = Alcotest.(result (pair string (of_pp Fault_inject.pp_spec)) string) in
+  let check_ok msg arg expected =
+    match Fault_inject.parse_arg arg with
+    | Ok (point, spec) ->
+      Alcotest.check ok msg (Ok expected) (Ok (point, spec));
+      Alcotest.(check bool) "specs equal" true (snd expected = spec);
+      Alcotest.(check string) "points equal" (fst expected) point
+    | Error e -> Alcotest.failf "%s: unexpected parse error %s" msg e
+  in
+  check_ok "always" "eval.member:always" ("eval.member", Fault_inject.Always);
+  check_ok "count" "exec.group:count=3" ("exec.group", Fault_inject.At_count 3);
+  check_ok "prob with seed" "pool.lane:p=0.25,seed=9"
+    ("pool.lane", Fault_inject.Prob { p = 0.25; seed = 9 });
+  let is_error = function Error _ -> true | Ok _ -> false in
+  Alcotest.(check bool) "missing colon" true (is_error (Fault_inject.parse_arg "evalmember"));
+  Alcotest.(check bool) "bad spec" true (is_error (Fault_inject.parse_arg "eval.member:sometimes"));
+  Alcotest.(check bool) "bad count" true (is_error (Fault_inject.parse_arg "eval.member:count=x"));
+  Alcotest.(check bool) "p out of range" true (is_error (Fault_inject.parse_arg "eval.member:p=1.5"))
+
+let inject_unknown_point () =
+  with_injection (fun () ->
+      let rejected =
+        try
+          Fault_inject.arm ~point:"no.such.point" Fault_inject.Always;
+          false
+        with Invalid_argument _ -> true
+      in
+      Alcotest.(check bool) "arm rejects unknown points" true rejected)
+
+(* ------------------------------------------------------------------ *)
+(* The fault log *)
+
+let log_bounded () =
+  let log = Fault.Log.create ~capacity:3 () in
+  let fault i =
+    Fault.make ~tick:i ~phase:Fault.Post ~evaluator:"indexed" (Failure (Fmt.str "f%d" i))
+      (Printexc.get_callstack 0)
+  in
+  for i = 1 to 10 do
+    Fault.Log.push log (fault i)
+  done;
+  Alcotest.(check int) "total counts everything" 10 (Fault.Log.total log);
+  Alcotest.(check int) "dropped past capacity" 7 (Fault.Log.dropped log);
+  Alcotest.(check (list int)) "keeps the first faults verbatim" [ 1; 2; 3 ]
+    (List.map (fun f -> f.Fault.tick) (Fault.Log.to_list log))
+
+(* ------------------------------------------------------------------ *)
+(* Satellite error paths *)
+
+let trace_after_close () =
+  let path = Filename.temp_file "sgl_trace" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let s = Unit_types.schema () in
+      let t = Trace.create ~path ~schema:s ~attrs:[ "key"; "posx" ] in
+      Trace.close t;
+      Trace.close t (* idempotent *);
+      let raised =
+        try
+          Trace.record t ~tick:1 [||];
+          false
+        with Trace.Trace_error _ -> true
+      in
+      Alcotest.(check bool) "record after close raises Trace_error" true raised)
+
+let trace_unknown_attr () =
+  let s = Unit_types.schema () in
+  let contains ~sub s =
+    let n = String.length sub in
+    let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+    n = 0 || go 0
+  in
+  let raised =
+    try
+      ignore (Trace.create ~path:"/tmp/never_created.csv" ~schema:s ~attrs:[ "key"; "charisma" ]);
+      false
+    with Trace.Trace_error msg ->
+      Alcotest.(check bool) "message names the attribute" true (contains ~sub:"charisma" msg);
+      true
+  in
+  Alcotest.(check bool) "unknown attribute raises Trace_error" true raised
+
+let exec_unknown_script () =
+  let open Sgl_qopt in
+  let prog = Scripts.compile () in
+  let compiled = Exec.compile prog in
+  let schema = prog.Sgl_lang.Core_ir.schema in
+  let units =
+    [| Unit_types.make_unit schema ~key:0 ~player:0 ~klass:D20.Knight ~x:1 ~y:1 |]
+  in
+  let evaluator = Eval.indexed ~schema ~aggregates:prog.Sgl_lang.Core_ir.aggregates () in
+  let contains ~sub s =
+    let n = String.length sub in
+    let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+    n = 0 || go 0
+  in
+  let raised =
+    try
+      ignore
+        (Exec.run_tick compiled ~evaluator ~units
+           ~groups:[ { Exec.script = "necromancer"; members = [| 0 |] } ]
+           ~rand_for:(fun ~key:_ _ -> 0));
+      false
+    with Exec.Exec_error msg ->
+      Alcotest.(check bool) "message names the script" true (contains ~sub:"necromancer" msg);
+      true
+  in
+  Alcotest.(check bool) "unknown script raises Exec_error" true raised
+
+(* ------------------------------------------------------------------ *)
+(* Policy behaviour on the battle scenario *)
+
+let battle_sim ?fault_policy ~evaluator () =
+  let scenario = Scenario.setup ~density:0.02 ~per_side:(Scenario.standard_mix 40) () in
+  Scenario.simulation ~seed:11 ?fault_policy ~evaluator scenario
+
+let sorted_units (sim : Simulation.t) =
+  let s = Simulation.schema sim in
+  let out = Array.map Sgl_relalg.Tuple.copy (Simulation.units sim) in
+  Array.sort (fun a b -> compare (Sgl_relalg.Tuple.key s a) (Sgl_relalg.Tuple.key s b)) out;
+  out
+
+let check_states ~(msg : string) expected got =
+  Alcotest.(check int) (msg ^ ": population") (Array.length expected) (Array.length got);
+  Array.iteri
+    (fun i e ->
+      if compare e got.(i) <> 0 then
+        Alcotest.failf "%s: unit %d diverged@.expected %s@.got      %s" msg i
+          (Fmt.str "%a" Sgl_relalg.Tuple.pp e)
+          (Fmt.str "%a" Sgl_relalg.Tuple.pp got.(i)))
+    expected
+
+(* Fail: the tick rolls back, the error carries context, and the
+   simulation is still usable once the injection is disarmed. *)
+let fail_policy_rolls_back () =
+  with_injection (fun () ->
+      let sim = battle_sim ~evaluator:Simulation.Indexed () in
+      Simulation.step sim;
+      Simulation.step sim;
+      let before = sorted_units sim in
+      Fault_inject.arm ~point:"post.apply" (Fault_inject.At_count 1);
+      let fault =
+        match Simulation.step sim with
+        | () -> Alcotest.fail "step did not raise under the fail policy"
+        | exception Fault.Error f -> f
+      in
+      Alcotest.(check int) "fault tick" 2 fault.Fault.tick;
+      Alcotest.(check string) "fault phase" "post" (Fault.phase_name fault.Fault.phase);
+      Alcotest.(check string) "fault evaluator" "indexed" fault.Fault.evaluator;
+      Alcotest.(check int) "tick counter unchanged" 2 (Simulation.tick_count sim);
+      check_states ~msg:"state rolled back" before (sorted_units sim);
+      Alcotest.(check int) "fault logged" 1 (Simulation.fault_count sim);
+      (* disarm and keep going: the failed tick reruns cleanly *)
+      Fault_inject.reset ();
+      Simulation.step sim;
+      Alcotest.(check int) "recovers after disarm" 3 (Simulation.tick_count sim))
+
+(* Quarantine: a script group that faults is excluded and the run
+   completes every requested tick. *)
+let quarantine_completes () =
+  with_injection (fun () ->
+      let sim = battle_sim ~fault_policy:Simulation.Quarantine_script ~evaluator:Simulation.Indexed () in
+      Fault_inject.arm ~point:"exec.group" (Fault_inject.At_count 7);
+      Simulation.run sim ~ticks:20;
+      Alcotest.(check int) "all ticks ran" 20 (Simulation.tick_count sim);
+      let quarantined = Simulation.quarantined_scripts sim in
+      Alcotest.(check int) "one group quarantined" 1 (List.length quarantined);
+      let known = [ "knight"; "knight_move"; "archer"; "archer_reposition"; "healer" ] in
+      Alcotest.(check bool) "a real battle script" true (List.mem (List.hd quarantined) known);
+      let r = Simulation.report sim in
+      Alcotest.(check int) "reported" 1 r.Simulation.faults;
+      Alcotest.(check (list string)) "report lists the group" quarantined r.Simulation.quarantined;
+      match Simulation.faults sim with
+      | [ f ] ->
+        Alcotest.(check (option string)) "fault names the script" (Some (List.hd quarantined))
+          f.Fault.script
+      | fs -> Alcotest.failf "expected one logged fault, got %d" (List.length fs))
+
+(* Quarantine under the parallel evaluator: group guards must compose
+   with chunked evaluation. *)
+let quarantine_parallel () =
+  with_injection (fun () ->
+      let sim =
+        battle_sim ~fault_policy:Simulation.Quarantine_script
+          ~evaluator:(Simulation.Parallel { domains = 3 })
+          ()
+      in
+      Fault_inject.arm ~point:"exec.group" (Fault_inject.At_count 4);
+      Simulation.run sim ~ticks:10;
+      Alcotest.(check int) "all ticks ran" 10 (Simulation.tick_count sim);
+      Alcotest.(check bool) "a group was quarantined" true
+        (Simulation.quarantined_scripts sim <> []))
+
+(* Degrade: a parallel run whose pool faults must land on exactly the
+   states of a fault-free indexed run. *)
+let degrade_parallel_to_indexed () =
+  let clean =
+    let sim = battle_sim ~evaluator:Simulation.Indexed () in
+    Simulation.run sim ~ticks:30;
+    sorted_units sim
+  in
+  with_injection (fun () ->
+      Fault_inject.arm ~point:"pool.lane" Fault_inject.Always;
+      let sim =
+        battle_sim ~fault_policy:Simulation.Degrade
+          ~evaluator:(Simulation.Parallel { domains = 2 })
+          ()
+      in
+      Simulation.run sim ~ticks:30;
+      Alcotest.(check int) "all ticks ran" 30 (Simulation.tick_count sim);
+      Alcotest.(check string) "landed on indexed" "indexed"
+        (Simulation.evaluator_name (Simulation.current_evaluator sim));
+      Alcotest.(check int) "one retry" 1 (Simulation.retries sim);
+      (match Simulation.degradations sim with
+      | [ (tick, from_, to_) ] ->
+        Alcotest.(check int) "demoted on the first tick" 0 tick;
+        Alcotest.(check string) "from parallel" "parallel:2" from_;
+        Alcotest.(check string) "to indexed" "indexed" to_
+      | ds -> Alcotest.failf "expected one demotion, got %d" (List.length ds));
+      check_states ~msg:"degraded parallel vs clean indexed" clean (sorted_units sim))
+
+(* Degrade all the way down: a fault inside the indexed evaluator itself
+   demotes to naive; states match a fault-free naive run. *)
+let degrade_to_naive () =
+  let clean =
+    let sim = battle_sim ~evaluator:Simulation.Naive () in
+    Simulation.run sim ~ticks:15;
+    sorted_units sim
+  in
+  with_injection (fun () ->
+      Fault_inject.arm ~point:"eval.member" Fault_inject.Always;
+      let sim =
+        battle_sim ~fault_policy:Simulation.Degrade
+          ~evaluator:(Simulation.Parallel { domains = 2 })
+          ()
+      in
+      Simulation.run sim ~ticks:15;
+      Alcotest.(check int) "all ticks ran" 15 (Simulation.tick_count sim);
+      Alcotest.(check string) "landed on naive" "naive"
+        (Simulation.evaluator_name (Simulation.current_evaluator sim));
+      Alcotest.(check int) "two retries" 2 (Simulation.retries sim);
+      check_states ~msg:"degraded parallel vs clean naive" clean (sorted_units sim));
+  (* the same chain entered one rung down: indexed -> naive mid-run *)
+  with_injection (fun () ->
+      Fault_inject.arm ~point:"index.build" (Fault_inject.At_count 30);
+      let sim = battle_sim ~fault_policy:Simulation.Degrade ~evaluator:Simulation.Indexed () in
+      Simulation.run sim ~ticks:15;
+      Alcotest.(check int) "all ticks ran" 15 (Simulation.tick_count sim);
+      Alcotest.(check string) "landed on naive" "naive"
+        (Simulation.evaluator_name (Simulation.current_evaluator sim));
+      Alcotest.(check bool) "demoted after tick 0" true
+        (match Simulation.degradations sim with [ (t, _, _) ] -> t > 0 | _ -> false);
+      check_states ~msg:"mid-run demotion vs clean naive" clean (sorted_units sim))
+
+(* Degrade exhausted: when even naive faults, step re-raises in context. *)
+let degrade_exhausted () =
+  with_injection (fun () ->
+      Fault_inject.arm ~point:"exec.group" Fault_inject.Always;
+      let sim = battle_sim ~fault_policy:Simulation.Degrade ~evaluator:Simulation.Indexed () in
+      let raised =
+        try
+          Simulation.step sim;
+          false
+        with Fault.Error f ->
+          Alcotest.(check string) "final evaluator was naive" "naive" f.Fault.evaluator;
+          true
+      in
+      Alcotest.(check bool) "re-raises once the chain is exhausted" true raised;
+      Alcotest.(check int) "nothing half-applied" 0 (Simulation.tick_count sim))
+
+(* Guarded execution is bit-identical to unguarded when nothing fires:
+   per-group accumulators merge through (+), which is exact here. *)
+let quarantine_faultfree_identical () =
+  let run policy =
+    let sim = battle_sim ?fault_policy:policy ~evaluator:Simulation.Indexed () in
+    Simulation.run sim ~ticks:25;
+    sorted_units sim
+  in
+  let baseline = run None in
+  check_states ~msg:"quarantine (fault-free) vs fail" baseline
+    (run (Some Simulation.Quarantine_script));
+  check_states ~msg:"degrade (fault-free) vs fail" baseline (run (Some Simulation.Degrade))
+
+(* Domain_pool surfaces the first lane failure and counts the rest. *)
+let pool_suppressed_count () =
+  let pool = Domain_pool.create ~domains:4 in
+  Fun.protect
+    ~finally:(fun () -> Domain_pool.shutdown pool)
+    (fun () ->
+      let raised =
+        try
+          ignore
+            (Domain_pool.parallel_map pool
+               (fun x -> if x mod 2 = 0 then failwith (Fmt.str "lane%d" x) else x)
+               (Array.init 8 (fun i -> i)));
+          false
+        with Failure _ -> true
+      in
+      Alcotest.(check bool) "first failure re-raised" true raised;
+      Alcotest.(check bool) "other lane failures counted" true
+        (Domain_pool.suppressed_failures pool >= 1);
+      (* a clean map resets the count *)
+      ignore (Domain_pool.parallel_map pool (fun x -> x) [| 1; 2 |]);
+      Alcotest.(check int) "clean map clears suppressed" 0
+        (Domain_pool.suppressed_failures pool))
+
+let suite =
+  [
+    ( "fault.inject",
+      [
+        Alcotest.test_case "counting and At_count" `Quick inject_counting;
+        Alcotest.test_case "Always fires every call" `Quick inject_always;
+        Alcotest.test_case "Prob is deterministic per seed" `Quick inject_prob_deterministic;
+        Alcotest.test_case "parse POINT:SPEC" `Quick inject_parse;
+        Alcotest.test_case "arm rejects unknown points" `Quick inject_unknown_point;
+      ] );
+    ( "fault.log",
+      [ Alcotest.test_case "bounded log keeps first, counts rest" `Quick log_bounded ] );
+    ( "fault.errors",
+      [
+        Alcotest.test_case "Trace.record after close raises" `Quick trace_after_close;
+        Alcotest.test_case "Trace.create rejects unknown attributes" `Quick trace_unknown_attr;
+        Alcotest.test_case "Exec.run_tick names the unknown script" `Quick exec_unknown_script;
+        Alcotest.test_case "Domain_pool counts suppressed lane failures" `Quick
+          pool_suppressed_count;
+      ] );
+    ( "fault.policy",
+      [
+        Alcotest.test_case "fail: rollback, context, recovery" `Quick fail_policy_rolls_back;
+        Alcotest.test_case "quarantine: excluded group, run completes" `Quick quarantine_completes;
+        Alcotest.test_case "quarantine composes with parallel chunks" `Slow quarantine_parallel;
+        Alcotest.test_case "degrade: parallel -> indexed, bit-identical" `Slow
+          degrade_parallel_to_indexed;
+        Alcotest.test_case "degrade: down to naive, bit-identical" `Slow degrade_to_naive;
+        Alcotest.test_case "degrade: exhausted chain re-raises" `Quick degrade_exhausted;
+        Alcotest.test_case "guards are bit-identical when nothing fires" `Slow
+          quarantine_faultfree_identical;
+      ] );
+  ]
