@@ -58,7 +58,19 @@ let fig10 ~full () =
     else [ 250; 500; 1000; 2000; 4000; 8000; 12000 ]
   in
   let measure evaluator n =
-    let per_tick, _ = battle_seconds ~evaluator ~n ~density:0.01 ~ticks:(ticks_for ~evaluator ~n) in
+    let per_tick, r = battle_seconds ~evaluator ~n ~density:0.01 ~ticks:(ticks_for ~evaluator ~n) in
+    Bench_json.emit ~section:"fig10"
+      ~config:
+        [ ("evaluator", Simulation.evaluator_name evaluator); ("units", string_of_int n) ]
+      ~ticks_per_s:(1. /. per_tick)
+      ~phases:
+        [
+          ("decision_s", r.Simulation.decision_s);
+          ("build_s", r.Simulation.build_s);
+          ("post_s", r.Simulation.post_s);
+          ("movement_s", r.Simulation.movement_s);
+          ("death_s", r.Simulation.death_s);
+        ];
     per_tick *. 500.
   in
   let naive = List.map (fun n -> (n, measure Simulation.Naive n)) naive_sizes in
@@ -353,7 +365,18 @@ script healer(u) { perform Aura(u); }
 (* A4: where does the indexed tick go? (Section 6's phase split) *)
 let phases () =
   header "Ablation A4 - indexed tick phase split (battle, 2000 units, 10 ticks)";
-  let _, r = battle_seconds ~evaluator:Simulation.Indexed ~n:2000 ~density:0.01 ~ticks:10 in
+  let per_tick, r = battle_seconds ~evaluator:Simulation.Indexed ~n:2000 ~density:0.01 ~ticks:10 in
+  Bench_json.emit ~section:"phases"
+    ~config:[ ("evaluator", "indexed"); ("units", "2000") ]
+    ~ticks_per_s:(1. /. per_tick)
+    ~phases:
+      [
+        ("decision_s", r.Simulation.decision_s);
+        ("build_s", r.Simulation.build_s);
+        ("post_s", r.Simulation.post_s);
+        ("movement_s", r.Simulation.movement_s);
+        ("death_s", r.Simulation.death_s);
+      ];
   let total = r.Simulation.total_s in
   let pct x = 100. *. x /. total in
   pr "decision (probe)   : %7.3fs  (%4.1f%%)@."
@@ -448,11 +471,20 @@ let parallel_scaling ~full () =
   List.iter
     (fun n ->
       let ticks = ticks_for ~evaluator:Simulation.Indexed ~n in
+      let emit label t =
+        Bench_json.emit ~section:"parallel"
+          ~config:[ ("evaluator", label); ("units", string_of_int n) ]
+          ~ticks_per_s:(1. /. t)
+          ~phases:[ ("decision_s", t) ]
+      in
       let seq = decision_per_tick ~evaluator:Simulation.Indexed ~n ~ticks in
+      emit "indexed" seq;
       let par =
         List.map
           (fun domains ->
-            (domains, decision_per_tick ~evaluator:(Simulation.Parallel { domains }) ~n ~ticks))
+            let t = decision_per_tick ~evaluator:(Simulation.Parallel { domains }) ~n ~ticks in
+            emit (Printf.sprintf "parallel:%d" domains) t;
+            (domains, t))
           domain_counts
       in
       pr "%8d %14.4f" n seq;
@@ -530,6 +562,167 @@ let faults_bench () =
     ];
   pr "@.(the faulty tick pays the failed partial tick plus a full retry on the@.";
   pr " weaker evaluator; every later tick runs at the weaker evaluator's pace)@."
+
+(* ------------------------------------------------------------------ *)
+(* Incremental index maintenance: the cross-tick structure cache *)
+
+(* A low-churn sentry scenario, built to separate the cache's two rebuild
+   regimes.  A handful of scouts (player 0) probe a box-count aggregate
+   partitioned by player; a churn-sized band of wanderers (player 1)
+   marches one cell per tick; the bulk of the army (player 2) never moves
+   and never acts.  Warm ticks rebuild only the wanderers' partition —
+   the statics' structures revalidate through the delta summary — while
+   cold ticks rebuild everything.  Every unit owns its own grid row, so
+   movement never collides and ticks stay non-structural. *)
+let incremental_schema () =
+  Schema.create
+    [
+      Schema.attr "key" Value.TInt;
+      Schema.attr "player" Value.TInt;
+      Schema.attr "posx" Value.TFloat;
+      Schema.attr "posy" Value.TFloat;
+      Schema.attr ~tag:Schema.Sum "movevect_x" Value.TFloat;
+      Schema.attr ~tag:Schema.Sum "movevect_y" Value.TFloat;
+      Schema.attr ~tag:Schema.Sum "seen" Value.TFloat;
+    ]
+
+let incremental_source =
+  {|
+aggregate NearOthers(u) {
+  count(*)
+  where e.player <> u.player
+    and e.posx >= u.posx - 40.0 and e.posx <= u.posx + 40.0
+    and e.posy >= u.posy - 40.0 and e.posy <= u.posy + 40.0
+}
+
+action Mark(u) { on self { seen <- 1; } }
+action Drift(u) { on self { movevect_x <- 1; } }
+
+script scout(u) {
+  let c = NearOthers(u);
+  if c >= 0 then { perform Mark(u); }
+}
+script wanderer(u) { perform Drift(u); }
+|}
+
+let incremental_scouts = 32
+let incremental_width = 4096
+
+let incremental_units schema ~(n : int) ~(churn : float) : Sgl.Tuple.t array =
+  let wanderers = int_of_float (churn *. float_of_int (n - incremental_scouts)) in
+  Array.init n (fun i ->
+      let player, x =
+        if i < incremental_scouts then (0, 2000)
+        else if i < incremental_scouts + wanderers then (1, 100 + (i mod 50))
+        else (2, 400 + (i * 7 mod 3200))
+      in
+      Tuple.of_list schema
+        [
+          Value.Int i;
+          Value.Int player;
+          Value.Float (float_of_int x);
+          Value.Float (float_of_int i);
+          Value.Float 0.;
+          Value.Float 0.;
+          Value.Float 0.;
+        ])
+
+let incremental_sim ~(index_cache : bool) ~(evaluator : Simulation.evaluator_kind) ~(n : int)
+    ~(churn : float) : Simulation.t =
+  let schema = incremental_schema () in
+  let prog = compile ~schema incremental_source in
+  let player_ix = Schema.find schema "player" in
+  let config =
+    {
+      Simulation.prog;
+      script_of =
+        (fun u ->
+          match Value.to_int (Tuple.get u player_ix) with
+          | 0 -> Some "scout"
+          | 1 -> Some "wanderer"
+          | _ -> None);
+      postprocess =
+        Postprocess.make ~schema ~updates:[] ~remove_when:(Expr.Const (Value.Bool false));
+      movement =
+        Some
+          {
+            Movement.posx = Schema.find schema "posx";
+            posy = Schema.find schema "posy";
+            mvx = Schema.find schema "movevect_x";
+            mvy = Schema.find schema "movevect_y";
+            speed = 1.5;
+            speed_attr = None;
+            width = incremental_width;
+            height = n;
+          };
+      death = Simulation.Remove;
+      seed = 7;
+      optimize = true;
+    }
+  in
+  Simulation.create ~index_cache config ~evaluator ~units:(incremental_units schema ~n ~churn)
+
+(* Ticks per second plus the final report; one warm-up tick outside the
+   clock (compilation, pool spin-up, the unavoidable first cold build). *)
+let incremental_rate ~index_cache ~evaluator ~n ~churn ~ticks : float * Simulation.report =
+  let sim = incremental_sim ~index_cache ~evaluator ~n ~churn in
+  Simulation.step sim;
+  let (), seconds = Timer.timed (fun () -> Simulation.run sim ~ticks) in
+  (float_of_int ticks /. seconds, Simulation.report sim)
+
+let incremental ~full () =
+  header "Incremental maintenance - warm cross-tick structure cache vs cold rebuild";
+  pr "(sentry scenario: %d scouts probe box counts over a mostly static army;@."
+    incremental_scouts;
+  pr " churn = fraction of units moving per tick.  Warm revalidates cached@.";
+  pr " structures against the tick's delta summary, cold rebuilds per tick.@.";
+  pr " Unit states are bit-identical either way - the differential suite pins it.)@.@.";
+  let sizes = if full then [ 2_000; 8_000; 20_000 ] else [ 2_000; 8_000 ] in
+  let churns = [ 0.01; 0.10; 0.50 ] in
+  let evaluators =
+    [ ("indexed", Simulation.Indexed); ("parallel:2", Simulation.Parallel { domains = 2 }) ]
+  in
+  pr "%-11s %8s %7s %14s %14s %8s %10s@." "evaluator" "units" "churn" "warm (t/s)"
+    "cold (t/s)" "speedup" "reuses";
+  List.iter
+    (fun (ev_name, evaluator) ->
+      List.iter
+        (fun n ->
+          List.iter
+            (fun churn ->
+              let ticks = if n >= 20_000 then 5 else 10 in
+              let warm, wr = incremental_rate ~index_cache:true ~evaluator ~n ~churn ~ticks in
+              let cold, cr = incremental_rate ~index_cache:false ~evaluator ~n ~churn ~ticks in
+              pr "%-11s %8d %6.0f%% %14.1f %14.1f %7.2fx %10d@." ev_name n (churn *. 100.)
+                warm cold (warm /. cold) wr.Simulation.index_reuses;
+              let emit label rate (r : Simulation.report) =
+                Bench_json.emit ~section:"incremental"
+                  ~config:
+                    [
+                      ("evaluator", ev_name);
+                      ("units", string_of_int n);
+                      ("churn", Printf.sprintf "%.2f" churn);
+                      ("cache", label);
+                    ]
+                  ~ticks_per_s:rate
+                  ~phases:
+                    [
+                      ("decision_s", r.Simulation.decision_s);
+                      ("build_s", r.Simulation.build_s);
+                      ("post_s", r.Simulation.post_s);
+                      ("movement_s", r.Simulation.movement_s);
+                      ("death_s", r.Simulation.death_s);
+                      ("index_builds", float_of_int r.Simulation.index_builds);
+                      ("index_reuses", float_of_int r.Simulation.index_reuses);
+                    ]
+              in
+              emit "warm" warm wr;
+              emit "cold" cold cr)
+            churns)
+        sizes)
+    evaluators;
+  pr "@.(warm wins grow with army size and shrink with churn: the statics'@.";
+  pr " range trees are the O(n log n) build cost the delta summary avoids)@."
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the index kernels *)
@@ -630,33 +823,50 @@ let everything ~full () =
   ablate_share ();
   phases ();
   parallel_scaling ~full ();
+  incremental ~full ();
   faults_bench ();
   micro ()
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  (* [--json PATH] arms the machine-readable emitter and is stripped before
+     section dispatch, so it composes with any section list. *)
+  let rec extract_json acc = function
+    | "--json" :: path :: rest ->
+      Bench_json.set_path path;
+      List.rev_append acc rest
+    | [ "--json" ] ->
+      Fmt.epr "--json requires an output path@.";
+      exit 1
+    | x :: rest -> extract_json (x :: acc) rest
+    | [] -> List.rev acc
+  in
+  let args = extract_json [] args in
   pr "SGL benchmark harness - reproduction of White et al., SIGMOD 2007@.";
-  match args with
-  | [] | [ "quick" ] -> everything ~full:false ()
-  | [ "full" ] -> everything ~full:true ()
-  | names ->
-    List.iter
-      (function
-        | "fig10" -> fig10 ~full:false ()
-        | "fig10-full" -> fig10 ~full:true ()
-        | "capacity" -> capacity ~full:false ()
-        | "density" -> density_sweep ()
-        | "ablate-divisible" -> ablate_divisible ()
-        | "ablate-sweep" -> ablate_sweep ()
-        | "ablate-nn" -> ablate_nn ()
-        | "ablate-combine" -> ablate_combine ()
-        | "ablate-share" -> ablate_share ()
-        | "phases" -> phases ()
-        | "parallel" -> parallel_scaling ~full:false ()
-        | "parallel-full" -> parallel_scaling ~full:true ()
-        | "faults" -> faults_bench ()
-        | "micro" -> micro ()
-        | other ->
-          Fmt.epr "unknown benchmark %S@." other;
-          exit 1)
-      names
+  Fun.protect ~finally:Bench_json.write (fun () ->
+      match args with
+      | [] | [ "quick" ] -> everything ~full:false ()
+      | [ "full" ] -> everything ~full:true ()
+      | names ->
+        List.iter
+          (function
+            | "fig10" -> fig10 ~full:false ()
+            | "fig10-full" -> fig10 ~full:true ()
+            | "capacity" -> capacity ~full:false ()
+            | "density" -> density_sweep ()
+            | "ablate-divisible" -> ablate_divisible ()
+            | "ablate-sweep" -> ablate_sweep ()
+            | "ablate-nn" -> ablate_nn ()
+            | "ablate-combine" -> ablate_combine ()
+            | "ablate-share" -> ablate_share ()
+            | "phases" -> phases ()
+            | "parallel" -> parallel_scaling ~full:false ()
+            | "parallel-full" -> parallel_scaling ~full:true ()
+            | "incremental" -> incremental ~full:false ()
+            | "incremental-full" -> incremental ~full:true ()
+            | "faults" -> faults_bench ()
+            | "micro" -> micro ()
+            | other ->
+              Fmt.epr "unknown benchmark %S@." other;
+              exit 1)
+          names)

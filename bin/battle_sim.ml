@@ -8,8 +8,8 @@
 open Cmdliner
 open Sgl
 
-let run units ticks evaluator domains density seed optimize resurrect verbose ascii trace
-    fault_policy injects =
+let run units ticks evaluator domains density seed optimize resurrect index_cache verbose ascii
+    trace fault_policy injects =
   let evaluator_kind =
     match (evaluator, domains) with
     (* --domains N forces the parallel evaluator regardless of --evaluator *)
@@ -49,7 +49,7 @@ let run units ticks evaluator domains density seed optimize resurrect verbose as
     (Simulation.evaluator_name evaluator_kind)
     (Simulation.fault_policy_name fault_policy);
   let sim =
-    Battle.Scenario.simulation ~optimize ~seed ~resurrect ~fault_policy
+    Battle.Scenario.simulation ~optimize ~seed ~resurrect ~fault_policy ~index_cache
       ~evaluator:evaluator_kind scenario
   in
   let s = Simulation.schema sim in
@@ -154,6 +154,15 @@ let density_arg =
 let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Root random seed.")
 let optimize_arg = Arg.(value & flag & info [ "no-optimize" ] ~doc:"Disable plan rewriting.")
 let resurrect_arg = Arg.(value & flag & info [ "no-resurrect" ] ~doc:"Let the dead stay dead.")
+
+let index_cache_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "no-index-cache" ]
+        ~doc:"Rebuild every index structure from scratch each tick instead of revalidating \
+              last tick's structures against the tick's delta summary.  Results are \
+              bit-identical either way; only build work changes.")
 let verbose_arg = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Progress every ~10% of ticks.")
 let ascii_arg = Arg.(value & flag & info [ "draw" ] ~doc:"Draw the final battlefield as ASCII art.")
 
@@ -185,10 +194,10 @@ let cmd =
   Cmd.v
     (Cmd.info "battle_sim" ~version:Sgl.version ~doc)
     Term.(
-      const (fun u t e dom d s no_opt no_res v a tr fp inj ->
-          run u t e dom d s (not no_opt) (not no_res) v a tr fp inj)
+      const (fun u t e dom d s no_opt no_res no_cache v a tr fp inj ->
+          run u t e dom d s (not no_opt) (not no_res) (not no_cache) v a tr fp inj)
       $ units_arg $ ticks_arg $ evaluator_arg $ domains_arg $ density_arg $ seed_arg
-      $ optimize_arg $ resurrect_arg $ verbose_arg $ ascii_arg $ trace_arg $ fault_policy_arg
-      $ inject_arg)
+      $ optimize_arg $ resurrect_arg $ index_cache_arg $ verbose_arg $ ascii_arg $ trace_arg
+      $ fault_policy_arg $ inject_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -77,7 +77,7 @@ let setup ?(density = 0.01) ~(per_side : army) () : t =
   { schema = s; units = Varray.to_array out; width; height; density }
 
 (* Assemble a full simulation over the scenario. *)
-let simulation ?(optimize = true) ?(seed = 42) ?(resurrect = true) ?fault_policy
+let simulation ?(optimize = true) ?(seed = 42) ?(resurrect = true) ?fault_policy ?index_cache
     ~(evaluator : Simulation.evaluator_kind) (t : t) : Simulation.t =
   let s = t.schema in
   let prog = Scripts.compile () in
@@ -112,4 +112,4 @@ let simulation ?(optimize = true) ?(seed = 42) ?(resurrect = true) ?fault_policy
       optimize;
     }
   in
-  Simulation.create ?fault_policy config ~evaluator ~units:t.units
+  Simulation.create ?fault_policy ?index_cache config ~evaluator ~units:t.units

@@ -29,12 +29,15 @@ type t = {
 val setup : ?density:float -> per_side:army -> unit -> t
 
 (** Assemble the full simulation: battle scripts, post-processing, movement,
-    death rule (resurrection by default). *)
+    death rule (resurrection by default).  [index_cache] is forwarded to
+    {!Simulation.create} (cross-tick index structure reuse, on by
+    default). *)
 val simulation :
   ?optimize:bool ->
   ?seed:int ->
   ?resurrect:bool ->
   ?fault_policy:Simulation.fault_policy ->
+  ?index_cache:bool ->
   evaluator:Simulation.evaluator_kind ->
   t ->
   Simulation.t

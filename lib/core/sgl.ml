@@ -31,6 +31,7 @@ module Expr = Sgl_relalg.Expr
 module Predicate = Sgl_relalg.Predicate
 module Aggregate = Sgl_relalg.Aggregate
 module Combine = Sgl_relalg.Combine
+module Delta = Sgl_relalg.Delta
 module Algebra = Sgl_relalg.Algebra
 
 (* Index structures *)

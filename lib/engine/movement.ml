@@ -78,9 +78,11 @@ let candidates ?speed (config : config) ~(x : int) ~(y : int) ~(vx : float) ~(vy
   List.filter (fun c -> c <> (x, y)) [ full; half; x_only; y_only ]
 
 (* Execute the phase: mutates the position attributes of [units] in place
-   and returns the grid (reused by death handling). *)
-let run (config : config) ~(schema : Schema.t) ~(prng : Prng.t) ~(tick : int)
-    ~(units : Tuple.t array) ~(acc : Combine.Acc.t) : grid =
+   and returns the grid (reused by death handling).  Each successful move
+   is recorded against [delta] (posx/posy + unit key) when given, so the
+   cross-tick index cache knows which spatial structures went stale. *)
+let run ?(delta : Delta.t option) (config : config) ~(schema : Schema.t) ~(prng : Prng.t)
+    ~(tick : int) ~(units : Tuple.t array) ~(acc : Combine.Acc.t) : grid =
   let g = make_grid config ~schema units in
   let order = Array.init (Array.length units) (fun i -> i) in
   Prng.shuffle_in_place prng [ tick; 17 ] order;
@@ -111,7 +113,12 @@ let run (config : config) ~(schema : Schema.t) ~(prng : Prng.t) ~(tick : int)
           | Some (cx, cy) ->
             move_unit g ~key ~from_:(x, y) ~to_:(cx, cy);
             Tuple.set u config.posx (Value.Float (float_of_int cx));
-            Tuple.set u config.posy (Value.Float (float_of_int cy))
+            Tuple.set u config.posy (Value.Float (float_of_int cy));
+            (match delta with
+            | None -> ()
+            | Some d ->
+              if cx <> x then Delta.record d ~attr:config.posx ~key;
+              if cy <> y then Delta.record d ~attr:config.posy ~key)
         end)
     order;
   g

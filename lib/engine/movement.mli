@@ -31,8 +31,11 @@ val random_free_cell : grid -> Prng.t -> tick:int -> salt:int -> (int * int) opt
     each axis alone). *)
 val candidates : ?speed:float -> config -> x:int -> y:int -> vx:float -> vy:float -> (int * int) list
 
-(** Execute the phase: mutate positions in place, return the grid. *)
+(** Execute the phase: mutate positions in place, return the grid.  Each
+    successful move records posx/posy + unit key against [delta] when
+    given (cross-tick index cache bookkeeping). *)
 val run :
+  ?delta:Delta.t ->
   config ->
   schema:Schema.t ->
   prng:Prng.t ->

@@ -43,9 +43,14 @@ let effects_row (schema : Schema.t) (acc : Combine.Acc.t) (key : int) : Tuple.t 
   row
 
 (* Apply the step.  Returns the new state row for each unit plus whether it
-   survived; effect attributes of the new state are reset to zero. *)
-let apply (t : t) ~(schema : Schema.t) ~(rand_for : key:int -> int -> int)
-    ~(units : Tuple.t array) ~(acc : Combine.Acc.t) : (Tuple.t * bool) array =
+   survived; effect attributes of the new state are reset to zero.  When
+   [delta] is given, every update whose written value differs from the old
+   one is recorded against it (attribute and unit key) — the mutation-side
+   half of the cross-tick index cache's contract: a change this phase fails
+   to record would let a stale structure survive. *)
+let apply ?(delta : Delta.t option) (t : t) ~(schema : Schema.t)
+    ~(rand_for : key:int -> int -> int) ~(units : Tuple.t array) ~(acc : Combine.Acc.t) :
+    (Tuple.t * bool) array =
   Sgl_util.Fault_inject.hit "post.apply";
   Array.map
     (fun u ->
@@ -53,7 +58,14 @@ let apply (t : t) ~(schema : Schema.t) ~(rand_for : key:int -> int -> int)
       let effects = effects_row schema acc key in
       let ctx = { Expr.u; e = Some effects; rand = rand_for ~key } in
       let out = Tuple.copy u in
-      List.iter (fun (i, expr) -> Tuple.set out i (Expr.eval ctx expr)) t.updates;
+      List.iter
+        (fun (i, expr) ->
+          let v = Expr.eval ctx expr in
+          (match delta with
+          | Some d when not (Value.equal v (Tuple.get u i)) -> Delta.record d ~attr:i ~key
+          | _ -> ());
+          Tuple.set out i v)
+        t.updates;
       let alive = not (Expr.eval_bool ctx t.remove_when) in
       (out, alive))
     units

@@ -19,8 +19,11 @@ val make : schema:Schema.t -> updates:(int * Expr.t) list -> remove_when:Expr.t 
 val effects_row : Schema.t -> Combine.Acc.t -> int -> Tuple.t
 
 (** Apply the step to every unit; returns each new state row paired with
-    whether the unit survived. *)
+    whether the unit survived.  When [delta] is given, each update that
+    actually changes the attribute's value is recorded against it
+    (attribute + unit key) for the cross-tick index cache. *)
 val apply :
+  ?delta:Delta.t ->
   t ->
   schema:Schema.t ->
   rand_for:(key:int -> int -> int) ->

@@ -80,6 +80,13 @@ type t = {
   policy : fault_policy;
   prng : Prng.t;
   mutable units : Tuple.t array;
+  index_cache : bool; (* hand deltas to the evaluator across ticks *)
+  (* What the last committed tick changed, relative to the unit array its
+     decision phase saw.  Consumed by the next tick's [begin_tick]/
+     [prepare]; cleared on rollback, so a retried or failed tick always
+     reopens the cache cold rather than against a delta whose mutations
+     were undone. *)
+  mutable pending_delta : Delta.t option;
   mutable tick : int;
   timings : timings;
   mutable deaths : int;
@@ -106,8 +113,8 @@ let make_engine ~(schema : Schema.t) ~(aggregates : Aggregate.t array)
     let family = Eval.indexed_family ~schema ~aggregates ~chunks:(Domain_pool.size pool) () in
     Par { pool; family }
 
-let create ?(fault_policy = Fail) ?(fault_log_capacity = 64) (config : config)
-    ~(evaluator : evaluator_kind) ~(units : Tuple.t array) : t =
+let create ?(fault_policy = Fail) ?(fault_log_capacity = 64) ?(index_cache = true)
+    (config : config) ~(evaluator : evaluator_kind) ~(units : Tuple.t array) : t =
   let schema = config.prog.Core_ir.schema in
   let aggregates = config.prog.Core_ir.aggregates in
   {
@@ -118,6 +125,8 @@ let create ?(fault_policy = Fail) ?(fault_log_capacity = 64) (config : config)
     policy = fault_policy;
     prng = Prng.create config.seed;
     units = Array.map Tuple.copy units;
+    index_cache;
+    pending_delta = None;
     tick = 0;
     timings =
       { decision = Timer.create (); post = Timer.create (); movement = Timer.create ();
@@ -167,6 +176,7 @@ let add_stats (dst : Eval.eval_stats) (src : Eval.eval_stats) : unit =
   dst.Eval.index_probes <- dst.Eval.index_probes + src.Eval.index_probes;
   dst.Eval.naive_scans <- dst.Eval.naive_scans + src.Eval.naive_scans;
   dst.Eval.uniform_hits <- dst.Eval.uniform_hits + src.Eval.uniform_hits;
+  dst.Eval.index_reuses <- dst.Eval.index_reuses + src.Eval.index_reuses;
   dst.Eval.build_seconds <- dst.Eval.build_seconds +. src.Eval.build_seconds
 
 let engine_stats = function
@@ -205,27 +215,34 @@ let run_phases (t : t) : unit =
   let sch = schema t in
   let tick = t.tick in
   let rand_for ~key i = Prng.script_random t.prng ~tick ~key i in
+  (* The incoming delta (what the previous committed tick changed) keeps
+     the evaluator's index cache warm; the outgoing one records what this
+     tick changes, for the next.  With the cache disabled neither exists
+     and every tick opens cold. *)
+  let delta_in = if t.index_cache then t.pending_delta else None in
+  let delta_out = if t.index_cache then Some (Delta.create sch) else None in
   (* decision + action *)
   t.phase <- Fault.Decision;
   let acc =
     Timer.record t.timings.decision (fun () ->
         match (t.policy, t.engine) with
         | (Fail | Degrade), Seq evaluator ->
-          Exec.run_tick t.compiled ~evaluator ~units:t.units ~groups:(groups t) ~rand_for
-        | (Fail | Degrade), Par { pool; family } ->
-          Exec.run_tick_parallel t.compiled ~pool ~family ~units:t.units ~groups:(groups t)
+          Exec.run_tick ?delta:delta_in t.compiled ~evaluator ~units:t.units ~groups:(groups t)
             ~rand_for
+        | (Fail | Degrade), Par { pool; family } ->
+          Exec.run_tick_parallel ?delta:delta_in t.compiled ~pool ~family ~units:t.units
+            ~groups:(groups t) ~rand_for
         | Quarantine_script, engine ->
           (* per-group guards: a failing group contributes an empty effect
              bag this tick and is excluded from future ones *)
           let acc, faults =
             match engine with
             | Seq evaluator ->
-              Exec.run_tick_guarded t.compiled ~evaluator ~units:t.units ~groups:(groups t)
-                ~rand_for
-            | Par { pool; family } ->
-              Exec.run_tick_parallel_guarded t.compiled ~pool ~family ~units:t.units
+              Exec.run_tick_guarded ?delta:delta_in t.compiled ~evaluator ~units:t.units
                 ~groups:(groups t) ~rand_for
+            | Par { pool; family } ->
+              Exec.run_tick_parallel_guarded ?delta:delta_in t.compiled ~pool ~family
+                ~units:t.units ~groups:(groups t) ~rand_for
           in
           List.iter (quarantine t) faults;
           acc)
@@ -234,7 +251,8 @@ let run_phases (t : t) : unit =
   t.phase <- Fault.Post;
   let results =
     Timer.record t.timings.post (fun () ->
-        Postprocess.apply t.config.postprocess ~schema:sch ~rand_for ~units:t.units ~acc)
+        Postprocess.apply ?delta:delta_out t.config.postprocess ~schema:sch ~rand_for
+          ~units:t.units ~acc)
   in
   let alive = Varray.create [||] and dead = Varray.create [||] in
   Array.iter
@@ -247,7 +265,8 @@ let run_phases (t : t) : unit =
     Timer.record t.timings.movement (fun () ->
         Option.map
           (fun mconfig ->
-            Movement.run mconfig ~schema:sch ~prng:t.prng ~tick ~units:alive_units ~acc)
+            Movement.run ?delta:delta_out mconfig ~schema:sch ~prng:t.prng ~tick
+              ~units:alive_units ~acc)
           t.config.movement)
   in
   (* death handling *)
@@ -286,7 +305,12 @@ let run_phases (t : t) : unit =
           in
           Array.append alive_units revived)
   in
+  (* Any death reorders or re-populates the array, so positional data ids
+     stop naming the same units: structural.  (Resurrection also rewrites
+     health and positions, which structural subsumes.) *)
+  if Varray.length dead > 0 then Option.iter Delta.record_structural delta_out;
   t.units <- final;
+  t.pending_delta <- delta_out;
   t.tick <- t.tick + 1
 
 (* Transactional tick.  The pre-tick state is three references — the unit
@@ -317,6 +341,12 @@ let step (t : t) : unit =
       t.units <- units0;
       t.deaths <- deaths0;
       t.resurrections <- resurrections0;
+      (* The failed attempt's mutations were undone, so its delta (and the
+         one it consumed) no longer describe reality: the retry — and the
+         tick after a policy absorbs the fault — must open the index cache
+         cold.  The epoch stamp makes any structure the failed attempt
+         left behind read as a miss. *)
+      t.pending_delta <- None;
       let fail () = Printexc.raise_with_backtrace (Fault.Error fault) bt in
       (match t.policy with
       | Fail -> fail ()
@@ -360,6 +390,7 @@ type report = {
   index_probes : int;
   naive_scans : int;
   uniform_hits : int;
+  index_reuses : int; (* structures the cross-tick cache carried over *)
   deaths : int;
   resurrections : int;
   faults : int; (* faults observed, including any the bounded log dropped *)
@@ -374,6 +405,11 @@ let quarantined_scripts (t : t) : string list = t.quarantined
 let degradations (t : t) : (int * string * string) list = t.degradations
 let retries (t : t) : int = t.retries
 let current_evaluator (t : t) : evaluator_kind = t.evaluator
+
+(* The delta the last committed tick recorded (None before the first tick,
+   after a rollback, or with the cache disabled).  Exposed so differential
+   tests can check it against the ground-truth [Delta.of_tuples]. *)
+let last_delta (t : t) : Delta.t option = t.pending_delta
 
 let report (t : t) : report =
   let s = Eval.fresh_stats () in
@@ -396,6 +432,7 @@ let report (t : t) : report =
     index_probes = s.Eval.index_probes;
     naive_scans = s.Eval.naive_scans;
     uniform_hits = s.Eval.uniform_hits;
+    index_reuses = s.Eval.index_reuses;
     deaths = t.deaths;
     resurrections = t.resurrections;
     faults = Fault.Log.total t.fault_log;
@@ -407,9 +444,10 @@ let report (t : t) : report =
 let pp_report ppf (r : report) =
   Fmt.pf ppf
     "@[<v>ticks=%d units=%d total=%.3fs (decision=%.3fs [build=%.3fs] post=%.3fs move=%.3fs \
-     death=%.3fs)@,builds=%d probes=%d scans=%d uniform=%d deaths=%d resurrections=%d"
+     death=%.3fs)@,builds=%d reuses=%d probes=%d scans=%d uniform=%d deaths=%d resurrections=%d"
     r.ticks r.n_units r.total_s r.decision_s r.build_s r.post_s r.movement_s r.death_s
-    r.index_builds r.index_probes r.naive_scans r.uniform_hits r.deaths r.resurrections;
+    r.index_builds r.index_reuses r.index_probes r.naive_scans r.uniform_hits r.deaths
+    r.resurrections;
   (* fault-free runs keep the pre-fault-layer report byte-identical *)
   if r.faults > 0 || r.retries > 0 || r.quarantined <> [] || r.degradations <> [] then
     Fmt.pf ppf "@,faults=%d retries=%d quarantined=[%s] degraded=[%s]" r.faults r.retries

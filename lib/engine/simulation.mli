@@ -55,13 +55,19 @@ val fault_policy_name : fault_policy -> string
 
 type t
 
-(** [create ?fault_policy ?fault_log_capacity config ~evaluator ~units]
-    assembles a simulation.  [fault_policy] defaults to [Fail];
-    [fault_log_capacity] bounds the in-memory fault log (default 64 —
-    later faults are counted but not retained). *)
+(** [create ?fault_policy ?fault_log_capacity ?index_cache config
+    ~evaluator ~units] assembles a simulation.  [fault_policy] defaults to
+    [Fail]; [fault_log_capacity] bounds the in-memory fault log (default
+    64 — later faults are counted but not retained).  [index_cache]
+    (default [true]) hands each tick's delta summary to the next tick's
+    evaluator so index structures over untouched attributes survive across
+    ticks; [false] restores rebuild-every-tick behaviour.  Either setting
+    produces bit-identical unit states — the cache only trades build
+    work. *)
 val create :
   ?fault_policy:fault_policy ->
   ?fault_log_capacity:int ->
+  ?index_cache:bool ->
   config ->
   evaluator:evaluator_kind ->
   units:Tuple.t array ->
@@ -93,6 +99,12 @@ val retries : t -> int
     at {!create} after a degradation). *)
 val current_evaluator : t -> evaluator_kind
 
+(** The delta summary the last committed tick recorded ([None] before the
+    first tick, after a rollback, or with the index cache disabled).  For
+    tests: check it against the ground truth {!Sgl_relalg.Delta.of_tuples}
+    computes between unit snapshots. *)
+val last_delta : t -> Delta.t option
+
 type timings = {
   decision : Timer.t;
   post : Timer.t;
@@ -113,6 +125,9 @@ type report = {
   index_probes : int;
   naive_scans : int;
   uniform_hits : int;
+  index_reuses : int;
+      (** structures the cross-tick cache carried over instead of
+          rebuilding *)
   deaths : int;
   resurrections : int;
   faults : int;

@@ -55,3 +55,7 @@ let find_matching t ~(accept : int list -> bool) : 'a list =
   List.filter_map (fun k -> find t k) keys
 
 let partition_count t = Hashtbl.length t.partitions
+
+(* Visit every sub-index built so far (and only those): the cross-tick
+   cache validates built structures without forcing the lazy ones. *)
+let iter_built (f : int list -> 'a -> unit) (t : 'a t) : unit = Hashtbl.iter f t.cache

@@ -18,3 +18,6 @@ val find : 'a t -> int list -> 'a option
 val find_matching : 'a t -> accept:(int list -> bool) -> 'a list
 
 val partition_count : 'a t -> int
+
+(** Visit every sub-index built so far, without forcing lazy ones. *)
+val iter_built : (int list -> 'a -> unit) -> 'a t -> unit

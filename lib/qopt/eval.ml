@@ -29,15 +29,20 @@ type eval_stats = {
   mutable index_probes : int;
   mutable naive_scans : int;
   mutable uniform_hits : int;
+  mutable index_reuses : int; (* structures carried across ticks by the cache *)
   mutable build_seconds : float;
 }
 
 let fresh_stats () =
-  { index_builds = 0; index_probes = 0; naive_scans = 0; uniform_hits = 0; build_seconds = 0. }
+  { index_builds = 0; index_probes = 0; naive_scans = 0; uniform_hits = 0; index_reuses = 0;
+    build_seconds = 0. }
 
 type t = {
   name : string;
-  begin_tick : Tuple.t array -> unit;
+  (* [delta] describes what changed since the previous [begin_tick]'s unit
+     array; [None] (or a structural delta) forces a cold rebuild of every
+     cached structure. *)
+  begin_tick : ?delta:Delta.t -> Tuple.t array -> unit;
   (* Values of aggregate instance [agg_id] for each probing row. *)
   eval_agg : agg_id:int -> rows:Tuple.t array -> rands:(int -> int) array -> Value.t array;
   (* Apply one All-target effect clause, from each contributor row to every
@@ -59,7 +64,7 @@ let dummy_rand (_ : int) = 0
 
 let naive_core ~(schema : Schema.t) ~(aggregates : Aggregate.t array)
     ~(units : Tuple.t array ref) ~(stats : eval_stats)
-    ~(begin_tick : Tuple.t array -> unit) : t =
+    ~(begin_tick : ?delta:Delta.t -> Tuple.t array -> unit) : t =
   {
     name = "naive";
     begin_tick;
@@ -95,7 +100,7 @@ let naive_core ~(schema : Schema.t) ~(aggregates : Aggregate.t array)
 let naive ~(schema : Schema.t) ~(aggregates : Aggregate.t array) : t =
   let units = ref [||] in
   let stats = fresh_stats () in
-  naive_core ~schema ~aggregates ~units ~stats ~begin_tick:(fun e -> units := e)
+  naive_core ~schema ~aggregates ~units ~stats ~begin_tick:(fun ?delta:_ e -> units := e)
 
 (* ------------------------------------------------------------------ *)
 (* Index groups: instances that can share trees *)
@@ -163,7 +168,16 @@ type sub_index = {
 }
 
 type built_index = {
-  data : Tuple.t array;
+  mutable data : Tuple.t array;
+  (* [epoch] versions the entry against the owning context's tick counter:
+     a cache hit is only valid when the epochs agree, which makes it
+     impossible for a retried or rolled-back tick to probe structures the
+     per-tick validation pass has not seen (they read as misses and are
+     rebuilt).  Entries revalidated across ticks are re-stamped and their
+     [data] swapped to the new unit array; the trees themselves bake
+     coordinates and statistics at build time, so they stay valid exactly
+     when their input attributes are untouched on their members. *)
+  mutable epoch : int;
   group : group;
   cat : sub_index Cat_index.t;
 }
@@ -173,7 +187,8 @@ let stat_vector (stats_exprs : Expr.t list) (row : Tuple.t) : float array =
   let ctx = { Expr.u = [||]; e = Some row; rand = dummy_rand } in
   Array.of_list (List.map (fun e -> Expr.eval_float ctx e) stats_exprs)
 
-let build_index (st : eval_stats) ~(group : group) ~(data : Tuple.t array) : built_index =
+let build_index ?(epoch = 0) (st : eval_stats) ~(group : group) ~(data : Tuple.t array) :
+    built_index =
   Fault_inject.hit "index.build";
   let t0 = Timer.now () in
   let n = Array.length data in
@@ -189,7 +204,7 @@ let build_index (st : eval_stats) ~(group : group) ~(data : Tuple.t array) : bui
   in
   st.index_builds <- st.index_builds + 1;
   st.build_seconds <- st.build_seconds +. (Timer.now () -. t0);
-  { data; group; cat }
+  { data; epoch; group; cat }
 
 (* The partitions a prober may read, given the *instance's* categorical
    requirements. *)
@@ -548,7 +563,8 @@ type indexed_ctx = {
   strategies : Agg_plan.strategy array;
   memberships : membership option array;
   ctx_units : Tuple.t array ref;
-  cache : (int, built_index) Hashtbl.t; (* per-tick: group id -> built index *)
+  cache : (int, built_index) Hashtbl.t; (* group id -> built index, epoch-stamped *)
+  mutable epoch : int; (* bumped once per [begin_tick]/[prepare] *)
 }
 
 let make_indexed_ctx ?(share = true) ~(schema : Schema.t) ~(aggregates : Aggregate.t array) () :
@@ -602,19 +618,122 @@ let make_indexed_ctx ?(share = true) ~(schema : Schema.t) ~(aggregates : Aggrega
     memberships;
     ctx_units = ref [||];
     cache = Hashtbl.create 32;
+    epoch = 0;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Cross-tick cache validation.
+
+   A cached group index was built over last tick's unit array; the delta
+   summary says what the intervening mutation phases changed.  Reuse is
+   decided structure by structure:
+
+   - the categorical partitioning (and the data-filter pass behind it)
+     survives when the partition-key attributes and every attribute the
+     data filter reads are globally clean — then the same ids land in the
+     same partitions, and only [data] needs swapping to the new array;
+   - a per-partition sub-structure survives when its input attributes are
+     globally clean, or when none of the partition's members is a dirty
+     unit (its inputs may be dirty elsewhere, but not here);
+   - everything else is dropped and rebuilt lazily (sequential) or by the
+     family's eager prebuild (parallel).
+
+   Structural deltas (death, resurrection, reordering) invalidate
+   everything: data ids are positional. *)
+
+let pred_e_attrs (p : Predicate.t) : int list =
+  List.concat_map Expr.e_slots (Predicate.conjuncts p)
+
+let any_dirty (d : Delta.t) (attrs : int list) : bool = List.exists (Delta.dirty_attr d) attrs
+
+(* Try to carry [bi] into the new tick described by [delta]; true on
+   success (entry re-stamped, sub-structures pruned), false when the whole
+   entry must be dropped. *)
+let revalidate_index (st : eval_stats) (ctx : indexed_ctx) ~(delta : Delta.t)
+    ~(units : Tuple.t array) (bi : built_index) : bool =
+  if
+    Array.length bi.data <> Array.length units
+    || any_dirty delta bi.group.cat_attrs
+    || any_dirty delta (pred_e_attrs bi.group.data_filter)
+  then false
+  else begin
+    bi.data <- units;
+    bi.epoch <- ctx.epoch;
+    st.index_reuses <- st.index_reuses + 1;
+    let schema = ctx.ctx_schema in
+    let no_dirty_units = Delta.dirty_key_count delta = 0 in
+    let div_clean =
+      not
+        (any_dirty delta bi.group.box_attrs
+        || List.exists (fun e -> any_dirty delta (Expr.e_slots e)) bi.group.stats_exprs)
+    in
+    let enum_clean = not (any_dirty delta bi.group.box_attrs) in
+    Cat_index.iter_built
+      (fun _key sub ->
+        let partition_clean =
+          no_dirty_units
+          || not
+               (Array.exists
+                  (fun id -> Delta.dirty_key delta (Tuple.key schema units.(id)))
+                  sub.members)
+        in
+        let keep kept = if kept then st.index_reuses <- st.index_reuses + 1 in
+        (match sub.divisible with
+        | None -> ()
+        | Some _ ->
+          if div_clean || partition_clean then keep true else sub.divisible <- None);
+        (match sub.enum_tree with
+        | None -> ()
+        | Some _ ->
+          if enum_clean || partition_clean then keep true else sub.enum_tree <- None);
+        sub.kds <-
+          List.filter
+            (fun ((ex, ey), _) ->
+              let kept =
+                partition_clean
+                || not (Delta.dirty_attr delta ex || Delta.dirty_attr delta ey)
+              in
+              keep kept;
+              kept)
+            sub.kds)
+      bi.cat;
+    true
+  end
+
+(* Open a tick on a shared context: bump the epoch, publish the unit
+   array, and either revalidate the cache against the delta or drop it
+   cold.  Structures that survive keep their epoch current; everything
+   else reads as a miss. *)
+let open_tick (ctx : indexed_ctx) (st : eval_stats) ?(delta : Delta.t option)
+    (units : Tuple.t array) : unit =
+  ctx.ctx_units := units;
+  ctx.epoch <- ctx.epoch + 1;
+  match delta with
+  | None -> Hashtbl.reset ctx.cache
+  | Some d when Delta.structural d -> Hashtbl.reset ctx.cache
+  | Some d ->
+    let stale =
+      Hashtbl.fold
+        (fun gid bi acc ->
+          if revalidate_index st ctx ~delta:d ~units bi then acc else gid :: acc)
+        ctx.cache []
+    in
+    List.iter (Hashtbl.remove ctx.cache) stale
 
 (* Look a membership's group index up in the shared cache.  The returned
    flag is true when the index had to be built *call-locally* (cache miss
    with memoization off): such an index is private to the caller, so the
-   caller may memoize sub-structures on it even from a worker domain. *)
+   caller may memoize sub-structures on it even from a worker domain.
+   Entries from an earlier epoch are misses: a quarantine retry or a
+   degraded re-run must never probe a structure [open_tick] has not
+   revalidated for the current unit array. *)
 let group_index (ctx : indexed_ctx) (st : eval_stats) ~(memoize : bool) (m : membership) :
     built_index * bool =
   match Hashtbl.find_opt ctx.cache m.group.group_id with
-  | Some bi -> (bi, false)
-  | None ->
-    let bi = build_index st ~group:m.group ~data:!(ctx.ctx_units) in
-    if memoize then Hashtbl.add ctx.cache m.group.group_id bi;
+  | Some bi when bi.epoch = ctx.epoch -> (bi, false)
+  | Some _ | None ->
+    let bi = build_index ~epoch:ctx.epoch st ~group:m.group ~data:!(ctx.ctx_units) in
+    if memoize then Hashtbl.replace ctx.cache m.group.group_id bi;
     (bi, not memoize)
 
 (* One evaluator over a (possibly shared) context.  With [memoize:false]
@@ -623,7 +742,7 @@ let group_index (ctx : indexed_ctx) (st : eval_stats) ~(memoize : bool) (m : mem
    so every shared structure they touch was published by [prebuild] before
    the domains forked. *)
 let indexed_member (ctx : indexed_ctx) ~(name : string) ~(stats : eval_stats) ~(memoize : bool)
-    ~(begin_tick : Tuple.t array -> unit) : t =
+    ~(begin_tick : ?delta:Delta.t -> Tuple.t array -> unit) : t =
   let schema = ctx.ctx_schema in
   let aggregates = ctx.ctx_aggregates in
   let units = ctx.ctx_units in
@@ -772,10 +891,9 @@ let indexed_member (ctx : indexed_ctx) ~(name : string) ~(stats : eval_stats) ~(
 
 let indexed ?(share = true) ~(schema : Schema.t) ~(aggregates : Aggregate.t array) () : t =
   let ctx = make_indexed_ctx ~share ~schema ~aggregates () in
-  indexed_member ctx ~name:"indexed" ~stats:(fresh_stats ()) ~memoize:true
-    ~begin_tick:(fun e ->
-      ctx.ctx_units := e;
-      Hashtbl.reset ctx.cache)
+  let stats = fresh_stats () in
+  indexed_member ctx ~name:"indexed" ~stats ~memoize:true
+    ~begin_tick:(fun ?delta e -> open_tick ctx stats ?delta e)
 
 (* ------------------------------------------------------------------ *)
 (* Families: the parallel decision phase's snapshot discipline *)
@@ -828,21 +946,25 @@ let prebuild (ctx : indexed_ctx) (st : eval_stats) : unit =
 
 type family = {
   members : t array;
-  prepare : Tuple.t array -> unit;
+  prepare : ?delta:Delta.t -> Tuple.t array -> unit;
 }
 
 let indexed_family ?(share = true) ~(schema : Schema.t) ~(aggregates : Aggregate.t array)
     ~(chunks : int) () : family =
   let ctx = make_indexed_ctx ~share ~schema ~aggregates () in
+  (* A single-member family never has two domains over the context at
+     once, so it may memoize like the sequential evaluator; only genuinely
+     multi-domain families need the write-free guarantee. *)
+  let solo = max 1 chunks = 1 in
   let members =
     Array.init (max 1 chunks) (fun i ->
         indexed_member ctx
           ~name:(Printf.sprintf "indexed#%d" i)
-          ~stats:(fresh_stats ()) ~memoize:false ~begin_tick:ignore)
+          ~stats:(fresh_stats ()) ~memoize:solo
+          ~begin_tick:(fun ?delta:_ _ -> ()))
   in
-  let prepare units =
-    ctx.ctx_units := units;
-    Hashtbl.reset ctx.cache;
+  let prepare ?delta units =
+    open_tick ctx members.(0).stats ?delta units;
     prebuild ctx members.(0).stats
   in
   { members; prepare }
@@ -855,6 +977,7 @@ let family_stats (fam : family) : eval_stats =
       out.index_probes <- out.index_probes + m.stats.index_probes;
       out.naive_scans <- out.naive_scans + m.stats.naive_scans;
       out.uniform_hits <- out.uniform_hits + m.stats.uniform_hits;
+      out.index_reuses <- out.index_reuses + m.stats.index_reuses;
       out.build_seconds <- out.build_seconds +. m.stats.build_seconds)
     fam.members;
   out

@@ -9,12 +9,20 @@ type eval_stats = {
   mutable index_probes : int;
   mutable naive_scans : int;
   mutable uniform_hits : int;
+  mutable index_reuses : int;
+      (** structures carried over from the previous tick by the cross-tick
+          cache instead of being rebuilt *)
   mutable build_seconds : float;
 }
 
 type t = {
   name : string;
-  begin_tick : Tuple.t array -> unit;
+  begin_tick : ?delta:Delta.t -> Tuple.t array -> unit;
+      (** Open a tick over [units].  [delta] summarises what changed since
+          the previous tick's unit array; when present and non-structural,
+          the indexed evaluators revalidate cached structures against it
+          instead of dropping them.  Omitting [delta] is always sound: the
+          cache goes cold and everything rebuilds. *)
   eval_agg : agg_id:int -> rows:Tuple.t array -> rands:(int -> int) array -> Value.t array;
   apply_aoe :
     pred:Predicate.t ->
@@ -41,16 +49,19 @@ val indexed : ?share:bool -> schema:Schema.t -> aggregates:Aggregate.t array -> 
     array, each safe to drive from its own domain *after* [prepare] has
     run on the coordinating domain.
 
-    [prepare units] publishes the tick's snapshot: it resets the cache,
-    then eagerly builds every index structure any member could reach
-    (group indexes, categorical partitions, divisible / enumeration / kD
-    sub-structures), so the members' queries never write shared state.
-    Members are constructed memoization-free: should a structure somehow
-    be missed, they rebuild it call-locally rather than racing to publish
-    it. *)
+    [prepare ?delta units] publishes the tick's snapshot: it opens the
+    tick on the shared cache (revalidating against [delta] when given,
+    dropping everything otherwise), then eagerly builds every index
+    structure any member could reach (group indexes, categorical
+    partitions, divisible / enumeration / kD sub-structures), so the
+    members' queries never write shared state.  Multi-member families are
+    constructed memoization-free: should a structure somehow be missed,
+    they rebuild it call-locally rather than racing to publish it.  A
+    single-member family memoizes like the sequential evaluator — only
+    concurrent members need the write-free guarantee. *)
 type family = {
   members : t array;
-  prepare : Tuple.t array -> unit;
+  prepare : ?delta:Delta.t -> Tuple.t array -> unit;
 }
 
 val indexed_family :

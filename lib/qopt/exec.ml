@@ -142,11 +142,14 @@ let run_group (c : compiled) ~(schema : Schema.t) ~(evaluator : Eval.t)
     run_plan ~schema ~evaluator ~find_key ~acc ~plan ~rows ~rands
 
 (* Run a full decision+action pass: each group's script over its members.
-   Returns the combined effects of the tick, ready for post-processing. *)
-let run_tick (c : compiled) ~(evaluator : Eval.t) ~(units : Tuple.t array)
+   Returns the combined effects of the tick, ready for post-processing.
+   [delta] (what changed since the previous tick's unit array) is passed
+   straight to the evaluator, which may use it to keep cached index
+   structures warm; omitting it only costs rebuilds, never correctness. *)
+let run_tick ?delta (c : compiled) ~(evaluator : Eval.t) ~(units : Tuple.t array)
     ~(groups : group list) ~(rand_for : key:int -> int -> int) : Combine.Acc.t =
   let schema = c.prog.Core_ir.schema in
-  evaluator.Eval.begin_tick units;
+  evaluator.Eval.begin_tick ?delta units;
   let find_key = key_table schema units in
   let acc = Combine.Acc.create schema in
   List.iter (run_group c ~schema ~evaluator ~find_key ~acc ~units ~rand_for) groups;
@@ -161,11 +164,11 @@ let run_tick (c : compiled) ~(evaluator : Eval.t) ~(units : Tuple.t array)
    associativity and commutativity make the merged result independent of
    how units were chunked — so any chunk count, including 1, reproduces
    the sequential tick bit-for-bit on integral workloads. *)
-let run_tick_parallel (c : compiled) ~(pool : Sgl_util.Domain_pool.t) ~(family : Eval.family)
-    ~(units : Tuple.t array) ~(groups : group list) ~(rand_for : key:int -> int -> int) :
-    Combine.Acc.t =
+let run_tick_parallel ?delta (c : compiled) ~(pool : Sgl_util.Domain_pool.t)
+    ~(family : Eval.family) ~(units : Tuple.t array) ~(groups : group list)
+    ~(rand_for : key:int -> int -> int) : Combine.Acc.t =
   let schema = c.prog.Core_ir.schema in
-  family.Eval.prepare units;
+  family.Eval.prepare ?delta units;
   let find_key = key_table schema units in
   let chunks = Array.length family.Eval.members in
   let ranges = Sgl_util.Domain_pool.chunk_ranges ~n:(Array.length units) ~chunks in
@@ -206,11 +209,11 @@ type group_fault = {
   gf_suppressed : int; (* further failures of the same group on other chunks *)
 }
 
-let run_tick_guarded (c : compiled) ~(evaluator : Eval.t) ~(units : Tuple.t array)
+let run_tick_guarded ?delta (c : compiled) ~(evaluator : Eval.t) ~(units : Tuple.t array)
     ~(groups : group list) ~(rand_for : key:int -> int -> int) :
     Combine.Acc.t * group_fault list =
   let schema = c.prog.Core_ir.schema in
-  evaluator.Eval.begin_tick units;
+  evaluator.Eval.begin_tick ?delta units;
   let find_key = key_table schema units in
   let acc = Combine.Acc.create schema in
   let faults = ref [] in
@@ -232,11 +235,11 @@ type chunk_outcome =
   | Chunk_ok of Combine.Acc.t
   | Chunk_failed of exn * Printexc.raw_backtrace
 
-let run_tick_parallel_guarded (c : compiled) ~(pool : Sgl_util.Domain_pool.t)
+let run_tick_parallel_guarded ?delta (c : compiled) ~(pool : Sgl_util.Domain_pool.t)
     ~(family : Eval.family) ~(units : Tuple.t array) ~(groups : group list)
     ~(rand_for : key:int -> int -> int) : Combine.Acc.t * group_fault list =
   let schema = c.prog.Core_ir.schema in
-  family.Eval.prepare units;
+  family.Eval.prepare ?delta units;
   let find_key = key_table schema units in
   let chunks = Array.length family.Eval.members in
   let ranges = Sgl_util.Domain_pool.chunk_ranges ~n:(Array.length units) ~chunks in

@@ -38,8 +38,12 @@ val run_plan :
   unit
 
 (** Run every group's script; raises {!Exec_error} if a group names an
-    unknown script. *)
+    unknown script.  [delta] summarises what changed since the previous
+    tick's unit array and is forwarded to [evaluator.begin_tick] so the
+    cross-tick index cache can revalidate instead of rebuilding; omitting
+    it is always sound (cold tick). *)
 val run_tick :
+  ?delta:Delta.t ->
   compiled ->
   evaluator:Eval.t ->
   units:Tuple.t array ->
@@ -54,8 +58,10 @@ val run_tick :
     [family.prepare], and the per-chunk effect bags folded with the
     combination operator (+).  Because (+) is associative and commutative
     and the chunking is a pure function of [units], the result is
-    independent of the chunk count and of domain scheduling. *)
+    independent of the chunk count and of domain scheduling.  [delta] is
+    forwarded to [family.prepare] like {!run_tick}'s. *)
 val run_tick_parallel :
+  ?delta:Delta.t ->
   compiled ->
   pool:Sgl_util.Domain_pool.t ->
   family:Eval.family ->
@@ -82,6 +88,7 @@ type group_fault = {
     result is bit-identical to {!run_tick} on integral workloads (bags
     merge through the associative-commutative (+)). *)
 val run_tick_guarded :
+  ?delta:Delta.t ->
   compiled ->
   evaluator:Eval.t ->
   units:Tuple.t array ->
@@ -94,6 +101,7 @@ val run_tick_guarded :
     of chunk boundaries; a group failing on several chunks yields one
     fault with the extra failures counted in [gf_suppressed]. *)
 val run_tick_parallel_guarded :
+  ?delta:Delta.t ->
   compiled ->
   pool:Sgl_util.Domain_pool.t ->
   family:Eval.family ->

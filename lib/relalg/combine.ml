@@ -60,6 +60,11 @@ module Acc = struct
     effect_attrs : int list;
     table : (int, Tuple.t) Hashtbl.t;
     mutable order : int list;
+    (* delta surface: effect attributes that received at least one
+       contribution this tick (conservative for [add], exact for
+       [add_attr]) — downstream phases use it to predict what a tick can
+       possibly change before comparing values. *)
+    touched : bool array;
   }
 
   let create schema =
@@ -68,10 +73,12 @@ module Acc = struct
       effect_attrs = Schema.effect_indices schema;
       table = Hashtbl.create 256;
       order = [];
+      touched = Array.make (Schema.arity schema) false;
     }
 
   (* Merge the effect attributes of [row] into the accumulator. *)
   let add t (row : Tuple.t) =
+    List.iter (fun i -> t.touched.(i) <- true) t.effect_attrs;
     let key = Tuple.key t.schema row in
     match Hashtbl.find_opt t.table key with
     | None ->
@@ -92,6 +99,7 @@ module Acc = struct
   (* Contribute a single attribute's effect for [key]; the const part of the
      accumulator row is taken from [base] on first touch. *)
   let add_attr t ~base ~key attr v =
+    t.touched.(attr) <- true;
     let acc =
       match Hashtbl.find_opt t.table key with
       | Some acc -> acc
@@ -114,11 +122,26 @@ module Acc = struct
   let iter f t = List.iter (fun k -> f (Hashtbl.find t.table k)) (List.rev t.order)
   let cardinality t = Hashtbl.length t.table
 
+  let touched_attr t attr = t.touched.(attr)
+
+  let touched_attrs t =
+    let out = ref [] in
+    for i = Array.length t.touched - 1 downto 0 do
+      if t.touched.(i) then out := i :: !out
+    done;
+    !out
+
   (* Fold every group of [src] into [dst], in [src]'s insertion order.
      Each accumulated row is itself a combined contribution, so merging
      with [add] is exactly (+) — associativity and commutativity of the
      per-tag folds make the result independent of how contributions were
      partitioned across accumulators (the fact the parallel decision phase
      rests on; test_laws pins it on random partitions). *)
-  let merge_into ~(dst : t) (src : t) : unit = iter (add dst) src
+  let merge_into ~(dst : t) (src : t) : unit =
+    (* [add] conservatively marks every effect attribute; restore the
+       union of the two exact touched sets afterwards so the merged bag
+       reports no more than its parts did. *)
+    let saved = Array.copy dst.touched in
+    iter (add dst) src;
+    Array.iteri (fun i v -> dst.touched.(i) <- v || src.touched.(i)) saved
 end

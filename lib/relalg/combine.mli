@@ -33,4 +33,11 @@ module Acc : sig
   val to_relation : t -> Relation.t
   val iter : (Tuple.t -> unit) -> t -> unit
   val cardinality : t -> int
+
+  (** Delta surface: did the attribute receive any contribution?  Exact for
+      {!add_attr}; {!add} conservatively marks every effect attribute. *)
+  val touched_attr : t -> int -> bool
+
+  (** Touched attributes, ascending. *)
+  val touched_attrs : t -> int list
 end

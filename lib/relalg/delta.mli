@@ -1,0 +1,36 @@
+(** Per-tick delta summaries: which attributes changed on which unit keys,
+    and whether the population changed structurally.  Mutation phases
+    record; the cross-tick index cache validates against the result.
+    Over-reporting is sound (costs rebuilds); under-reporting is a
+    correctness bug. *)
+
+type t
+
+val create : Schema.t -> t
+
+(** Mark [attr] dirty on the unit identified by [key]. *)
+val record : t -> attr:int -> key:int -> unit
+
+(** Mark the tick structural: units were added, removed, or reordered, so
+    positional data ids no longer name the same units. *)
+val record_structural : t -> unit
+
+val structural : t -> bool
+val dirty_attr : t -> int -> bool
+val dirty_key : t -> int -> bool
+val dirty_key_count : t -> int
+
+(** Dirty attributes, ascending. *)
+val dirty_attrs : t -> int list
+
+val is_clean : t -> bool
+val reset : t -> unit
+
+(** Ground-truth delta between two unit arrays (positional compare;
+    structural when populations differ or keys moved).  For tests. *)
+val of_tuples : schema:Schema.t -> before:Tuple.t array -> after:Tuple.t array -> t
+
+(** Does [summary] account for every change [truth] reports? *)
+val covers : summary:t -> truth:t -> bool
+
+val pp : t Fmt.t

@@ -140,6 +140,22 @@ let u_slots expr =
   go expr;
   List.sort compare !acc
 
+(* Environment slots referenced by the expression (the attributes an index
+   structure evaluating it over data rows depends on). *)
+let e_slots expr =
+  let acc = ref [] in
+  let rec go = function
+    | Const _ | UAttr _ -> ()
+    | EAttr i -> if not (List.mem i !acc) then acc := i :: !acc
+    | Binop (_, a, b) | Cmp (_, a, b) | And (a, b) | Or (a, b)
+    | VecOf (a, b) | MinOf (a, b) | MaxOf (a, b) ->
+      go a;
+      go b
+    | Not a | Neg a | VecX a | VecY a | Abs a | Sqrt a | Random a -> go a
+  in
+  go expr;
+  List.sort compare !acc
+
 let cmp_name = function
   | Eq -> "="
   | Ne -> "<>"

@@ -50,6 +50,10 @@ val mentions_random : t -> bool
 (** Sorted unit slots referenced, for dependency analysis. *)
 val u_slots : t -> int list
 
+(** Sorted environment slots referenced — the attributes an index structure
+    evaluating the expression over data rows depends on. *)
+val e_slots : t -> int list
+
 val cmp_name : cmpop -> string
 val binop_name : binop -> string
 val pp : t Fmt.t

@@ -95,6 +95,12 @@ let test_segment_tree_zero_size () =
   let t = Segment_tree.create ~neutral:max_int ~op:min 0 in
   Alcotest.(check int) "neutral" max_int (Segment_tree.query_all t)
 
+let test_segment_tree_single () =
+  let t = Segment_tree.build ~neutral:0 ~op:( + ) [| 7 |] in
+  Alcotest.(check int) "whole" 7 (Segment_tree.query_all t);
+  Alcotest.(check int) "unit range" 7 (Segment_tree.query t ~lo:0 ~hi:1);
+  Alcotest.(check int) "empty range" 0 (Segment_tree.query t ~lo:0 ~hi:0)
+
 (* ------------------------------------------------------------------ *)
 (* Range tree *)
 
@@ -205,6 +211,35 @@ let test_cascade_empty () =
   Alcotest.(check int) "zero vector" 3 (Array.length got);
   Alcotest.(check bool) "all zero" true (Array.for_all (fun v -> v = 0.) got)
 
+let test_cascade_single () =
+  let tree =
+    Cascade_tree.build ~x:(fun _ -> 2.) ~y:(fun _ -> 3.) ~stats:(fun _ -> [| 1.; 5. |]) ~m:2 [| 0 |]
+  in
+  Alcotest.(check int) "size" 1 (Cascade_tree.size tree);
+  let inside = Cascade_tree.query tree ~x:(Interval.make ~lo:2. ~hi:2. ()) ~y:Interval.everything in
+  Alcotest.(check bool) "point hit" true (inside = [| 1.; 5. |]);
+  let outside =
+    Cascade_tree.query tree ~x:(Interval.make ~lo:2. ~hi:2. ~hi_strict:true ()) ~y:Interval.everything
+  in
+  Alcotest.(check bool) "strict bound misses" true (outside = [| 0.; 0. |])
+
+(* Every point at the same coordinates: the degenerate tree the paper's
+   hashtable levels otherwise hide.  All-or-nothing per query. *)
+let test_cascade_duplicates () =
+  let n = 9 in
+  let tree =
+    Cascade_tree.build ~x:(fun _ -> 1.5) ~y:(fun _ -> -4.)
+      ~stats:(fun id -> [| 1.; float_of_int id |])
+      ~m:2 (Array.init n (fun i -> i))
+  in
+  let all = Cascade_tree.query tree ~x:Interval.everything ~y:Interval.everything in
+  Alcotest.(check bool) "all duplicates counted" true
+    (all = [| float_of_int n; float_of_int (n * (n - 1) / 2) |]);
+  let none =
+    Cascade_tree.query tree ~x:(Interval.make ~lo:2. ~hi:9. ()) ~y:Interval.everything
+  in
+  Alcotest.(check bool) "none" true (none = [| 0.; 0. |])
+
 (* ------------------------------------------------------------------ *)
 (* kD-tree *)
 
@@ -254,7 +289,33 @@ let kd_box_matches_scan =
 
 let test_kd_empty () =
   let tree = Kd_tree.build ~x:(fun _ -> 0.) ~y:(fun _ -> 0.) [||] in
-  Alcotest.(check bool) "no nearest" true (Kd_tree.nearest tree ~qx:0. ~qy:0. = None)
+  Alcotest.(check bool) "no nearest" true (Kd_tree.nearest tree ~qx:0. ~qy:0. = None);
+  let visited = ref 0 in
+  Kd_tree.query_box tree ~x:Interval.everything ~y:Interval.everything (fun _ -> incr visited);
+  Alcotest.(check int) "box visits nothing" 0 !visited
+
+let test_kd_single () =
+  let tree = Kd_tree.build ~x:(fun _ -> 3.) ~y:(fun _ -> 4.) [| 42 |] in
+  Alcotest.(check int) "size" 1 (Kd_tree.size tree);
+  (match Kd_tree.nearest tree ~qx:0. ~qy:0. with
+  | Some (42, d2) -> Alcotest.(check (float 0.)) "distance" 25. d2
+  | other -> Alcotest.failf "expected the single point, got %s"
+               (match other with None -> "None" | Some (id, _) -> Printf.sprintf "id %d" id));
+  Alcotest.(check bool) "filtered out" true
+    (Kd_tree.nearest ~filter:(fun _ -> false) tree ~qx:0. ~qy:0. = None)
+
+(* Co-located points: ties must break toward the smaller id and box queries
+   must visit every duplicate exactly once. *)
+let test_kd_duplicates () =
+  let tree = Kd_tree.build ~x:(fun _ -> 1.) ~y:(fun _ -> 1.) [| 5; 3; 9; 3 |] in
+  (match Kd_tree.nearest tree ~qx:1. ~qy:1. with
+  | Some (3, 0.) -> ()
+  | _ -> Alcotest.fail "tie must break toward the smaller id");
+  let visited = ref [] in
+  Kd_tree.query_box tree ~x:(Interval.make ~lo:1. ~hi:1. ()) ~y:Interval.everything (fun id ->
+      visited := id :: !visited);
+  Alcotest.(check (list int)) "all duplicates visited" [ 3; 3; 5; 9 ]
+    (List.sort compare !visited)
 
 (* ------------------------------------------------------------------ *)
 (* Sweepline *)
@@ -337,6 +398,28 @@ let test_cat_index_partitions () =
   Alcotest.(check int) "missing partition" 0 (Array.length (Cat_index.members t [ 9; 9 ]));
   Alcotest.(check bool) "missing find" true (Cat_index.find t [ 9; 9 ] = None)
 
+(* No ids at all: every partition is absent (never empty-but-present), so
+   probes see [None]/[[||]] and the builder is never invoked. *)
+let test_cat_index_empty () =
+  let built = ref 0 in
+  let t =
+    Cat_index.create ~keys:(fun id -> [ id ]) ~ids:[||] ~builder:(fun members ->
+        incr built;
+        Array.length members)
+  in
+  Alcotest.(check int) "no partitions" 0 (Cat_index.partition_count t);
+  Alcotest.(check bool) "find misses" true (Cat_index.find t [ 0 ] = None);
+  Alcotest.(check int) "members empty" 0 (Array.length (Cat_index.members t [ 0 ]));
+  Alcotest.(check int) "nothing matches" 0
+    (List.length (Cat_index.find_matching t ~accept:(fun _ -> true)));
+  Cat_index.iter_built (fun _ _ -> Alcotest.fail "nothing was built") t;
+  Alcotest.(check int) "builder never ran" 0 !built
+
+let test_cat_index_single () =
+  let t = Cat_index.create ~keys:(fun _ -> [ 7 ]) ~ids:[| 0 |] ~builder:Array.length in
+  Alcotest.(check int) "one partition" 1 (Cat_index.partition_count t);
+  Alcotest.(check bool) "found" true (Cat_index.find t [ 7 ] = Some 1)
+
 let suite =
   let tc = Alcotest.test_case in
   [
@@ -352,6 +435,7 @@ let suite =
         tc "point updates with min" `Quick test_segment_tree_updates;
         tc "empty range" `Quick test_segment_tree_empty_range;
         tc "zero size" `Quick test_segment_tree_zero_size;
+        tc "single element" `Quick test_segment_tree_single;
       ] );
     ( "index.range_tree",
       [
@@ -366,12 +450,24 @@ let suite =
         qtest cascade_matches_brute;
         qtest cascade_matches_range_tree;
         tc "empty tree" `Quick test_cascade_empty;
+        tc "single element" `Quick test_cascade_single;
+        tc "duplicate coordinates" `Quick test_cascade_duplicates;
       ] );
     ( "index.kd_tree",
-      [ qtest kd_nearest_matches_scan; qtest kd_box_matches_scan; tc "empty" `Quick test_kd_empty ]
-    );
+      [
+        qtest kd_nearest_matches_scan;
+        qtest kd_box_matches_scan;
+        tc "empty" `Quick test_kd_empty;
+        tc "single element" `Quick test_kd_single;
+        tc "duplicate coordinates" `Quick test_kd_duplicates;
+      ] );
     ("index.sweepline", [ qtest sweep_min; qtest sweep_max ]);
-    ("index.cat_index", [ tc "partitions, laziness, caching" `Quick test_cat_index_partitions ]);
+    ( "index.cat_index",
+      [
+        tc "partitions, laziness, caching" `Quick test_cat_index_partitions;
+        tc "empty input" `Quick test_cat_index_empty;
+        tc "single element" `Quick test_cat_index_single;
+      ] );
   ]
 
 let _ = arbitrary_points2
