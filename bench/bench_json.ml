@@ -19,6 +19,10 @@ let rows : string list ref = ref [] (* serialized rows, newest first *)
 let set_path (p : string) : unit = path := Some p
 let enabled () : bool = Option.is_some !path
 
+(* Where the document will land, for sections that archive companion
+   files (e.g. the telemetry metrics JSON) next to it. *)
+let current_path () : string option = !path
+
 let escape (s : string) : string =
   let b = Buffer.create (String.length s + 2) in
   String.iter

@@ -810,6 +810,69 @@ let micro () =
     (List.sort compare rows)
 
 (* ------------------------------------------------------------------ *)
+(* Telemetry: instrumentation overhead on the formation battle.
+
+   Three passes over the same workload: ambient registry disabled (the
+   shipped default — every call site pays one atomic load), registry
+   enabled (--metrics), and registry + span tracer (--trace-spans).  The
+   telemetry-off pass is the one the <2% overhead budget is judged
+   against; with --json armed, the metrics document of the instrumented
+   pass is archived next to the bench rows. *)
+
+let telemetry_bench () =
+  header "Telemetry - instrumentation overhead (indexed evaluator, 2000 units)";
+  let n = 2000 and density = 0.01 and ticks = 20 in
+  let measure mode ~pre ~post =
+    pre ();
+    let per_tick, r = battle_seconds ~evaluator:Simulation.Indexed ~n ~density ~ticks in
+    post ();
+    Bench_json.emit ~section:"telemetry"
+      ~config:[ ("mode", mode); ("units", string_of_int n) ]
+      ~ticks_per_s:(1. /. per_tick)
+      ~phases:
+        [
+          ("decision_s", r.Simulation.decision_s);
+          ("build_s", r.Simulation.build_s);
+          ("post_s", r.Simulation.post_s);
+          ("movement_s", r.Simulation.movement_s);
+          ("death_s", r.Simulation.death_s);
+        ];
+    (mode, per_tick)
+  in
+  let nothing () = () in
+  let off = measure "off" ~pre:(fun () -> Telemetry.set_enabled false) ~post:nothing in
+  let metrics =
+    measure "metrics"
+      ~pre:(fun () ->
+        Telemetry.reset ();
+        Telemetry.set_enabled true)
+      ~post:(fun () ->
+        match Bench_json.current_path () with
+        | None -> ()
+        | Some p ->
+          let mp = p ^ ".metrics.json" in
+          Telemetry.Registry.write_json Telemetry.default ~path:mp;
+          pr "telemetry: metrics archived to %s@." mp)
+  in
+  let spans =
+    measure "metrics+spans"
+      ~pre:(fun () ->
+        Telemetry.reset ();
+        Telemetry.set_enabled true;
+        Telemetry.Span.start ())
+      ~post:(fun () ->
+        pr "telemetry: %d span events recorded@." (Telemetry.Span.count ());
+        Telemetry.Span.stop ())
+  in
+  Telemetry.set_enabled false;
+  let _, t_off = off in
+  pr "@.%-16s %12s %10s@." "mode" "ticks/s" "overhead";
+  List.iter
+    (fun (mode, per_tick) ->
+      pr "%-16s %12.1f %9.1f%%@." mode (1. /. per_tick) ((per_tick /. t_off -. 1.) *. 100.))
+    [ off; metrics; spans ]
+
+(* ------------------------------------------------------------------ *)
 (* Driver *)
 
 let everything ~full () =
@@ -825,6 +888,7 @@ let everything ~full () =
   parallel_scaling ~full ();
   incremental ~full ();
   faults_bench ();
+  telemetry_bench ();
   micro ()
 
 let () =
@@ -865,6 +929,7 @@ let () =
             | "incremental" -> incremental ~full:false ()
             | "incremental-full" -> incremental ~full:true ()
             | "faults" -> faults_bench ()
+            | "telemetry" -> telemetry_bench ()
             | "micro" -> micro ()
             | other ->
               Fmt.epr "unknown benchmark %S@." other;

@@ -9,7 +9,7 @@ open Cmdliner
 open Sgl
 
 let run units ticks evaluator domains density seed optimize resurrect index_cache verbose ascii
-    trace fault_policy injects =
+    trace fault_policy injects metrics trace_spans explain_plans =
   let evaluator_kind =
     match (evaluator, domains) with
     (* --domains N forces the parallel evaluator regardless of --evaluator *)
@@ -39,6 +39,14 @@ let run units ticks evaluator domains density seed optimize resurrect index_cach
             (String.concat ", " Fault_inject.points);
         Fault_inject.arm ~point spec)
     injects;
+  (* Telemetry: --metrics and --explain need the ambient registry live;
+     --trace-spans starts the span tracer.  All three leave unit states
+     bit-identical — telemetry never feeds back into the simulation. *)
+  if metrics <> None || explain_plans then begin
+    Telemetry.set_enabled true;
+    Telemetry.reset ()
+  end;
+  if trace_spans <> None then Telemetry.Span.start ();
   let scenario =
     Battle.Scenario.setup ~density ~per_side:(Battle.Scenario.standard_mix (units / 2)) ()
   in
@@ -122,6 +130,21 @@ let run units ticks evaluator domains density seed optimize resurrect index_cach
   | fs ->
     Fmt.pr "fault log (%d retained of %d):@." (List.length fs) (Simulation.fault_count sim);
     List.iter (fun f -> Fmt.pr "  %a@." Fault.pp f) fs);
+  if explain_plans then begin
+    let prog = Battle.Scripts.compile () in
+    Fmt.pr "@.%s" (Eval.explain ~schema:s ~aggregates:prog.Core_ir.aggregates ())
+  end;
+  (match metrics with
+  | None -> ()
+  | Some path ->
+    Telemetry.Registry.write_json Telemetry.default ~path;
+    Fmt.pr "metrics: written to %s@." path);
+  (match trace_spans with
+  | None -> ()
+  | Some path ->
+    Telemetry.Span.stop ();
+    Telemetry.Span.write ~path;
+    Fmt.pr "trace-spans: %d events written to %s@." (Telemetry.Span.count ()) path);
   let elapsed = Timer.elapsed wall in
   let done_ticks = Simulation.tick_count sim in
   if done_ticks > 0 && elapsed > 1e-9 then
@@ -189,15 +212,41 @@ let inject_arg =
         ~doc:"Arm a fault-injection point, e.g. eval.member:count=3, exec.group:always, \
               pool.lane:p=0.1,seed=7.  Repeatable.")
 
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:"Enable the telemetry registry and write its counters, gauges and histograms as \
+              JSON to $(docv) after the run.")
+
+let trace_spans_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-spans" ] ~docv:"FILE"
+        ~doc:"Record per-tick, per-phase, per-script-group and per-operator spans and write \
+              them in Chrome trace-event format to $(docv) (load at chrome://tracing or \
+              ui.perfetto.dev).")
+
+let explain_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "explain" ]
+        ~doc:"After the run, print every compiled aggregate plan annotated with live run \
+              counters: rows scanned, index probes, prefix-aggregate answers vs. enumerations \
+              vs. sweeps, and cache reuse per index group.")
+
 let cmd =
   let doc = "run the SGL battle simulation (knights, archers, healers)" in
   Cmd.v
     (Cmd.info "battle_sim" ~version:Sgl.version ~doc)
     Term.(
-      const (fun u t e dom d s no_opt no_res no_cache v a tr fp inj ->
-          run u t e dom d s (not no_opt) (not no_res) (not no_cache) v a tr fp inj)
+      const (fun u t e dom d s no_opt no_res no_cache v a tr fp inj m sp ex ->
+          run u t e dom d s (not no_opt) (not no_res) (not no_cache) v a tr fp inj m sp ex)
       $ units_arg $ ticks_arg $ evaluator_arg $ domains_arg $ density_arg $ seed_arg
       $ optimize_arg $ resurrect_arg $ index_cache_arg $ verbose_arg $ ascii_arg $ trace_arg
-      $ fault_policy_arg $ inject_arg)
+      $ fault_policy_arg $ inject_arg $ metrics_arg $ trace_spans_arg $ explain_arg)
 
 let () = exit (Cmd.eval' cmd)

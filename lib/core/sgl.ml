@@ -21,6 +21,8 @@ module Vec2 = Sgl_util.Vec2
 module Varray = Sgl_util.Varray
 module Stats = Sgl_util.Stats
 module Timer = Sgl_util.Timer
+module Telemetry = Sgl_util.Telemetry
+module Domain_pool = Sgl_util.Domain_pool
 
 (* Relational substrate *)
 module Value = Sgl_relalg.Value

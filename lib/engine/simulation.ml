@@ -65,6 +65,11 @@ type engine =
   | Seq of Eval.t
   | Par of { pool : Domain_pool.t; family : Eval.family }
 
+(* Global mirror in the ambient registry (gated, off by default) so
+   --metrics output carries rollbacks next to the evaluator counters; the
+   per-simulation registry below is the report's source of truth. *)
+let tel_rollbacks = Telemetry.counter "sim.rollbacks"
+
 type timings = {
   decision : Timer.t; (* includes index building; see evaluator stats *)
   post : Timer.t;
@@ -89,14 +94,23 @@ type t = {
   mutable pending_delta : Delta.t option;
   mutable tick : int;
   timings : timings;
-  mutable deaths : int;
-  mutable resurrections : int;
+  (* The per-simulation telemetry registry: always enabled, private to
+     this simulation, the single source of truth for the report's engine
+     counters.  Counters (not mutable fields) so the transactional tick
+     can snapshot/restore them with [Counter.value]/[Counter.set] and so
+     they read uniformly with the ambient registry's metrics. *)
+  tel : Telemetry.Registry.t;
+  c_deaths : Telemetry.counter;
+  c_resurrections : Telemetry.counter;
+  c_retries : Telemetry.counter; (* tick retries performed by Degrade *)
+  c_rollbacks : Telemetry.counter; (* snapshot restores after a fault *)
+  c_faults : Telemetry.counter; (* faults observed (log may drop some) *)
+  c_suppressed : Telemetry.counter; (* secondary failures hidden by a re-raise *)
   (* fault-tolerance state *)
   fault_log : Fault.Log.t;
   mutable phase : Fault.phase; (* the phase currently executing, for context *)
   mutable quarantined : string list; (* script groups excluded from future ticks *)
   mutable degradations : (int * string * string) list; (* tick, from, to *)
-  mutable retries : int;
   mutable retired_stats : Eval.eval_stats; (* totals of engines retired by demotion *)
 }
 
@@ -117,6 +131,7 @@ let create ?(fault_policy = Fail) ?(fault_log_capacity = 64) ?(index_cache = tru
     (config : config) ~(evaluator : evaluator_kind) ~(units : Tuple.t array) : t =
   let schema = config.prog.Core_ir.schema in
   let aggregates = config.prog.Core_ir.aggregates in
+  let tel = Telemetry.Registry.create ~enabled:true () in
   {
     config;
     compiled = Exec.compile ~optimize:config.optimize config.prog;
@@ -131,13 +146,17 @@ let create ?(fault_policy = Fail) ?(fault_log_capacity = 64) ?(index_cache = tru
     timings =
       { decision = Timer.create (); post = Timer.create (); movement = Timer.create ();
         death = Timer.create () };
-    deaths = 0;
-    resurrections = 0;
+    tel;
+    c_deaths = Telemetry.Registry.counter tel "sim.deaths";
+    c_resurrections = Telemetry.Registry.counter tel "sim.resurrections";
+    c_retries = Telemetry.Registry.counter tel "sim.retries";
+    c_rollbacks = Telemetry.Registry.counter tel "sim.rollbacks";
+    c_faults = Telemetry.Registry.counter tel "sim.faults";
+    c_suppressed = Telemetry.Registry.counter tel "sim.suppressed";
     fault_log = Fault.Log.create ~capacity:fault_log_capacity ();
     phase = Fault.Decision;
     quarantined = [];
     degradations = [];
-    retries = 0;
     retired_stats = Eval.fresh_stats ();
   }
 
@@ -186,6 +205,9 @@ let engine_stats = function
 let quarantine (t : t) (gf : Exec.group_fault) : unit =
   if not (List.mem gf.Exec.gf_script t.quarantined) then
     t.quarantined <- t.quarantined @ [ gf.Exec.gf_script ];
+  Telemetry.Counter.incr t.c_faults;
+  Telemetry.Counter.add t.c_suppressed gf.Exec.gf_suppressed;
+  Telemetry.Span.instant ~cat:"fault" "quarantine";
   Fault.Log.push t.fault_log
     (Fault.make ~tick:t.tick ~phase:Fault.Decision ~script:gf.Exec.gf_script
        ~evaluator:(evaluator_name t.evaluator) ~suppressed:gf.Exec.gf_suppressed gf.Exec.gf_exn
@@ -194,6 +216,7 @@ let quarantine (t : t) (gf : Exec.group_fault) : unit =
 (* Demote to the next-weaker evaluator, retiring the current engine's
    counters so the report stays cumulative across the whole run. *)
 let demote (t : t) (weaker : evaluator_kind) : unit =
+  Telemetry.Span.instant ~cat:"fault" "demote";
   add_stats t.retired_stats (engine_stats t.engine);
   t.degradations <-
     t.degradations @ [ (t.tick, evaluator_name t.evaluator, evaluator_name weaker) ];
@@ -224,6 +247,7 @@ let run_phases (t : t) : unit =
   (* decision + action *)
   t.phase <- Fault.Decision;
   let acc =
+    Telemetry.Span.with_ ~cat:"phase" "decision" @@ fun () ->
     Timer.record t.timings.decision (fun () ->
         match (t.policy, t.engine) with
         | (Fail | Degrade), Seq evaluator ->
@@ -250,6 +274,7 @@ let run_phases (t : t) : unit =
   (* post-processing *)
   t.phase <- Fault.Post;
   let results =
+    Telemetry.Span.with_ ~cat:"phase" "post" @@ fun () ->
     Timer.record t.timings.post (fun () ->
         Postprocess.apply ?delta:delta_out t.config.postprocess ~schema:sch ~rand_for
           ~units:t.units ~acc)
@@ -262,6 +287,7 @@ let run_phases (t : t) : unit =
   (* movement over the survivors *)
   t.phase <- Fault.Movement;
   let grid =
+    Telemetry.Span.with_ ~cat:"phase" "movement" @@ fun () ->
     Timer.record t.timings.movement (fun () ->
         Option.map
           (fun mconfig ->
@@ -272,13 +298,14 @@ let run_phases (t : t) : unit =
   (* death handling *)
   t.phase <- Fault.Death;
   let final =
+    Telemetry.Span.with_ ~cat:"phase" "death" @@ fun () ->
     Timer.record t.timings.death (fun () ->
         match t.config.death with
         | Remove ->
-          t.deaths <- t.deaths + Varray.length dead;
+          Telemetry.Counter.add t.c_deaths (Varray.length dead);
           alive_units
         | Resurrect { health; max_health } ->
-          t.deaths <- t.deaths + Varray.length dead;
+          Telemetry.Counter.add t.c_deaths (Varray.length dead);
           let revived =
             Array.map
               (fun row ->
@@ -299,7 +326,7 @@ let run_phases (t : t) : unit =
                   | None -> ()
                 end
                 | _ -> ());
-                t.resurrections <- t.resurrections + 1;
+                Telemetry.Counter.incr t.c_resurrections;
                 out)
               (Varray.to_array dead)
           in
@@ -322,9 +349,19 @@ let run_phases (t : t) : unit =
    [~tick ~key], the retry is bit-identical to a healthy run of that
    evaluator. *)
 let step (t : t) : unit =
-  let units0 = t.units and deaths0 = t.deaths and resurrections0 = t.resurrections in
+  let units0 = t.units
+  and deaths0 = Telemetry.Counter.value t.c_deaths
+  and resurrections0 = Telemetry.Counter.value t.c_resurrections in
   let rec attempt () =
-    match run_phases t with
+    let phases () =
+      (* The tick's root span; the per-tick name is built only when the
+         tracer is on, so the disabled path stays allocation-free. *)
+      if Telemetry.Span.enabled () then
+        Telemetry.Span.with_ ~cat:"sim" (Printf.sprintf "tick:%d" t.tick) (fun () ->
+            run_phases t)
+      else run_phases t
+    in
+    match phases () with
     | () -> ()
     | exception exn ->
       let bt = Printexc.get_raw_backtrace () in
@@ -338,9 +375,16 @@ let step (t : t) : unit =
           ~suppressed exn bt
       in
       Fault.Log.push t.fault_log fault;
+      Telemetry.Counter.incr t.c_faults;
+      Telemetry.Counter.add t.c_suppressed suppressed;
+      Telemetry.Span.instant ~cat:"fault" "rollback";
       t.units <- units0;
-      t.deaths <- deaths0;
-      t.resurrections <- resurrections0;
+      (* [set] writes through the enabled gate: the snapshot restore must
+         happen whatever the registry state, like the field writes did. *)
+      Telemetry.Counter.set t.c_deaths deaths0;
+      Telemetry.Counter.set t.c_resurrections resurrections0;
+      Telemetry.Counter.incr t.c_rollbacks;
+      Telemetry.Counter.incr tel_rollbacks;
       (* The failed attempt's mutations were undone, so its delta (and the
          one it consumed) no longer describe reality: the retry — and the
          tick after a policy absorbs the fault — must open the index cache
@@ -359,7 +403,7 @@ let step (t : t) : unit =
         | None -> fail ()
         | Some weaker ->
           demote t weaker;
-          t.retries <- t.retries + 1;
+          Telemetry.Counter.incr t.c_retries;
           attempt ()
       end)
   in
@@ -395,16 +439,22 @@ type report = {
   resurrections : int;
   faults : int; (* faults observed, including any the bounded log dropped *)
   retries : int; (* tick retries performed by the Degrade policy *)
+  rollbacks : int; (* snapshot restores performed after faults *)
+  suppressed : int; (* secondary failures hidden behind re-raised ones *)
   quarantined : string list;
   degradations : (int * string * string) list; (* tick, from, to *)
 }
 
 let faults (t : t) : Fault.t list = Fault.Log.to_list t.fault_log
-let fault_count (t : t) : int = Fault.Log.total t.fault_log
+let fault_count (t : t) : int = Telemetry.Counter.value t.c_faults
 let quarantined_scripts (t : t) : string list = t.quarantined
 let degradations (t : t) : (int * string * string) list = t.degradations
-let retries (t : t) : int = t.retries
+let retries (t : t) : int = Telemetry.Counter.value t.c_retries
 let current_evaluator (t : t) : evaluator_kind = t.evaluator
+
+(* The per-simulation registry, for archiving next to the ambient
+   registry's metrics or asserting on engine counters in tests. *)
+let telemetry (t : t) : Telemetry.Registry.t = t.tel
 
 (* The delta the last committed tick recorded (None before the first tick,
    after a rollback, or with the cache disabled).  Exposed so differential
@@ -433,10 +483,12 @@ let report (t : t) : report =
     naive_scans = s.Eval.naive_scans;
     uniform_hits = s.Eval.uniform_hits;
     index_reuses = s.Eval.index_reuses;
-    deaths = t.deaths;
-    resurrections = t.resurrections;
-    faults = Fault.Log.total t.fault_log;
-    retries = t.retries;
+    deaths = Telemetry.Counter.value t.c_deaths;
+    resurrections = Telemetry.Counter.value t.c_resurrections;
+    faults = Telemetry.Counter.value t.c_faults;
+    retries = Telemetry.Counter.value t.c_retries;
+    rollbacks = Telemetry.Counter.value t.c_rollbacks;
+    suppressed = Telemetry.Counter.value t.c_suppressed;
     quarantined = t.quarantined;
     degradations = t.degradations;
   }
@@ -450,7 +502,8 @@ let pp_report ppf (r : report) =
     r.resurrections;
   (* fault-free runs keep the pre-fault-layer report byte-identical *)
   if r.faults > 0 || r.retries > 0 || r.quarantined <> [] || r.degradations <> [] then
-    Fmt.pf ppf "@,faults=%d retries=%d quarantined=[%s] degraded=[%s]" r.faults r.retries
+    Fmt.pf ppf "@,faults=%d retries=%d rollbacks=%d suppressed=%d quarantined=[%s] degraded=[%s]"
+      r.faults r.retries r.rollbacks r.suppressed
       (String.concat "," r.quarantined)
       (String.concat ","
          (List.map (fun (tick, from_, to_) -> Fmt.str "t%d:%s->%s" tick from_ to_) r.degradations));

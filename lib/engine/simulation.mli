@@ -99,6 +99,14 @@ val retries : t -> int
     at {!create} after a degradation). *)
 val current_evaluator : t -> evaluator_kind
 
+(** The simulation's private, always-enabled telemetry registry: the
+    source of truth behind the engine counters of {!report}
+    ([sim.deaths], [sim.resurrections], [sim.retries], [sim.rollbacks],
+    [sim.faults], [sim.suppressed]).  Independent of the ambient
+    {!Sgl_util.Telemetry.default}, so concurrent simulations never mix
+    counts. *)
+val telemetry : t -> Telemetry.Registry.t
+
 (** The delta summary the last committed tick recorded ([None] before the
     first tick, after a rollback, or with the index cache disabled).  For
     tests: check it against the ground truth {!Sgl_relalg.Delta.of_tuples}
@@ -132,6 +140,12 @@ type report = {
   resurrections : int;
   faults : int;
   retries : int;
+  rollbacks : int;
+      (** snapshot restores performed after faults (every fault a policy
+          absorbs or re-raises rolled the tick back exactly once) *)
+  suppressed : int;
+      (** secondary failures hidden behind the re-raised one (other lanes,
+          other chunks of a quarantined group) *)
   quarantined : string list;
   degradations : (int * string * string) list;
 }

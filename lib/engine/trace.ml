@@ -17,6 +17,12 @@ type t = {
 
 exception Trace_error of string
 
+(* Every channel operation funnels through [io]: any [Sys_error] the
+   runtime raises (closed descriptor, full disk, revoked permissions)
+   resurfaces as [Trace_error], so callers handle one exception type. *)
+let io (what : string) (f : unit -> 'a) : 'a =
+  try f () with Sys_error msg -> raise (Trace_error (Fmt.str "trace: %s: %s" what msg))
+
 let create ~(path : string) ~(schema : Schema.t) ~(attrs : string list) : t =
   let indexes =
     List.map
@@ -26,8 +32,8 @@ let create ~(path : string) ~(schema : Schema.t) ~(attrs : string list) : t =
         | None -> raise (Trace_error (Fmt.str "trace: unknown attribute %S" name)))
       attrs
   in
-  let oc = open_out path in
-  output_string oc ("tick," ^ String.concat "," attrs ^ "\n");
+  let oc = io "open" (fun () -> open_out path) in
+  io "write header" (fun () -> output_string oc ("tick," ^ String.concat "," attrs ^ "\n"));
   { oc; schema; attrs = indexes; rows = 0; closed = false }
 
 let value_to_csv (v : Value.t) : string =
@@ -39,24 +45,28 @@ let value_to_csv (v : Value.t) : string =
 
 let record (t : t) ~(tick : int) (units : Tuple.t array) : unit =
   if t.closed then raise (Trace_error "trace: already closed");
-  Array.iter
-    (fun u ->
-      output_string t.oc (string_of_int tick);
-      List.iter
-        (fun i ->
-          output_char t.oc ',';
-          output_string t.oc (value_to_csv (Tuple.get u i)))
-        t.attrs;
-      output_char t.oc '\n';
-      t.rows <- t.rows + 1)
-    units
+  io "write row" (fun () ->
+      Array.iter
+        (fun u ->
+          output_string t.oc (string_of_int tick);
+          List.iter
+            (fun i ->
+              output_char t.oc ',';
+              output_string t.oc (value_to_csv (Tuple.get u i)))
+            t.attrs;
+          output_char t.oc '\n';
+          t.rows <- t.rows + 1)
+        units)
 
 let rows (t : t) = t.rows
 
+(* Idempotent: the flag flips before the channel closes, so even a
+   [close] retried after an I/O failure is a no-op rather than a double
+   [close_out]. *)
 let close (t : t) : unit =
   if not t.closed then begin
     t.closed <- true;
-    close_out t.oc
+    io "close" (fun () -> close_out t.oc)
   end
 
 (* Convenience: attach a trace to a simulation and run it. *)

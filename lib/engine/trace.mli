@@ -7,15 +7,19 @@ type t
 exception Trace_error of string
 
 (** [create ~path ~schema ~attrs] opens the file and writes the header.
-    Raises {!Trace_error} on an unknown attribute name. *)
+    Raises {!Trace_error} on an unknown attribute name — and, like every
+    operation here, on I/O failure (underlying [Sys_error]s resurface as
+    {!Trace_error}). *)
 val create : path:string -> schema:Schema.t -> attrs:string list -> t
 
-(** Append one row per unit for this tick. *)
+(** Append one row per unit for this tick.  Raises {!Trace_error} if the
+    trace is closed. *)
 val record : t -> tick:int -> Tuple.t array -> unit
 
 (** Data rows written so far. *)
 val rows : t -> int
 
+(** Flush and close the file.  Idempotent: later calls are no-ops. *)
 val close : t -> unit
 
 (** Record the initial state, run [ticks] steps recording after each, close

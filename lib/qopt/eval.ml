@@ -37,6 +37,56 @@ let fresh_stats () =
   { index_builds = 0; index_probes = 0; naive_scans = 0; uniform_hits = 0; index_reuses = 0;
     build_seconds = 0. }
 
+(* ------------------------------------------------------------------ *)
+(* Telemetry.
+
+   [eval_stats] stays the per-evaluator source of truth for the report —
+   each family member owns its record, so lanes never contend.  The
+   telemetry layer adds *global* counters in the ambient registry (one
+   atomic add per already-counted event, gated on one atomic load) plus
+   per-aggregate-instance counters that back EXPLAIN: how each instance's
+   probes were actually answered — prefix-aggregate lookups, enumerations,
+   sweeps, uniform sharing, or naive scans — and how many rows each
+   answer touched. *)
+
+let tel_index_build = Telemetry.counter "eval.index_build"
+let tel_index_reuse = Telemetry.counter "eval.index_reuse"
+let tel_index_probe = Telemetry.counter "eval.index_probe"
+let tel_naive_scan = Telemetry.counter "eval.naive_scan"
+let tel_build_hist = Telemetry.histogram "eval.index_build_s"
+
+(* Per-aggregate-instance counters (EXPLAIN's row of live statistics).
+   Instances are named by position in the program's aggregate array, so
+   [explain] can re-derive the same names from the compiled program. *)
+type agg_tel = {
+  tel_batches : Telemetry.counter; (* eval_agg batches *)
+  tel_probes : Telemetry.counter; (* index probes made for this instance *)
+  tel_rows : Telemetry.counter; (* rows scanned (naive or enumerated candidates) *)
+  tel_prefix : Telemetry.counter; (* probes answered from prefix-aggregate leaves *)
+  tel_enum : Telemetry.counter; (* probes answered by enumerate-and-filter *)
+  tel_sweep : Telemetry.counter; (* probes answered by a sweep-line pass *)
+  tel_uniform : Telemetry.counter; (* batches answered once and shared *)
+}
+
+let agg_tel (label : string) : agg_tel =
+  let c suffix = Telemetry.counter (Printf.sprintf "agg.%s.%s" label suffix) in
+  {
+    tel_batches = c "batches";
+    tel_probes = c "probes";
+    tel_rows = c "rows_scanned";
+    tel_prefix = c "prefix_answers";
+    tel_enum = c "enum_answers";
+    tel_sweep = c "sweep_answers";
+    tel_uniform = c "uniform_answers";
+  }
+
+let agg_tels (aggregates : Aggregate.t array) : agg_tel array =
+  Array.init (Array.length aggregates) (fun i -> agg_tel (string_of_int i))
+
+(* The synthetic AoE aggregates are call-local and unnumbered; they share
+   one instance-counter set. *)
+let aoe_tel = agg_tel "aoe"
+
 type t = {
   name : string;
   (* [delta] describes what changed since the previous [begin_tick]'s unit
@@ -65,15 +115,20 @@ let dummy_rand (_ : int) = 0
 let naive_core ~(schema : Schema.t) ~(aggregates : Aggregate.t array)
     ~(units : Tuple.t array ref) ~(stats : eval_stats)
     ~(begin_tick : ?delta:Delta.t -> Tuple.t array -> unit) : t =
+  let tels = agg_tels aggregates in
   {
     name = "naive";
     begin_tick;
     eval_agg =
       (fun ~agg_id ~rows ~rands ->
         let agg = aggregates.(agg_id) in
+        let tel = tels.(agg_id) in
+        Telemetry.Counter.incr tel.tel_batches;
+        Telemetry.Counter.add tel.tel_rows (Array.length rows * Array.length !units);
         Array.mapi
           (fun i row ->
             stats.naive_scans <- stats.naive_scans + 1;
+            Telemetry.Counter.incr tel_naive_scan;
             Aggregate.eval_naive ~units:!units ~ctx:{ Expr.u = row; e = None; rand = rands.(i) } agg)
           rows);
     apply_aoe =
@@ -81,6 +136,7 @@ let naive_core ~(schema : Schema.t) ~(aggregates : Aggregate.t array)
         Array.iteri
           (fun i contributor ->
             stats.naive_scans <- stats.naive_scans + 1;
+            Telemetry.Counter.incr tel_naive_scan;
             let rand = contributor_rands.(i) in
             Array.iter
               (fun target ->
@@ -116,7 +172,14 @@ type group = {
   data_filter : Predicate.t;
   mutable stats_exprs : Expr.t list; (* deduped union of member statistics *)
   mutable n_stats : int;
+  g_reuses : Telemetry.counter; (* per-group cache reuse, for EXPLAIN *)
 }
+
+(* Group-scoped reuse counters: [group.<id>.reuses] counts the entry plus
+   every per-partition structure the cross-tick cache carried over for
+   that group, so EXPLAIN can show cache behaviour per access path. *)
+let group_reuse_counter (group_id : int) : Telemetry.counter =
+  Telemetry.counter (Printf.sprintf "group.%d.reuses" group_id)
 
 (* A member's view of its group: where its statistics landed. *)
 type membership = {
@@ -187,6 +250,15 @@ let stat_vector (stats_exprs : Expr.t list) (row : Tuple.t) : float array =
   let ctx = { Expr.u = [||]; e = Some row; rand = dummy_rand } in
   Array.of_list (List.map (fun e -> Expr.eval_float ctx e) stats_exprs)
 
+(* Shared build bookkeeping: the evaluator-local stats record, the global
+   build counter, and the build-duration histogram. *)
+let count_build (st : eval_stats) (t0 : float) : unit =
+  let dt = Timer.now () -. t0 in
+  st.index_builds <- st.index_builds + 1;
+  st.build_seconds <- st.build_seconds +. dt;
+  Telemetry.Counter.incr tel_index_build;
+  Telemetry.Histogram.observe tel_build_hist dt
+
 let build_index ?(epoch = 0) (st : eval_stats) ~(group : group) ~(data : Tuple.t array) :
     built_index =
   Fault_inject.hit "index.build";
@@ -202,8 +274,7 @@ let build_index ?(epoch = 0) (st : eval_stats) ~(group : group) ~(data : Tuple.t
     Cat_index.create ~keys ~ids ~builder:(fun members ->
         { members; divisible = None; enum_tree = None; kds = [] })
   in
-  st.index_builds <- st.index_builds + 1;
-  st.build_seconds <- st.build_seconds +. (Timer.now () -. t0);
+  count_build st t0;
   { data; epoch; group; cat }
 
 (* The partitions a prober may read, given the *instance's* categorical
@@ -279,8 +350,7 @@ let ensure_divisible ~(memoize : bool) st (bi : built_index) (sub : sub_index) :
         Div_range (Range_tree.build ~dims:(List.map coord many) ~stats:(Some stat) ~m sub.members)
     in
     if memoize then sub.divisible <- Some d;
-    st.index_builds <- st.index_builds + 1;
-    st.build_seconds <- st.build_seconds +. (Timer.now () -. t0);
+    count_build st t0;
     d
 
 let ensure_enum_tree ~(memoize : bool) st (bi : built_index) (sub : sub_index) : Range_tree.t =
@@ -296,8 +366,7 @@ let ensure_enum_tree ~(memoize : bool) st (bi : built_index) (sub : sub_index) :
     in
     let t = Range_tree.build ~dims ~stats:None ~m:0 sub.members in
     if memoize then sub.enum_tree <- Some t;
-    st.index_builds <- st.index_builds + 1;
-    st.build_seconds <- st.build_seconds +. (Timer.now () -. t0);
+    count_build st t0;
     t
 
 let ensure_kd ~(memoize : bool) st (bi : built_index) ~(ex : int) ~(ey : int) (sub : sub_index) :
@@ -309,8 +378,7 @@ let ensure_kd ~(memoize : bool) st (bi : built_index) ~(ex : int) ~(ey : int) (s
     let coord attr id = Value.to_float (Tuple.get bi.data.(id) attr) in
     let t = Kd_tree.build ~x:(coord ex) ~y:(coord ey) sub.members in
     if memoize then sub.kds <- ((ex, ey), t) :: sub.kds;
-    st.index_builds <- st.index_builds + 1;
-    st.build_seconds <- st.build_seconds +. (Timer.now () -. t0);
+    count_build st t0;
     t
 
 (* ------------------------------------------------------------------ *)
@@ -349,7 +417,7 @@ let fold_best ~(maximize : bool) (best : (float * int) option) (candidate : floa
     in
     if better then Some candidate else best
 
-let rec eval_indexed_batch st ~(memoize : bool) ~(strategy : Agg_plan.strategy)
+let rec eval_indexed_batch st ~(tel : agg_tel) ~(memoize : bool) ~(strategy : Agg_plan.strategy)
     ~(agg : Aggregate.t) ~(membership : membership) ~(bi : built_index)
     ~(rows : Tuple.t array) ~(rands : (int -> int) array) : Value.t array =
   match strategy with
@@ -408,7 +476,10 @@ let rec eval_indexed_batch st ~(memoize : bool) ~(strategy : Agg_plan.strategy)
                         qid = i;
                       })
                 rows;
-              st.index_probes <- st.index_probes + Varray.length queries;
+              let nq = Varray.length queries in
+              st.index_probes <- st.index_probes + nq;
+              Telemetry.Counter.add tel_index_probe nq;
+              Telemetry.Counter.add tel.tel_probes nq;
               let res =
                 Sweepline.run skind ~data ~queries:(Varray.to_array queries)
                   ~rx:info.Agg_plan.rx ~ry:info.Agg_plan.ry ~n_queries:n_rows
@@ -434,13 +505,15 @@ let rec eval_indexed_batch st ~(memoize : bool) ~(strategy : Agg_plan.strategy)
               match comp with
               | Agg_plan.C_divisible { kind; stat_offset; stat_count } ->
                 if enumerate then
-                  eval_enum_component st ~memoize ~bi ~access ~row ~rand ~parts ~box kind
+                  eval_enum_component st ~tel ~memoize ~bi ~access ~row ~rand ~parts ~box kind
                 else begin
                   let total = Array.make bi.group.n_stats 0. in
                   List.iter
                     (fun sub ->
                       let d = ensure_divisible ~memoize st bi sub in
                       st.index_probes <- st.index_probes + 1;
+                      Telemetry.Counter.incr tel_index_probe;
+                      Telemetry.Counter.incr tel.tel_probes;
                       let part =
                         match (d, box) with
                         | Div_total t, _ -> t
@@ -452,6 +525,7 @@ let rec eval_indexed_batch st ~(memoize : bool) ~(strategy : Agg_plan.strategy)
                         total.(j) <- total.(j) +. part.(j)
                       done)
                     parts;
+                  Telemetry.Counter.incr tel.tel_prefix;
                   (* pull this instance's statistics out of the group's
                      shared columns *)
                   let mine =
@@ -462,11 +536,13 @@ let rec eval_indexed_batch st ~(memoize : bool) ~(strategy : Agg_plan.strategy)
               | Agg_plan.C_extremal { kind } -> begin
                 match sweep_results with
                 | Some combined -> begin
+                  Telemetry.Counter.incr tel.tel_sweep;
                   match combined.(i) with
                   | None -> None
                   | Some (value, id) -> finish_extremal ~bi ~row ~rand kind value id
                 end
-                | None -> eval_enum_component st ~memoize ~bi ~access ~row ~rand ~parts ~box kind
+                | None ->
+                  eval_enum_component st ~tel ~memoize ~bi ~access ~row ~rand ~parts ~box kind
               end
               | Agg_plan.C_nearest { kind } -> begin
                 match kind with
@@ -488,6 +564,8 @@ let rec eval_indexed_batch st ~(memoize : bool) ~(strategy : Agg_plan.strategy)
                       (fun best sub ->
                         let kd = ensure_kd ~memoize st bi ~ex:exa ~ey:eya sub in
                         st.index_probes <- st.index_probes + 1;
+                        Telemetry.Counter.incr tel_index_probe;
+                        Telemetry.Counter.incr tel.tel_probes;
                         match Kd_tree.nearest ~filter kd ~qx ~qy with
                         | None -> best
                         | Some (id, d2) -> begin
@@ -510,7 +588,8 @@ let rec eval_indexed_batch st ~(memoize : bool) ~(strategy : Agg_plan.strategy)
 
 (* Enumeration path: report the box contents, filter residuals, and fall
    back to the one-component naive evaluation over the candidates. *)
-and eval_enum_component st ~(memoize : bool) ~(bi : built_index) ~(access : Agg_plan.access) ~(row : Tuple.t)
+and eval_enum_component st ~(tel : agg_tel) ~(memoize : bool) ~(bi : built_index)
+    ~(access : Agg_plan.access) ~(row : Tuple.t)
     ~(rand : int -> int) ~(parts : sub_index list) ~(box : Interval.t list)
     (kind : Aggregate.kind) : Value.t option =
   let candidates = Varray.create 0 in
@@ -518,11 +597,15 @@ and eval_enum_component st ~(memoize : bool) ~(bi : built_index) ~(access : Agg_
     (fun sub ->
       let tree = ensure_enum_tree ~memoize st bi sub in
       st.index_probes <- st.index_probes + 1;
+      Telemetry.Counter.incr tel_index_probe;
+      Telemetry.Counter.incr tel.tel_probes;
       let ivs = if bi.group.box_attrs = [] then [ Interval.everything ] else box in
       Range_tree.query_enum tree ivs (fun id -> Varray.push candidates id))
     parts;
   let ids = Varray.to_array candidates in
   Array.sort compare ids (* restore data order so ties match the naive scan *);
+  Telemetry.Counter.incr tel.tel_enum;
+  Telemetry.Counter.add tel.tel_rows (Array.length ids);
   let cand_rows = Array.map (fun id -> bi.data.(id)) ids in
   Aggregate.eval_kind_naive ~units:cand_rows
     ~ctx:{ Expr.u = row; e = None; rand }
@@ -539,9 +622,10 @@ and finish_extremal ~(bi : built_index) ~(row : Tuple.t) ~(rand : int -> int)
 (* ------------------------------------------------------------------ *)
 (* Uniform evaluation: compute once, share across the batch. *)
 
-let eval_uniform st ~(agg : Aggregate.t) ~(units : Tuple.t array) ~(rows : Tuple.t array)
-    ~(rands : (int -> int) array) : Value.t array =
+let eval_uniform st ~(tel : agg_tel) ~(agg : Aggregate.t) ~(units : Tuple.t array)
+    ~(rows : Tuple.t array) ~(rands : (int -> int) array) : Value.t array =
   st.uniform_hits <- st.uniform_hits + 1;
+  Telemetry.Counter.incr tel.tel_uniform;
   let ctx = { Expr.u = [||]; e = None; rand = dummy_rand } in
   let per_kind =
     List.map
@@ -575,7 +659,7 @@ let make_indexed_ctx ?(share = true) ~(schema : Schema.t) ~(aggregates : Aggrega
   let groups : group Varray.t =
     Varray.create
       { group_id = -1; cat_attrs = []; box_attrs = []; data_filter = []; stats_exprs = [];
-        n_stats = 0 }
+        n_stats = 0; g_reuses = group_reuse_counter (-1) }
   in
   let memberships : membership option array =
     Array.map
@@ -600,9 +684,10 @@ let make_indexed_ctx ?(share = true) ~(schema : Schema.t) ~(aggregates : Aggrega
             match existing with
             | Some g -> g
             | None ->
+              let gid = Varray.length groups in
               let g =
-                { group_id = Varray.length groups; cat_attrs; box_attrs; data_filter;
-                  stats_exprs = []; n_stats = 0 }
+                { group_id = gid; cat_attrs; box_attrs; data_filter;
+                  stats_exprs = []; n_stats = 0; g_reuses = group_reuse_counter gid }
               in
               Varray.push groups g;
               g
@@ -660,6 +745,8 @@ let revalidate_index (st : eval_stats) (ctx : indexed_ctx) ~(delta : Delta.t)
     bi.data <- units;
     bi.epoch <- ctx.epoch;
     st.index_reuses <- st.index_reuses + 1;
+    Telemetry.Counter.incr tel_index_reuse;
+    Telemetry.Counter.incr bi.group.g_reuses;
     let schema = ctx.ctx_schema in
     let no_dirty_units = Delta.dirty_key_count delta = 0 in
     let div_clean =
@@ -677,7 +764,13 @@ let revalidate_index (st : eval_stats) (ctx : indexed_ctx) ~(delta : Delta.t)
                   (fun id -> Delta.dirty_key delta (Tuple.key schema units.(id)))
                   sub.members)
         in
-        let keep kept = if kept then st.index_reuses <- st.index_reuses + 1 in
+        let keep kept =
+          if kept then begin
+            st.index_reuses <- st.index_reuses + 1;
+            Telemetry.Counter.incr tel_index_reuse;
+            Telemetry.Counter.incr bi.group.g_reuses
+          end
+        in
         (match sub.divisible with
         | None -> ()
         | Some _ ->
@@ -746,24 +839,29 @@ let indexed_member (ctx : indexed_ctx) ~(name : string) ~(stats : eval_stats) ~(
   let schema = ctx.ctx_schema in
   let aggregates = ctx.ctx_aggregates in
   let units = ctx.ctx_units in
+  let tels = agg_tels aggregates in
   let eval_agg ~agg_id ~rows ~rands =
     (* The injection point of the indexed machinery: absent from the naive
        evaluator, so a [Degrade] retry chain always terminates clean. *)
     Fault_inject.hit "eval.member";
     let agg = aggregates.(agg_id) in
+    let tel = tels.(agg_id) in
+    Telemetry.Counter.incr tel.tel_batches;
     match ctx.strategies.(agg_id) with
-    | Agg_plan.Uniform -> eval_uniform stats ~agg ~units:!units ~rows ~rands
+    | Agg_plan.Uniform -> eval_uniform stats ~tel ~agg ~units:!units ~rows ~rands
     | Agg_plan.Naive_only _ ->
+      Telemetry.Counter.add tel.tel_rows (Array.length rows * Array.length !units);
       Array.mapi
         (fun i row ->
           stats.naive_scans <- stats.naive_scans + 1;
+          Telemetry.Counter.incr tel_naive_scan;
           Aggregate.eval_naive ~units:!units ~ctx:{ Expr.u = row; e = None; rand = rands.(i) } agg)
         rows
     | Agg_plan.Indexed _ as strategy ->
       let membership = Option.get ctx.memberships.(agg_id) in
       let bi, local = group_index ctx stats ~memoize membership in
-      eval_indexed_batch stats ~memoize:(memoize || local) ~strategy ~agg ~membership ~bi ~rows
-        ~rands
+      eval_indexed_batch stats ~tel ~memoize:(memoize || local) ~strategy ~agg ~membership ~bi
+        ~rows ~rands
   in
   (* Area-of-effect combination (Section 5.4): swap the roles of u and e so
      contributors become the data set and affected units the probers, then
@@ -869,20 +967,23 @@ let indexed_member (ctx : indexed_ctx) ~(name : string) ~(stats : eval_stats) ~(
             match strategy with
             | Agg_plan.Naive_only _ -> assert false
             | Agg_plan.Uniform ->
-              contribute (eval_uniform stats ~agg ~units:contributors ~rows:probers ~rands:prands)
+              contribute
+                (eval_uniform stats ~tel:aoe_tel ~agg ~units:contributors ~rows:probers
+                   ~rands:prands)
             | Agg_plan.Indexed { access; stats_exprs; _ } ->
               (* a fresh single-instance group over the contributor set;
                  the index is call-local, so memoizing on it is safe from
                  any domain *)
               let cat_attrs, box_attrs, data_filter = group_signature access in
               let g =
-                { group_id = -1; cat_attrs; box_attrs; data_filter; stats_exprs = []; n_stats = 0 }
+                { group_id = -1; cat_attrs; box_attrs; data_filter; stats_exprs = []; n_stats = 0;
+                  g_reuses = group_reuse_counter (-1) }
               in
               let membership = join_group g stats_exprs in
               let bi = build_index stats ~group:g ~data:contributors in
               contribute
-                (eval_indexed_batch stats ~memoize:true ~strategy ~agg ~membership ~bi
-                   ~rows:probers ~rands:prands))
+                (eval_indexed_batch stats ~tel:aoe_tel ~memoize:true ~strategy ~agg ~membership
+                   ~bi ~rows:probers ~rands:prands))
           plans
       end
     end
@@ -968,6 +1069,103 @@ let indexed_family ?(share = true) ~(schema : Schema.t) ~(aggregates : Aggregate
     prebuild ctx members.(0).stats
   in
   { members; prepare }
+
+(* ------------------------------------------------------------------ *)
+(* EXPLAIN: the compiled per-instance plan annotated with live counters.
+
+   The group assignment in [make_indexed_ctx] is deterministic, so
+   rebuilding a context here recovers exactly the instance -> group
+   mapping the running evaluator used, and registration-by-name makes
+   [agg_tel]/[group_reuse_counter] return the very handles the evaluator
+   has been bumping.  The report therefore shows the *chosen* access path
+   next to how it actually answered: prefix-aggregate lookups vs.
+   enumerations vs. sweeps vs. uniform sharing, rows touched, and what
+   the cross-tick cache reused per group. *)
+
+let pp_attr_list ppf attrs = Fmt.pf ppf "{%a}" Fmt.(list ~sep:(any ",") int) attrs
+
+let explain ?(share = true) ~(schema : Schema.t) ~(aggregates : Aggregate.t array) () : string =
+  let ctx = make_indexed_ctx ~share ~schema ~aggregates () in
+  let tels = agg_tels aggregates in
+  let buf = Buffer.create 1024 in
+  let ppf = Format.formatter_of_buffer buf in
+  Fmt.pf ppf "EXPLAIN: %d aggregate instance(s), index sharing %s@."
+    (Array.length aggregates)
+    (if share then "on" else "off");
+  Array.iteri
+    (fun i (agg : Aggregate.t) ->
+      let tel = tels.(i) in
+      let v = Telemetry.Counter.value in
+      (match ctx.strategies.(i) with
+      | Agg_plan.Uniform ->
+        Fmt.pf ppf "  [%d] %s: uniform (answer once per batch, share across probers)@." i
+          agg.Aggregate.name
+      | Agg_plan.Naive_only reason ->
+        Fmt.pf ppf "  [%d] %s: naive scan (%s)@." i agg.Aggregate.name reason
+      | Agg_plan.Indexed { components; sweep; enumerate; _ } ->
+        let group =
+          match ctx.memberships.(i) with
+          | Some m -> m.group
+          | None -> assert false
+        in
+        let comp_name = function
+          | Agg_plan.C_divisible _ ->
+            if enumerate then "divisible(enumerate)" else "divisible(prefix)"
+          | Agg_plan.C_extremal _ -> (
+            match sweep with
+            | Some _ -> "extremal(sweep)"
+            | None -> "extremal(enumerate)")
+          | Agg_plan.C_nearest _ -> "nearest(kd)"
+        in
+        Fmt.pf ppf "  [%d] %s: indexed via group %d [%a], cat=%a box=%a@." i agg.Aggregate.name
+          group.group_id
+          Fmt.(list ~sep:(any " + ") string)
+          (List.map comp_name components) pp_attr_list group.cat_attrs pp_attr_list
+          group.box_attrs);
+      Fmt.pf ppf
+        "        live: batches=%d probes=%d rows_scanned=%d prefix=%d enum=%d sweep=%d uniform=%d@."
+        (v tel.tel_batches) (v tel.tel_probes) (v tel.tel_rows) (v tel.tel_prefix)
+        (v tel.tel_enum) (v tel.tel_sweep) (v tel.tel_uniform))
+    aggregates;
+  let groups =
+    let seen : (int, group) Hashtbl.t = Hashtbl.create 8 in
+    Array.iter
+      (fun (m_opt : membership option) ->
+        match m_opt with
+        | Some m when not (Hashtbl.mem seen m.group.group_id) ->
+          Hashtbl.add seen m.group.group_id m.group
+        | _ -> ())
+      ctx.memberships;
+    List.sort
+      (fun a b -> compare a.group_id b.group_id)
+      (Hashtbl.fold (fun _ g acc -> g :: acc) seen [])
+  in
+  if groups <> [] then begin
+    Fmt.pf ppf "  index groups:@.";
+    List.iter
+      (fun g ->
+        let members =
+          Array.fold_left
+            (fun n (m_opt : membership option) ->
+              match m_opt with
+              | Some m when m.group.group_id = g.group_id -> n + 1
+              | _ -> n)
+            0 ctx.memberships
+        in
+        Fmt.pf ppf "    group %d: cat=%a box=%a members=%d stat_columns=%d cache_reuses=%d@."
+          g.group_id pp_attr_list g.cat_attrs pp_attr_list g.box_attrs members g.n_stats
+          (Telemetry.Counter.value g.g_reuses))
+      groups
+  end;
+  let b = Telemetry.Histogram.snapshot tel_build_hist in
+  Fmt.pf ppf "  totals: index_builds=%d (%.3fs) index_reuses=%d index_probes=%d naive_scans=%d@."
+    (Telemetry.Counter.value tel_index_build)
+    b.Telemetry.total
+    (Telemetry.Counter.value tel_index_reuse)
+    (Telemetry.Counter.value tel_index_probe)
+    (Telemetry.Counter.value tel_naive_scan);
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
 
 let family_stats (fam : family) : eval_stats =
   let out = fresh_stats () in

@@ -69,3 +69,14 @@ val indexed_family :
 
 (** Counter totals across every member (for reporting). *)
 val family_stats : family -> eval_stats
+
+(** [explain ~schema ~aggregates ()] renders the compiled plan of every
+    aggregate instance — chosen strategy, index group, access path —
+    annotated with the live telemetry counters the evaluators have
+    accumulated in {!Sgl_util.Telemetry.default} (batches, probes, rows
+    scanned, prefix-aggregate vs. enumeration vs. sweep vs. uniform
+    answers, and cache reuse per group).  Group assignment is
+    deterministic, so the mapping matches any evaluator built with the
+    same [share]/[schema]/[aggregates].  With telemetry disabled all
+    counters render as zero. *)
+val explain : ?share:bool -> schema:Schema.t -> aggregates:Aggregate.t array -> unit -> string

@@ -38,6 +38,12 @@ let find_plan (c : compiled) name = List.assoc_opt name c.plans
 
 exception Exec_error of string
 
+(* Telemetry: rows entering each script group's plan and rows surviving to
+   an [Act] leaf — the executor-level selectivity EXPLAIN reports next to
+   the per-aggregate counters.  Gated on one atomic load when disabled. *)
+let tel_rows_in = Sgl_util.Telemetry.counter "exec.group_rows_in"
+let tel_rows_out = Sgl_util.Telemetry.counter "exec.group_rows_out"
+
 (* A full-width working row for a unit: schema values copied, registers
    zeroed. *)
 let make_row (width : int) (unit_row : Tuple.t) : Tuple.t =
@@ -86,7 +92,13 @@ let run_plan ~(schema : Schema.t) ~(evaluator : Eval.t) ~(find_key : int -> Tupl
       | Plan.Bind (slot, Plan.Bind_agg agg_id, k) ->
         let batch_rows = Array.map (fun i -> rows.(i)) sel in
         let batch_rands = Array.map (fun i -> rands.(i)) sel in
-        let values = evaluator.Eval.eval_agg ~agg_id ~rows:batch_rows ~rands:batch_rands in
+        let eval () = evaluator.Eval.eval_agg ~agg_id ~rows:batch_rows ~rands:batch_rands in
+        (* Per-operator span; the name is only built when tracing. *)
+        let values =
+          if Sgl_util.Telemetry.Span.enabled () then
+            Sgl_util.Telemetry.Span.with_ ~cat:"op" (Printf.sprintf "agg:%d" agg_id) eval
+          else eval ()
+        in
         Array.iteri (fun j i -> rows.(i).(slot) <- values.(j)) sel;
         go k sel
       | Plan.Select (c, a, b) ->
@@ -99,6 +111,7 @@ let run_plan ~(schema : Schema.t) ~(evaluator : Eval.t) ~(find_key : int -> Tupl
         go b (Array.of_list no)
       | Plan.Both plans -> List.iter (fun p -> go p sel) plans
       | Plan.Act clauses ->
+        Sgl_util.Telemetry.Counter.add tel_rows_out (Array.length sel);
         List.iter
           (fun (c : Core_ir.effect_clause) ->
             match c.Core_ir.target with
@@ -128,18 +141,24 @@ let run_group (c : compiled) ~(schema : Schema.t) ~(evaluator : Eval.t)
     ~(find_key : int -> Tuple.t option) ~(acc : Combine.Acc.t) ~(units : Tuple.t array)
     ~(rand_for : key:int -> int -> int) (g : group) : unit =
   Sgl_util.Fault_inject.hit "exec.group";
+  Sgl_util.Telemetry.Counter.add tel_rows_in (Array.length g.members);
   match find_plan c g.script with
   | None -> raise (Exec_error (Fmt.str "no plan for script %S" g.script))
   | Some plan ->
-    let rows = Array.map (fun i -> make_row c.width units.(i)) g.members in
-    let rands =
-      Array.map
-        (fun i ->
-          let key = Tuple.key schema units.(i) in
-          rand_for ~key)
-        g.members
+    let body () =
+      let rows = Array.map (fun i -> make_row c.width units.(i)) g.members in
+      let rands =
+        Array.map
+          (fun i ->
+            let key = Tuple.key schema units.(i) in
+            rand_for ~key)
+          g.members
+      in
+      run_plan ~schema ~evaluator ~find_key ~acc ~plan ~rows ~rands
     in
-    run_plan ~schema ~evaluator ~find_key ~acc ~plan ~rows ~rands
+    if Sgl_util.Telemetry.Span.enabled () then
+      Sgl_util.Telemetry.Span.with_ ~cat:"exec" ("group:" ^ g.script) body
+    else body ()
 
 (* Run a full decision+action pass: each group's script over its members.
    Returns the combined effects of the tick, ready for post-processing.

@@ -107,6 +107,13 @@ let await (s : slot) : failure option =
   Mutex.unlock s.lock;
   outcome
 
+(* Telemetry: total busy nanoseconds across lanes, and the per-fan-out
+   busy-time distribution (lane imbalance shows up as a wide histogram).
+   Counters are atomic, so every lane records without locks. *)
+let tel_busy_ns = Telemetry.counter "pool.lane_busy_ns"
+let tel_fanouts = Telemetry.counter "pool.fanouts"
+let tel_busy_hist = Telemetry.histogram "pool.lane_busy_s"
+
 let parallel_map (t : t) (f : 'a -> 'b) (items : 'a array) : 'b array =
   if not t.live then invalid_arg "Domain_pool: pool is shut down";
   t.suppressed <- 0;
@@ -115,14 +122,37 @@ let parallel_map (t : t) (f : 'a -> 'b) (items : 'a array) : 'b array =
   else begin
     let lanes = min t.lanes n in
     let results : 'b option array = Array.make n None in
+    Telemetry.Counter.incr tel_fanouts;
     (* lane [l] owns items l, l + lanes, l + 2*lanes, ... *)
     let work lane () =
-      Fault_inject.hit "pool.lane";
-      let i = ref lane in
-      while !i < n do
-        results.(!i) <- Some (f items.(!i));
-        i := !i + lanes
-      done
+      let body () =
+        let t0 = if Telemetry.enabled () then Timer.now_ns () else 0L in
+        Fault_inject.hit "pool.lane";
+        let finish () =
+          if Telemetry.enabled () then begin
+            let ns = Int64.sub (Timer.now_ns ()) t0 in
+            Telemetry.Counter.add tel_busy_ns (Int64.to_int ns);
+            Telemetry.Histogram.observe tel_busy_hist (Int64.to_float ns /. 1e9)
+          end
+        in
+        match
+          let i = ref lane in
+          while !i < n do
+            results.(!i) <- Some (f items.(!i));
+            i := !i + lanes
+          done
+        with
+        | () -> finish ()
+        | exception e ->
+          let bt = Printexc.get_raw_backtrace () in
+          finish ();
+          Printexc.raise_with_backtrace e bt
+      in
+      (* Name construction only when tracing, so the disabled path stays
+         allocation-free. *)
+      if Telemetry.Span.enabled () then
+        Telemetry.Span.with_ ~cat:"pool" (Printf.sprintf "lane:%d" lane) body
+      else body ()
     in
     for l = 1 to lanes - 1 do
       submit t.slots.(l - 1) (work l)

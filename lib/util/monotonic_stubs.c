@@ -1,0 +1,36 @@
+/* Monotonic clock for Timer: phase timings and telemetry span durations
+   must survive wall-clock adjustments (NTP slew, manual resets), so they
+   cannot be built on gettimeofday.  CLOCK_MONOTONIC where available,
+   wall-clock fallback otherwise. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <stdint.h>
+#include <time.h>
+#include <sys/time.h>
+
+static int64_t monotonic_ns(void)
+{
+#if defined(CLOCK_MONOTONIC)
+  struct timespec ts;
+  if (clock_gettime(CLOCK_MONOTONIC, &ts) == 0)
+    return (int64_t)ts.tv_sec * 1000000000 + (int64_t)ts.tv_nsec;
+#endif
+  {
+    struct timeval tv;
+    gettimeofday(&tv, NULL);
+    return (int64_t)tv.tv_sec * 1000000000 + (int64_t)tv.tv_usec * 1000;
+  }
+}
+
+int64_t sgl_monotonic_ns_unboxed(value unit)
+{
+  (void)unit;
+  return monotonic_ns();
+}
+
+CAMLprim value sgl_monotonic_ns(value unit)
+{
+  (void)unit;
+  return caml_copy_int64(monotonic_ns());
+}

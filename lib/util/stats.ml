@@ -34,6 +34,34 @@ let reset t =
   t.min <- infinity;
   t.max <- neg_infinity
 
+(* Chan et al.'s parallel Welford combination: merging per-lane
+   accumulators gives the same mean/M2 as folding every sample into one
+   (up to float rounding), independent of how samples were partitioned.
+   The qcheck merge-order-invariance law pins that. *)
+let merge ~(into : t) (src : t) : unit =
+  if src.n > 0 then begin
+    if into.n = 0 then begin
+      into.n <- src.n;
+      into.mean <- src.mean;
+      into.m2 <- src.m2;
+      into.min <- src.min;
+      into.max <- src.max
+    end
+    else begin
+      let n = into.n + src.n in
+      let delta = src.mean -. into.mean in
+      let fn = float_of_int n in
+      into.mean <- into.mean +. (delta *. float_of_int src.n /. fn);
+      into.m2 <-
+        into.m2 +. src.m2 +. (delta *. delta *. float_of_int into.n *. float_of_int src.n /. fn);
+      into.n <- n;
+      if src.min < into.min then into.min <- src.min;
+      if src.max > into.max then into.max <- src.max
+    end
+  end
+
+let copy t = { n = t.n; mean = t.mean; m2 = t.m2; min = t.min; max = t.max }
+
 (* One-shot helpers over arrays; population variance to match the battle
    scripts' "standard deviation of all troop positions" aggregate. *)
 let mean_of arr =

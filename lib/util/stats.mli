@@ -19,6 +19,15 @@ val min_value : t -> float
 val max_value : t -> float
 val reset : t -> unit
 
+(** [merge ~into src] folds [src]'s samples into [into] as if each had
+    been [add]ed individually (Chan et al.'s parallel Welford update, so
+    the result is independent of how samples were partitioned across
+    accumulators, up to float rounding).  [src] is unchanged.  Used to
+    aggregate per-lane telemetry histograms. *)
+val merge : into:t -> t -> unit
+
+val copy : t -> t
+
 val mean_of : float array -> float
 val population_variance_of : float array -> float
 val population_stddev_of : float array -> float

@@ -1,6 +1,16 @@
-(* Wall-clock phase timing for the simulation engine and bench harness. *)
+(* Monotonic phase timing for the simulation engine and bench harness.
 
-let now () = Unix.gettimeofday ()
+   All durations — engine phase splits, telemetry span durations, bench
+   measurements — come from CLOCK_MONOTONIC (via the C stub), so they are
+   immune to wall-clock adjustments.  The absolute value of [now] is
+   meaningless across processes; only differences are. *)
+
+external monotonic_ns : unit -> (int64[@unboxed])
+  = "sgl_monotonic_ns" "sgl_monotonic_ns_unboxed"
+[@@noalloc]
+
+let now_ns () : int64 = monotonic_ns ()
+let now () = Int64.to_float (monotonic_ns ()) /. 1e9
 
 type t = { mutable elapsed : float; mutable started : float option }
 

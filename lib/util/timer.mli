@@ -1,4 +1,4 @@
-(** Wall-clock timers that accumulate across start/stop cycles. *)
+(** Monotonic timers that accumulate across start/stop cycles. *)
 
 type t
 
@@ -21,5 +21,12 @@ val timed : (unit -> 'a) -> 'a * float
 (** [record t f] accumulates the run time of [f] into [t]. *)
 val record : t -> (unit -> 'a) -> 'a
 
-(** Current wall-clock time in seconds. *)
+(** Current monotonic time in seconds.  Only differences are meaningful:
+    the epoch is arbitrary (typically boot time), but the value never jumps
+    when the wall clock is adjusted. *)
 val now : unit -> float
+
+(** Monotonic nanoseconds; allocation-free.  The raw clock behind {!now},
+    for callers (the telemetry span tracer) that cannot afford float
+    conversion on the hot path. *)
+val now_ns : unit -> int64

@@ -133,6 +133,87 @@ let test_stats_population () =
   let arr = [| 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. |] in
   check_float "pop stddev" 2. (Stats.population_stddev_of arr)
 
+let test_stats_empty () =
+  let s = Stats.create () in
+  check_int "count" 0 (Stats.count s);
+  Alcotest.(check bool) "mean is nan" true (Float.is_nan (Stats.mean s));
+  Alcotest.(check bool) "min is nan" true (Float.is_nan (Stats.min_value s));
+  Alcotest.(check bool) "max is nan" true (Float.is_nan (Stats.max_value s));
+  check_float "variance" 0. (Stats.variance s);
+  check_float "total" 0. (Stats.total s)
+
+let test_stats_single_sample () =
+  let s = Stats.create () in
+  Stats.add s 3.5;
+  check_int "count" 1 (Stats.count s);
+  check_float "mean" 3.5 (Stats.mean s);
+  check_float "min" 3.5 (Stats.min_value s);
+  check_float "max" 3.5 (Stats.max_value s);
+  (* fewer than two samples: sample variance defined as 0 *)
+  check_float "variance" 0. (Stats.variance s);
+  check_float "stddev" 0. (Stats.stddev s)
+
+(* Welford against the naive two-pass reference on a fixed data set. *)
+let test_stats_vs_two_pass () =
+  let data = [| 1.25; -3.5; 0.; 7.75; 2.5; -0.125; 4.; 4.; -8.25; 3. |] in
+  let n = Array.length data in
+  let s = Stats.create () in
+  Array.iter (Stats.add s) data;
+  let mean = Array.fold_left ( +. ) 0. data /. float_of_int n in
+  let sq = Array.fold_left (fun acc x -> acc +. ((x -. mean) *. (x -. mean))) 0. data in
+  let sample_variance = sq /. float_of_int (n - 1) in
+  Alcotest.(check (float 1e-12)) "mean" mean (Stats.mean s);
+  Alcotest.(check (float 1e-12)) "variance" sample_variance (Stats.variance s)
+
+let test_stats_merge_basic () =
+  (* merging two accumulators == folding all samples into one *)
+  let xs = [ 2.; 4.; 4. ] and ys = [ 4.; 5.; 5.; 7.; 9. ] in
+  let a = Stats.create () and b = Stats.create () and all = Stats.create () in
+  List.iter (Stats.add a) xs;
+  List.iter (Stats.add b) ys;
+  List.iter (Stats.add all) (xs @ ys);
+  Stats.merge ~into:a b;
+  check_int "count" (Stats.count all) (Stats.count a);
+  check_float "mean" (Stats.mean all) (Stats.mean a);
+  check_float "variance" (Stats.variance all) (Stats.variance a);
+  check_float "min" (Stats.min_value all) (Stats.min_value a);
+  check_float "max" (Stats.max_value all) (Stats.max_value a);
+  (* merging into an empty accumulator copies; merging an empty one is a
+     no-op; src is never mutated *)
+  let empty = Stats.create () in
+  Stats.merge ~into:empty b;
+  check_int "into empty: count" (List.length ys) (Stats.count empty);
+  check_float "into empty: mean" (Stats.mean b) (Stats.mean empty);
+  let before = Stats.count b in
+  Stats.merge ~into:b (Stats.create ());
+  check_int "empty src: no-op" before (Stats.count b)
+
+(* Merge-order invariance: any partition of the samples across any number
+   of accumulators, merged in any order, agrees with the single-pass fold
+   (up to float rounding) — the law the cross-lane histogram aggregation
+   rests on. *)
+let stats_merge_order_invariance =
+  QCheck.Test.make ~name:"Stats.merge is partition- and order-invariant" ~count:200
+    QCheck.(
+      pair
+        (list_of_size Gen.(1 -- 40) (float_bound_inclusive 100.))
+        (pair small_nat bool))
+    (fun (samples, (cut_seed, reverse)) ->
+      let reference = Stats.create () in
+      List.iter (Stats.add reference) samples;
+      (* split into up to 4 parts at a pseudo-random boundary *)
+      let parts = Array.init 4 (fun _ -> Stats.create ()) in
+      List.iteri (fun i x -> Stats.add parts.((i + cut_seed) mod 4) x) samples;
+      let order = if reverse then [ 3; 2; 1; 0 ] else [ 0; 1; 2; 3 ] in
+      let acc = Stats.create () in
+      List.iter (fun i -> Stats.merge ~into:acc (Stats.copy parts.(i))) order;
+      let close a b = Float.abs (a -. b) <= 1e-9 *. (1. +. Float.abs a) in
+      Stats.count acc = Stats.count reference
+      && close (Stats.mean acc) (Stats.mean reference)
+      && close (Stats.variance acc) (Stats.variance reference)
+      && close (Stats.min_value acc) (Stats.min_value reference)
+      && close (Stats.max_value acc) (Stats.max_value reference))
+
 (* ------------------------------------------------------------------ *)
 (* Search *)
 
@@ -163,6 +244,19 @@ let timer_accumulates () =
   Alcotest.check_raises "double stop" (Invalid_argument "Timer.stop: not running") (fun () ->
       Timer.stop t)
 
+(* The clock behind the timers is monotonic: successive readings never go
+   backwards (Unix.gettimeofday, the previous source, can). *)
+let timer_monotonic () =
+  let prev = ref (Timer.now_ns ()) in
+  for _ = 1 to 10_000 do
+    let t = Timer.now_ns () in
+    if Int64.compare t !prev < 0 then Alcotest.fail "now_ns went backwards";
+    prev := t
+  done;
+  let a = Timer.now () in
+  let b = Timer.now () in
+  Alcotest.(check bool) "now () nondecreasing" true (b >= a)
+
 let suite =
   let tc = Alcotest.test_case in
   [
@@ -190,12 +284,20 @@ let suite =
         tc "fold/iter/exists" `Quick test_varray_fold_iter;
       ] );
     ( "util.stats",
-      [ tc "welford" `Quick test_stats_welford; tc "population stddev" `Quick test_stats_population ]
-    );
+      [
+        tc "welford" `Quick test_stats_welford;
+        tc "population stddev" `Quick test_stats_population;
+        tc "empty accumulator" `Quick test_stats_empty;
+        tc "single sample" `Quick test_stats_single_sample;
+        tc "welford vs two-pass reference" `Quick test_stats_vs_two_pass;
+        tc "merge" `Quick test_stats_merge_basic;
+        QCheck_alcotest.to_alcotest stats_merge_order_invariance;
+      ] );
     ( "util.search",
       [
         tc "bounds on duplicates" `Quick test_search_bounds;
         QCheck_alcotest.to_alcotest search_matches_scan;
       ] );
-    ("util.timer", [ tc "accumulates" `Quick timer_accumulates ]);
+    ( "util.timer",
+      [ tc "accumulates" `Quick timer_accumulates; tc "monotonic" `Quick timer_monotonic ] );
   ]
