@@ -6,26 +6,72 @@
    optimized per-script plans.
 
      dune exec bin/sgl_check.exe -- examples/scripts/patrol.sgl --explain
-*)
+
+   With --lint it runs the static analyzer instead: effect-race rules
+   (R00x), plan translation validation (V00x) and performance lints
+   (P00x), reported one grep-friendly line per finding or as a JSON array
+   (--lint-json).  --werror promotes warnings to the failing exit code
+   (infos never gate).  --battle lints the built-in battle scripts instead
+   of a file. *)
 
 open Cmdliner
 open Sgl
 
 let read_file path =
   let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  s
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
 
-type dump = Summary | Tokens | Ast | Normal | Core | Explain
+type dump = Summary | Tokens | Ast | Normal | Core | Explain | Lint
 
-let run (path : string) (dump : dump) : int =
-  let source = read_file path in
+(* The engine phases downstream of script evaluation: the battle
+   post-processing query plus the movement integrator's vector reads.
+   Effects consumed only there are still live (not R004). *)
+let post_reads schema =
+  List.sort_uniq compare
+    (Schema.find schema "movevect_x" :: Schema.find schema "movevect_y"
+    :: Postprocess.reads (Postprocess.battle_spec ~schema))
+
+let run_lint ~(path : string) ~(source : string) ~(json : bool) ~(werror : bool)
+    ~(no_post_reads : bool) : int =
   let schema = Battle.Unit_types.schema () in
   let consts = Battle.Scripts.constants in
+  let post_reads = if no_post_reads then [] else post_reads schema in
+  match Analysis.Driver.analyze_source ~consts ~post_reads ~schema source with
+  | Error msg ->
+    Fmt.epr "%s: %s@." path msg;
+    1
+  | Ok diags ->
+    if json then print_string (Analysis.Diagnostic.to_json ~file:path diags)
+    else begin
+      List.iter (fun d -> Fmt.pr "%s@." (Analysis.Diagnostic.to_string ~file:path d)) diags;
+      let c = Analysis.Diagnostic.count diags in
+      Fmt.pr "%s: %d error(s), %d warning(s), %d info(s)@." path c.Analysis.Diagnostic.errors
+        c.Analysis.Diagnostic.warnings c.Analysis.Diagnostic.infos
+    end;
+    let c = Analysis.Diagnostic.count diags in
+    if c.Analysis.Diagnostic.errors > 0 then 1
+    else if werror && c.Analysis.Diagnostic.warnings > 0 then 1
+    else 0
+
+let run (path : string option) (battle : bool) (dump : dump) (json : bool) (werror : bool)
+    (no_post_reads : bool) : int =
+  let path, source =
+    if battle then ("<battle built-ins>", Battle.Scripts.source)
+    else
+      match path with
+      | Some p -> (p, read_file p)
+      | None ->
+        Fmt.epr "sgl_check: a FILE argument (or --battle) is required@.";
+        exit 2
+  in
+  let schema = Battle.Unit_types.schema () in
+  let consts = Battle.Scripts.constants in
+  let dump = if json then Lint else dump in
   try
     match dump with
+    | Lint -> run_lint ~path ~source ~json ~werror ~no_post_reads
     | Tokens ->
       List.iter
         (fun (lx : Lexer.lexed) ->
@@ -81,7 +127,10 @@ let run (path : string) (dump : dump) : int =
     1
 
 let path_arg =
-  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"SGL source file")
+  Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"SGL source file")
+
+let battle_arg =
+  Arg.(value & flag & info [ "battle" ] ~doc:"Operate on the built-in battle scripts instead of a file.")
 
 let dump_arg =
   let flags =
@@ -91,12 +140,29 @@ let dump_arg =
       (Normal, Arg.info [ "dump-normal" ] ~doc:"Pretty-print the normal form (aggregates hoisted into lets).");
       (Core, Arg.info [ "dump-core" ] ~doc:"Print the resolved core IR and aggregate instances.");
       (Explain, Arg.info [ "explain" ] ~doc:"Print optimized plans and index strategies.");
+      (Lint, Arg.info [ "lint" ] ~doc:"Run the static analyzer (races, plan validation, performance lints).");
     ]
   in
   Arg.(value & vflag Summary flags)
 
+let json_arg =
+  Arg.(value & flag & info [ "lint-json" ] ~doc:"With --lint, emit diagnostics as a JSON array.")
+
+let werror_arg =
+  Arg.(value & flag & info [ "werror" ] ~doc:"With --lint, exit non-zero on warnings too (infos never gate).")
+
+let no_post_reads_arg =
+  Arg.(
+    value & flag
+    & info [ "no-post-reads" ]
+        ~doc:
+          "With --lint, assume no engine post-processing consumes effects: R004 (dead \
+           effect) fires for any effect attribute no script reads.")
+
 let cmd =
-  let doc = "check and explain SGL scripts (Scalable Games Language)" in
-  Cmd.v (Cmd.info "sgl_check" ~version:Sgl.version ~doc) Term.(const run $ path_arg $ dump_arg)
+  let doc = "check, explain and lint SGL scripts (Scalable Games Language)" in
+  Cmd.v
+    (Cmd.info "sgl_check" ~version:Sgl.version ~doc)
+    Term.(const run $ path_arg $ battle_arg $ dump_arg $ json_arg $ werror_arg $ no_post_reads_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,111 @@
+(* Structured diagnostics: what every analysis pass emits.
+
+   A diagnostic names the rule that fired, carries the resolved severity,
+   the source position (when the pass could recover one through the AST)
+   and the enclosing declaration, and renders both human-readable — one
+   line per finding, grep-friendly — and as JSON for tooling.  The JSON
+   emitter is hand-rolled like the bench harness's; CI parses the output,
+   so CI is the parser of record. *)
+
+open Sgl_lang
+
+type severity = Error | Warn | Info
+
+let severity_name = function
+  | Error -> "error"
+  | Warn -> "warning"
+  | Info -> "info"
+
+type t = {
+  rule : string; (* rule id, e.g. "R001" *)
+  severity : severity;
+  pos : Ast.pos; (* [Ast.no_pos] when no source location is known *)
+  context : string option; (* enclosing declaration (script, aggregate, action) *)
+  message : string;
+}
+
+let make ~rule ~severity ?(pos = Ast.no_pos) ?context message =
+  { rule; severity; pos; context; message }
+
+(* Stable report order: position, then severity (errors first), then rule. *)
+let severity_rank = function
+  | Error -> 0
+  | Warn -> 1
+  | Info -> 2
+
+let compare_diag (a : t) (b : t) : int =
+  let c = compare (a.pos.Ast.line, a.pos.Ast.col) (b.pos.Ast.line, b.pos.Ast.col) in
+  if c <> 0 then c
+  else begin
+    let c = compare (severity_rank a.severity) (severity_rank b.severity) in
+    if c <> 0 then c else compare (a.rule, a.message) (b.rule, b.message)
+  end
+
+let sort (ds : t list) : t list = List.sort compare_diag ds
+
+type counts = { errors : int; warnings : int; infos : int }
+
+let count (ds : t list) : counts =
+  List.fold_left
+    (fun c d ->
+      match d.severity with
+      | Error -> { c with errors = c.errors + 1 }
+      | Warn -> { c with warnings = c.warnings + 1 }
+      | Info -> { c with infos = c.infos + 1 })
+    { errors = 0; warnings = 0; infos = 0 } ds
+
+(* ------------------------------------------------------------------ *)
+(* Human-readable rendering *)
+
+let pp ?(file = "") ppf (d : t) =
+  let pp_loc ppf () =
+    if file <> "" then Fmt.pf ppf "%s:" file;
+    if d.pos <> Ast.no_pos then Fmt.pf ppf "%d:%d:" d.pos.Ast.line d.pos.Ast.col
+  in
+  let pp_ctx ppf () =
+    match d.context with
+    | Some c -> Fmt.pf ppf " [%s]" c
+    | None -> ()
+  in
+  Fmt.pf ppf "%a %s %s%a: %s" pp_loc () (severity_name d.severity) d.rule pp_ctx () d.message
+
+let to_string ?file (d : t) = Fmt.str "%a" (pp ?file) d
+
+(* ------------------------------------------------------------------ *)
+(* JSON rendering *)
+
+let json_escape (s : string) : string =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json_object ?(file = "") (d : t) : string =
+  let fields =
+    [
+      (if file = "" then None else Some (Fmt.str {|"file": "%s"|} (json_escape file)));
+      Some (Fmt.str {|"rule": "%s"|} (json_escape d.rule));
+      Some (Fmt.str {|"severity": "%s"|} (severity_name d.severity));
+      Some (Fmt.str {|"line": %d|} d.pos.Ast.line);
+      Some (Fmt.str {|"col": %d|} d.pos.Ast.col);
+      Option.map (fun c -> Fmt.str {|"context": "%s"|} (json_escape c)) d.context;
+      Some (Fmt.str {|"message": "%s"|} (json_escape d.message));
+    ]
+  in
+  "{" ^ String.concat ", " (List.filter_map Fun.id fields) ^ "}"
+
+(* The whole report: a JSON array, one object per diagnostic. *)
+let to_json ?file (ds : t list) : string =
+  match ds with
+  | [] -> "[]\n"
+  | ds ->
+    "[\n  " ^ String.concat ",\n  " (List.map (to_json_object ?file) ds) ^ "\n]\n"

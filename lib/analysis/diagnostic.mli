@@ -1,0 +1,34 @@
+(** Structured diagnostics emitted by the analysis passes, rendered
+    human-readable (one grep-friendly line per finding) and as JSON. *)
+
+open Sgl_lang
+
+type severity = Error | Warn | Info
+
+val severity_name : severity -> string
+
+type t = {
+  rule : string; (* rule id, e.g. "R001" *)
+  severity : severity;
+  pos : Ast.pos; (* [Ast.no_pos] when no source location is known *)
+  context : string option; (* enclosing declaration *)
+  message : string;
+}
+
+val make :
+  rule:string -> severity:severity -> ?pos:Ast.pos -> ?context:string -> string -> t
+
+(** Stable report order: position, then severity (errors first), then rule. *)
+val sort : t list -> t list
+
+type counts = { errors : int; warnings : int; infos : int }
+
+val count : t list -> counts
+
+val pp : ?file:string -> Format.formatter -> t -> unit
+val to_string : ?file:string -> t -> string
+
+(** One JSON object per diagnostic, assembled into an array by {!to_json}. *)
+val to_json_object : ?file:string -> t -> string
+
+val to_json : ?file:string -> t list -> string

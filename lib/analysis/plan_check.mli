@@ -1,0 +1,37 @@
+(** Plan translation validation (rules V001, V002): every optimizer output
+    must be executable (registers bound before use, effects on tagged
+    in-range attributes) and ⊕-equivalent in guarded-effect structure to
+    the unrewritten translation. *)
+
+open Sgl_relalg
+open Sgl_lang
+open Sgl_qopt
+
+(** V001: executable shape of one plan. *)
+val validate_shape :
+  schema:Schema.t ->
+  aggs:Aggregate.t array ->
+  script:string ->
+  ?pos:Ast.pos ->
+  Plan.t ->
+  Diagnostic.t list
+
+(** Normalized multiset of guarded effects: each reachable [Act] with its
+    set-normalized non-constant guards (constant guards are discharged the
+    way pruning does).  Exposed for tests. *)
+val guarded_effects :
+  Plan.t -> ((bool * Sgl_relalg.Expr.t) list * Core_ir.effect_clause list) list
+
+(** V002: guarded-effect ⊕-equivalence of a rewrite. *)
+val validate_rewrite :
+  script:string ->
+  ?pos:Ast.pos ->
+  original:Plan.t ->
+  optimized:Plan.t ->
+  unit ->
+  Diagnostic.t list
+
+(** Translate every script, rewrite it (unless [optimize] is [false]), and
+    run both checks on the result. *)
+val validate_program :
+  ?optimize:bool -> ?pos_of:(string -> Ast.pos) -> Core_ir.program -> Diagnostic.t list

@@ -1,0 +1,24 @@
+(** The lint rule catalogue: ids, default severities, rationale.  The
+    documentation table in INTERNALS.md is generated from this list's
+    contents (kept in sync by the test suite). *)
+
+type t = {
+  id : string;
+  severity : Diagnostic.severity;
+  title : string;
+  rationale : string;
+}
+
+val all : t list
+val find : string -> t option
+
+(** Default severity; unknown rule ids report as [Error]. *)
+val severity : string -> Diagnostic.severity
+
+(** Build a diagnostic carrying rule [rule]'s default severity. *)
+val diag :
+  ?pos:Sgl_lang.Ast.pos ->
+  ?context:string ->
+  rule:string ->
+  ('a, Format.formatter, unit, Diagnostic.t) format4 ->
+  'a

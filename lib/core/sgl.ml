@@ -64,6 +64,16 @@ module Agg_plan = Sgl_qopt.Agg_plan
 module Eval = Sgl_qopt.Eval
 module Exec = Sgl_qopt.Exec
 
+(* Static analysis *)
+module Analysis = struct
+  module Diagnostic = Sgl_analysis.Diagnostic
+  module Rules = Sgl_analysis.Rules
+  module Effect_race = Sgl_analysis.Effect_race
+  module Plan_check = Sgl_analysis.Plan_check
+  module Perf_lint = Sgl_analysis.Perf_lint
+  module Driver = Sgl_analysis.Driver
+end
+
 (* The discrete simulation engine *)
 module Postprocess = Sgl_engine.Postprocess
 module Movement = Sgl_engine.Movement

@@ -27,6 +27,13 @@ let make ~(schema : Schema.t) ~(updates : (int * Expr.t) list) ~(remove_when : E
     updates;
   { updates; remove_when }
 
+(* Effect attributes the step consumes: the [e]-slots of its update
+   expressions and death rule.  The static analyzer treats any other
+   effect attribute a script writes as a dead contribution. *)
+let reads (t : t) : int list =
+  List.sort_uniq compare
+    (List.concat_map (fun (_, e) -> Expr.e_slots e) t.updates @ Expr.e_slots t.remove_when)
+
 (* The unit's combined-effect row: initialized zeros folded with whatever
    the accumulator collected (max-tagged attrs see max(0, contribution),
    matching the paper's initialize-to-zero semantics). *)

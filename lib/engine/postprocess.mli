@@ -14,6 +14,11 @@ exception Postprocess_error of string
     attribute. *)
 val make : schema:Schema.t -> updates:(int * Expr.t) list -> remove_when:Expr.t -> t
 
+(** Effect attributes the step consumes: the [e]-slots of its update
+    expressions and death rule (sorted, deduplicated).  Used by the static
+    analyzer's dead-effect lint. *)
+val reads : t -> int list
+
 (** The unit's combined-effect row: initialized zeros folded with the
     accumulator's contributions. *)
 val effects_row : Schema.t -> Combine.Acc.t -> int -> Tuple.t

@@ -275,3 +275,37 @@ let strategy_name = function
   | Indexed { enumerate = true; _ } -> "indexed-enumerate"
   | Indexed _ -> "indexed"
   | Naive_only _ -> "naive"
+
+(* One-line access-path description for diagnostics and EXPLAIN: which
+   conjuncts became hash levels, range-tree dimensions, data filters and
+   per-probe residuals, and how each component executes. *)
+let describe (schema : Schema.t) (s : strategy) : string =
+  let attr_name a = Schema.name_at schema a in
+  match s with
+  | Uniform -> "uniform: independent of the probing unit, evaluated once per batch"
+  | Naive_only reason -> Fmt.str "naive O(n) scan per probe: %s" reason
+  | Indexed { access; components; sweep; enumerate; _ } ->
+    let cats =
+      List.map (fun (a, _) -> attr_name a ^ "=") access.cat_eqs
+      @ List.map (fun (a, _) -> attr_name a ^ "<>") access.cat_nes
+    in
+    let boxes = List.map (fun (b : box_dim) -> attr_name b.attr) access.boxes in
+    let comp = function
+      | C_divisible { kind; _ } -> Aggregate.kind_name kind ^ ":prefix-tree"
+      | C_extremal { kind } ->
+        Aggregate.kind_name kind ^ (if sweep <> None then ":sweep" else ":box-walk")
+      | C_nearest { kind } -> Aggregate.kind_name kind ^ ":kd"
+    in
+    let parts =
+      [
+        (if cats = [] then None else Some (Fmt.str "hash[%s]" (String.concat " " cats)));
+        (if boxes = [] then None else Some (Fmt.str "box[%s]" (String.concat " " boxes)));
+        (if access.data_filter = [] then None
+         else Some (Fmt.str "data-filter(%d)" (List.length access.data_filter)));
+        (if access.probe_residual = [] then None
+         else Some (Fmt.str "probe-residual(%d)" (List.length access.probe_residual)));
+        (if enumerate then Some "enumerating" else None);
+        Some (String.concat "," (List.map comp components));
+      ]
+    in
+    String.concat " " (List.filter_map Fun.id parts)

@@ -57,3 +57,7 @@ val sweep_of_boxes : box_dim list -> sweep_info option
 
 val analyze : Schema.t -> Aggregate.t -> strategy
 val strategy_name : strategy -> string
+
+(** One-line access-path description (hash levels, range-tree dimensions,
+    filters, residuals, per-component execution) for diagnostics. *)
+val describe : Schema.t -> strategy -> string

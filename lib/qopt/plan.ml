@@ -103,6 +103,29 @@ let rec uses ~aggs slot = function
   | Both plans -> List.exists (uses ~aggs slot) plans
   | Act clauses -> List.exists (clause_uses slot) clauses
 
+(* ------------------------------------------------------------------ *)
+(* Guard-path introspection (for translation validation and EXPLAIN).
+
+   Every [Act] is reported with the stack of selection conditions guarding
+   it, each tagged with the branch polarity taken.  Binds do not affect
+   reachability, so they are transparent here. *)
+
+type guard = bool * Expr.t (* polarity (true = then-branch), condition *)
+
+let guarded_acts (p : t) : (guard list * Core_ir.effect_clause list) list =
+  let out = ref [] in
+  let rec go guards = function
+    | Nop -> ()
+    | Bind (_, _, k) -> go guards k
+    | Select (c, a, b) ->
+      go ((true, c) :: guards) a;
+      go ((false, c) :: guards) b
+    | Both plans -> List.iter (go guards) plans
+    | Act clauses -> out := (List.rev guards, clauses) :: !out
+  in
+  go [] p;
+  List.rev !out
+
 (* Statistics for reporting. *)
 type stats = {
   binds : int;

@@ -34,6 +34,12 @@ val binder_uses : aggs:Aggregate.t array -> int -> binder -> bool
 (** Does the plan read register [slot] anywhere? *)
 val uses : aggs:Aggregate.t array -> int -> t -> bool
 
+type guard = bool * Expr.t (* branch polarity (true = then-branch), condition *)
+
+(** Every [Act] with the selection conditions guarding it, root first.
+    Binds are transparent: they never affect reachability. *)
+val guarded_acts : t -> (guard list * Core_ir.effect_clause list) list
+
 type stats = {
   binds : int;
   agg_binds : int;

@@ -102,3 +102,39 @@ let find_decl (p : program) name = List.find_opt (fun d -> decl_name d = name) p
 
 let scripts (p : program) =
   List.filter_map (function D_script s -> Some s.name | D_const _ | D_aggregate _ | D_action _ -> None) p
+
+(* Best-effort source position of a term: the nearest positioned node,
+   preferring the leftmost subterm (literals carry no position). *)
+let rec pos_of_term = function
+  | T_var (_, p) | T_dot (_, _, p) | T_call (_, _, p) -> p
+  | T_int _ | T_float _ | T_bool _ -> no_pos
+  | T_binop (_, a, b) | T_cmp (_, a, b) | T_and (a, b) | T_or (a, b) | T_vec (a, b) -> begin
+    match pos_of_term a with
+    | p when p = no_pos -> pos_of_term b
+    | p -> p
+  end
+  | T_not a | T_neg a -> pos_of_term a
+
+(* First positioned node of an action, for action-level diagnostics. *)
+let rec pos_of_action = function
+  | A_skip -> no_pos
+  | A_let (_, t, k) -> begin
+    match pos_of_term t with
+    | p when p = no_pos -> pos_of_action k
+    | p -> p
+  end
+  | A_if (c, a, b) -> begin
+    match pos_of_term c with
+    | p when p = no_pos -> begin
+      match pos_of_action a with
+      | p when p = no_pos -> pos_of_action b
+      | p -> p
+    end
+    | p -> p
+  end
+  | A_seq (a, b) -> begin
+    match pos_of_action a with
+    | p when p = no_pos -> pos_of_action b
+    | p -> p
+  end
+  | A_perform (_, _, p) -> p

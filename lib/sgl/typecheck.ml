@@ -12,10 +12,19 @@ type ty = Ty_int | Ty_float | Ty_bool | Ty_vec | Ty_any
 
 exception Type_error of string
 
-let fail (p : Ast.pos) fmt =
-  Fmt.kstr
-    (fun s -> raise (Type_error (Fmt.str "line %d, column %d: %s" p.Ast.line p.Ast.col s)))
-    fmt
+(* One violation, with the source position it was detected at ([Ast.no_pos]
+   for program-level violations such as duplicate declarations). *)
+type diagnostic = { pos : Ast.pos; message : string }
+
+let diagnostic_to_string (d : diagnostic) : string =
+  if d.pos = Ast.no_pos then d.message
+  else Fmt.str "line %d, column %d: %s" d.pos.Ast.line d.pos.Ast.col d.message
+
+(* Internal: checks abort the declaration they are in with a positioned
+   failure; [check_all] catches these and keeps going with the next one. *)
+exception Fail of diagnostic
+
+let fail (p : Ast.pos) fmt = Fmt.kstr (fun s -> raise (Fail { pos = p; message = s })) fmt
 
 let ty_name = function
   | Ty_int -> "int"
@@ -411,29 +420,35 @@ let check_no_recursion (prog : Ast.program) =
   let graph =
     List.filter_map
       (function
-        | Ast.D_script { name; body; _ } -> Some (name, callees body)
+        | Ast.D_script { name; body; pos; _ } -> Some (name, (pos, callees body))
         | Ast.D_const _ | Ast.D_aggregate _ | Ast.D_action _ -> None)
       prog
   in
-  let rec dfs visiting name =
-    if List.mem name visiting then
-      raise (Type_error (Fmt.str "recursive perform cycle involving %S" name));
+  let rec dfs pos visiting name =
+    if List.mem name visiting then fail pos "recursive perform cycle involving %S" name;
     match List.assoc_opt name graph with
     | None -> () (* action declaration or unknown: flagged elsewhere *)
-    | Some next -> List.iter (dfs (name :: visiting)) next
+    | Some (_, next) -> List.iter (dfs pos (name :: visiting)) next
   in
-  List.iter (fun (name, _) -> dfs [] name) graph
+  List.iter (fun (name, (pos, _)) -> dfs pos [] name) graph
 
-let check ?(consts : (string * Value.t) list = []) ~(schema : Schema.t) (prog : Ast.program) :
-    unit =
+(* Collect every diagnostic instead of aborting at the first.  Granularity
+   is one diagnostic per failing unit of work (declaration, duplicate name,
+   recursion root): a declaration whose check raises contributes its first
+   violation and checking continues with the next declaration. *)
+let check_all ?(consts : (string * Value.t) list = []) ~(schema : Schema.t)
+    (prog : Ast.program) : diagnostic list =
+  let out = ref [] in
+  let guard f = try f () with Fail d -> out := d :: !out in
   (* Duplicate declaration names *)
-  let names = List.map Ast.decl_name prog in
   let rec dup = function
-    | a :: b :: _ when a = b -> raise (Type_error (Fmt.str "duplicate declaration %S" a))
+    | (a, _) :: (b, pos) :: rest when a = b ->
+      guard (fun () -> fail pos "duplicate declaration %S" a);
+      dup (List.filter (fun (n, _) -> n <> a) rest)
     | _ :: rest -> dup rest
     | [] -> ()
   in
-  dup (List.sort compare names);
+  dup (List.sort compare (List.map (fun d -> (Ast.decl_name d, Ast.decl_pos d)) prog));
   let const_table = Hashtbl.create 16 in
   let value_ty v = of_value_ty (Value.ty_of v) in
   List.iter (fun (n, v) -> Hashtbl.replace const_table n (value_ty v)) consts;
@@ -444,13 +459,25 @@ let check ?(consts : (string * Value.t) list = []) ~(schema : Schema.t) (prog : 
     prog;
   let env = { prog; schema; consts = const_table; vars = []; e_allowed = false } in
   List.iter
-    (function
-      | Ast.D_const _ -> ()
-      | Ast.D_aggregate { name; params; components; where_; default; pos } ->
-        check_aggregate env ~name ~params ~components ~where_ ~default pos
-      | Ast.D_action { name; params; clauses; pos } -> check_action_decl env ~name ~params ~clauses pos
-      | Ast.D_script { name = _; params; body; pos } ->
-        check_params pos params;
-        check_action (decl_env env pos params) body)
+    (fun decl ->
+      guard (fun () ->
+          match decl with
+          | Ast.D_const _ -> ()
+          | Ast.D_aggregate { name; params; components; where_; default; pos } ->
+            check_aggregate env ~name ~params ~components ~where_ ~default pos
+          | Ast.D_action { name; params; clauses; pos } ->
+            check_action_decl env ~name ~params ~clauses pos
+          | Ast.D_script { name = _; params; body; pos } ->
+            check_params pos params;
+            check_action (decl_env env pos params) body))
     prog;
-  check_no_recursion prog
+  guard (fun () -> check_no_recursion prog);
+  List.rev !out
+
+(* The historical raising interface: the first diagnostic, formatted with
+   its position, as a {!Type_error}. *)
+let check ?(consts : (string * Value.t) list = []) ~(schema : Schema.t) (prog : Ast.program) :
+    unit =
+  match check_all ~consts ~schema prog with
+  | [] -> ()
+  | d :: _ -> raise (Type_error (diagnostic_to_string d))

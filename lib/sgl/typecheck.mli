@@ -11,8 +11,20 @@ type ty = Ty_int | Ty_float | Ty_bool | Ty_vec | Ty_any
 
 exception Type_error of string
 
+(** One violation and where it was detected ([Ast.no_pos] for program-level
+    violations such as duplicate declarations). *)
+type diagnostic = { pos : Ast.pos; message : string }
+
+(** ["line L, column C: message"], or the bare message at {!Ast.no_pos}. *)
+val diagnostic_to_string : diagnostic -> string
+
 val ty_name : ty -> string
 
-(** [check ?consts ~schema prog] raises {!Type_error} on the first
-    violation. *)
+(** Collect every diagnostic (one per failing declaration or program-level
+    check) instead of aborting at the first.  [[]] means well-typed. *)
+val check_all :
+  ?consts:(string * Value.t) list -> schema:Schema.t -> Ast.program -> diagnostic list
+
+(** [check ?consts ~schema prog] raises {!Type_error} with the first
+    diagnostic of {!check_all}, formatted by {!diagnostic_to_string}. *)
 val check : ?consts:(string * Value.t) list -> schema:Schema.t -> Ast.program -> unit

@@ -68,6 +68,38 @@ let test_sgl_check_dump_ast_reparses () =
   (* the dumped AST must itself be valid SGL *)
   ignore (Sgl_lang.Parser.parse_string out)
 
+let test_sgl_check_lint_clean () =
+  let code, out =
+    run_command
+      (Printf.sprintf "%s ../examples/scripts/plague.sgl --lint --werror" (bin "sgl_check"))
+  in
+  Alcotest.(check int) "exit 0" 0 code;
+  Alcotest.(check bool) "summary line" true (contains ~needle:"0 error(s)" out)
+
+let test_sgl_check_lint_flags_fixture () =
+  let code, out =
+    run_command
+      (Printf.sprintf "%s ../examples/lint_fixtures/r003_pending_read.sgl --lint --werror"
+         (bin "sgl_check"))
+  in
+  Alcotest.(check int) "warnings gate under --werror" 1 code;
+  Alcotest.(check bool) "names the rule" true (contains ~needle:"R003" out);
+  (* without --werror the warning is reported but does not gate *)
+  let code, _ =
+    run_command
+      (Printf.sprintf "%s ../examples/lint_fixtures/r003_pending_read.sgl --lint" (bin "sgl_check"))
+  in
+  Alcotest.(check int) "warning alone exits 0" 0 code
+
+let test_sgl_check_lint_json () =
+  let code, out =
+    run_command
+      (Printf.sprintf "%s ../examples/lint_fixtures/p004_dead_let.sgl --lint-json" (bin "sgl_check"))
+  in
+  Alcotest.(check int) "exit 0" 0 code;
+  Alcotest.(check bool) "JSON carries the rule" true (contains ~needle:"\"rule\": \"P004\"" out);
+  Alcotest.(check bool) "JSON carries the position" true (contains ~needle:"\"line\":" out)
+
 let test_battle_sim_runs () =
   let code, out =
     run_command (Printf.sprintf "%s --units 60 --ticks 5 --evaluator indexed" (bin "battle_sim"))
@@ -113,6 +145,9 @@ let suite =
         tc "rejects and names errors" `Quick test_sgl_check_rejects;
         tc "--explain shows plans" `Quick test_sgl_check_explain;
         tc "--dump-ast emits valid SGL" `Quick test_sgl_check_dump_ast_reparses;
+        tc "--lint passes clean scripts" `Quick test_sgl_check_lint_clean;
+        tc "--lint flags a fixture, --werror gates" `Quick test_sgl_check_lint_flags_fixture;
+        tc "--lint-json emits rule and position" `Quick test_sgl_check_lint_json;
       ] );
     ( "cli.battle_sim",
       [
