@@ -16,9 +16,10 @@ let run units ticks evaluator domains density seed optimize resurrect index_cach
     | _, n when n > 0 -> Simulation.Parallel { domains = n }
     | "naive", _ -> Simulation.Naive
     | "indexed", _ -> Simulation.Indexed
+    | "fused", _ -> Simulation.Fused
     | "parallel", _ -> Simulation.Parallel { domains = Domain.recommended_domain_count () }
     | other, _ ->
-      Fmt.failwith "unknown evaluator %S (expected naive, indexed or parallel)" other
+      Fmt.failwith "unknown evaluator %S (expected naive, indexed, fused or parallel)" other
   in
   let fault_policy =
     match fault_policy with
@@ -160,8 +161,9 @@ let evaluator_arg =
     value
     & opt string "indexed"
     & info [ "evaluator"; "e" ]
-        ~doc:"Aggregate evaluator: naive, indexed, or parallel (indexed with the decision phase \
-              fanned out over OCaml domains).")
+        ~doc:"Aggregate evaluator: naive, indexed, fused (plans compiled into closure kernels \
+              over the indexed evaluator), or parallel (indexed with the decision phase fanned \
+              out over OCaml domains).")
 
 let domains_arg =
   Arg.(
@@ -202,7 +204,7 @@ let fault_policy_arg =
     & info [ "fault-policy" ]
         ~doc:"What a tick does when a phase raises: fail (rollback and abort), quarantine \
               (exclude the failing script group and keep going), or degrade (demote the \
-              evaluator parallel -> indexed -> naive and retry the tick).")
+              evaluator fused/parallel -> indexed -> naive and retry the tick).")
 
 let inject_arg =
   Arg.(

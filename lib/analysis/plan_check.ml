@@ -1,4 +1,4 @@
-(* Plan translation validation (rules V001, V002).
+(* Plan translation validation (rules V001, V002, V003).
 
    The optimizer's rewrites (lazy aggregate placement, dead-column
    elimination, constant pruning — Section 5.2) are validated per script
@@ -126,6 +126,39 @@ let validate_rewrite ~(script : string) ?(pos = Ast.no_pos) ~(original : Plan.t)
   end
 
 (* ------------------------------------------------------------------ *)
+(* V003: lowering ⊕-equivalence *)
+
+(* The fused backend's [Loop_ir.Lower] splits every [Act]'s clause list —
+   self/key clauses fuse into passes, area clauses become batch ops — so
+   the comparison runs at *clause* granularity: each (guard set, clause)
+   pair of the plan must survive into the loop program and vice versa.
+   Clause-multiset equality under ⊕-commutativity implies the compiled
+   kernel contributes exactly the plan's effects. *)
+let clause_effects (gas : (Plan.guard list * Core_ir.effect_clause list) list) :
+    ((bool * Expr.t) list * Core_ir.effect_clause) list =
+  List.sort compare
+    (List.concat_map
+       (fun ga ->
+         match normalize_guarded ga with
+         | None -> []
+         | Some (gs, clauses) -> List.map (fun c -> (gs, c)) clauses)
+       gas)
+
+let validate_lowering ~(script : string) ?(pos = Ast.no_pos) (optimized : Plan.t) :
+    Diagnostic.t list =
+  let lowered = Loop_ir.Lower.lower optimized in
+  let want = clause_effects (Plan.guarded_acts optimized) in
+  let got = clause_effects (List.map (fun (g, c) -> (g, [ c ])) (Loop_ir.guarded_clauses lowered)) in
+  if want = got then []
+  else
+    [
+      Rules.diag ~pos ~context:script ~rule:"V003"
+        "lowering changed the guarded effect structure: %d clause(s) in the plan, %d in the \
+         loop program — the fused kernel is not ⊕-equivalent to its source plan"
+        (List.length want) (List.length got);
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Whole-program validation *)
 
 let validate_program ?(optimize = true) ?(pos_of : string -> Ast.pos = fun _ -> Ast.no_pos)
@@ -139,5 +172,6 @@ let validate_program ?(optimize = true) ?(pos_of : string -> Ast.pos = fun _ -> 
       let original = Plan.of_core schema s.Core_ir.body in
       let optimized = if optimize then Rewrite.optimize ~aggs original else original in
       validate_shape ~schema ~aggs ~script:name ~pos optimized
-      @ validate_rewrite ~script:name ~pos ~original ~optimized ())
+      @ validate_rewrite ~script:name ~pos ~original ~optimized ()
+      @ validate_lowering ~script:name ~pos optimized)
     prog.Core_ir.scripts

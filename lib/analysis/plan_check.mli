@@ -1,7 +1,8 @@
-(** Plan translation validation (rules V001, V002): every optimizer output
-    must be executable (registers bound before use, effects on tagged
-    in-range attributes) and ⊕-equivalent in guarded-effect structure to
-    the unrewritten translation. *)
+(** Plan translation validation (rules V001, V002, V003): every optimizer
+    output must be executable (registers bound before use, effects on
+    tagged in-range attributes), ⊕-equivalent in guarded-effect structure
+    to the unrewritten translation, and preserved by the fused backend's
+    lowering to the loop IR. *)
 
 open Sgl_relalg
 open Sgl_lang
@@ -31,7 +32,14 @@ val validate_rewrite :
   unit ->
   Diagnostic.t list
 
+(** V003: lowering ⊕-equivalence — the loop program {!Sgl_qopt.Loop_ir}
+    lowers from the optimized plan must carry the same guarded effect
+    clauses (compared at clause granularity, since lowering splits an
+    [Act]'s clause list into fused emissions and batch AoE ops). *)
+val validate_lowering :
+  script:string -> ?pos:Ast.pos -> Plan.t -> Diagnostic.t list
+
 (** Translate every script, rewrite it (unless [optimize] is [false]), and
-    run both checks on the result. *)
+    run all three checks on the result. *)
 val validate_program :
   ?optimize:bool -> ?pos_of:(string -> Ast.pos) -> Core_ir.program -> Diagnostic.t list

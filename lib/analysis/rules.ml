@@ -82,6 +82,15 @@ let all : t list =
          the script contributes";
     };
     {
+      id = "V003";
+      severity = Diagnostic.Error;
+      title = "lowering changed effect structure";
+      rationale =
+        "translation validation for the fused backend: the loop program lowered from the \
+         optimized plan does not carry the same guarded effect clauses — the compiled \
+         kernel would contribute different effects than the plan it was specialized from";
+    };
+    {
       id = "P001";
       severity = Diagnostic.Warn;
       title = "aggregate falls back to O(n) scan";

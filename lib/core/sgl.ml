@@ -63,6 +63,7 @@ module Rewrite = Sgl_qopt.Rewrite
 module Agg_plan = Sgl_qopt.Agg_plan
 module Eval = Sgl_qopt.Eval
 module Exec = Sgl_qopt.Exec
+module Loop_ir = Sgl_qopt.Loop_ir
 
 (* Static analysis *)
 module Analysis = struct

@@ -35,11 +35,13 @@ type evaluator_kind =
   | Naive
   | Indexed
   | Parallel of { domains : int } (* chunked decision phase over a domain pool *)
+  | Fused (* plans lowered to the loop IR and compiled into kernels *)
 
 let evaluator_name = function
   | Naive -> "naive"
   | Indexed -> "indexed"
   | Parallel { domains } -> Printf.sprintf "parallel:%d" domains
+  | Fused -> "fused"
 
 (* What [step] does when a tick phase raises (ticks are transactional:
    the pre-tick state is always intact when the policy gets to decide). *)
@@ -53,17 +55,21 @@ let fault_policy_name = function
   | Quarantine_script -> "quarantine"
   | Degrade -> "degrade"
 
-(* The next-weaker evaluator of the demotion chain. *)
+(* The next-weaker evaluator of the demotion chain.  Fused demotes to the
+   interpreted indexed evaluator: same index structures, no kernels. *)
 let demotion = function
+  | Fused -> Some Indexed
   | Parallel _ -> Some Indexed
   | Indexed -> Some Naive
   | Naive -> None
 
-(* The engine behind a simulation: one evaluator driven sequentially, or a
-   family of evaluators fanned out over a shared domain pool. *)
+(* The engine behind a simulation: one evaluator driven sequentially, a
+   family of evaluators fanned out over a shared domain pool, or one
+   evaluator driven through the fused kernels. *)
 type engine =
   | Seq of Eval.t
   | Par of { pool : Domain_pool.t; family : Eval.family }
+  | Fus of { evaluator : Eval.t; kernels : Exec.fused }
 
 (* Global mirror in the ambient registry (gated, off by default) so
    --metrics output carries rollbacks next to the evaluator counters; the
@@ -115,7 +121,7 @@ type t = {
 }
 
 let make_engine ~(schema : Schema.t) ~(aggregates : Aggregate.t array)
-    (evaluator : evaluator_kind) : engine =
+    ~(compiled : Exec.compiled) (evaluator : evaluator_kind) : engine =
   match evaluator with
   | Naive -> Seq (Eval.naive ~schema ~aggregates)
   | Indexed -> Seq (Eval.indexed ~schema ~aggregates ())
@@ -126,16 +132,22 @@ let make_engine ~(schema : Schema.t) ~(aggregates : Aggregate.t array)
     let pool = Domain_pool.shared ~domains in
     let family = Eval.indexed_family ~schema ~aggregates ~chunks:(Domain_pool.size pool) () in
     Par { pool; family }
+  | Fused ->
+    (* Kernels specialize the plans, not the evaluator: the indexed
+       evaluator underneath still owns aggregate evaluation, AoE
+       combination and the cross-tick index cache. *)
+    Fus { evaluator = Eval.indexed ~schema ~aggregates (); kernels = Exec.fuse compiled }
 
 let create ?(fault_policy = Fail) ?(fault_log_capacity = 64) ?(index_cache = true)
     (config : config) ~(evaluator : evaluator_kind) ~(units : Tuple.t array) : t =
   let schema = config.prog.Core_ir.schema in
   let aggregates = config.prog.Core_ir.aggregates in
   let tel = Telemetry.Registry.create ~enabled:true () in
+  let compiled = Exec.compile ~optimize:config.optimize config.prog in
   {
     config;
-    compiled = Exec.compile ~optimize:config.optimize config.prog;
-    engine = make_engine ~schema ~aggregates evaluator;
+    compiled;
+    engine = make_engine ~schema ~aggregates ~compiled evaluator;
     evaluator;
     policy = fault_policy;
     prng = Prng.create config.seed;
@@ -201,6 +213,7 @@ let add_stats (dst : Eval.eval_stats) (src : Eval.eval_stats) : unit =
 let engine_stats = function
   | Seq evaluator -> evaluator.Eval.stats
   | Par { family; _ } -> Eval.family_stats family
+  | Fus { evaluator; _ } -> evaluator.Eval.stats
 
 let quarantine (t : t) (gf : Exec.group_fault) : unit =
   if not (List.mem gf.Exec.gf_script t.quarantined) then
@@ -221,7 +234,8 @@ let demote (t : t) (weaker : evaluator_kind) : unit =
   t.degradations <-
     t.degradations @ [ (t.tick, evaluator_name t.evaluator, evaluator_name weaker) ];
   let schema = t.config.prog.Core_ir.schema in
-  t.engine <- make_engine ~schema ~aggregates:t.config.prog.Core_ir.aggregates weaker;
+  t.engine <-
+    make_engine ~schema ~aggregates:t.config.prog.Core_ir.aggregates ~compiled:t.compiled weaker;
   t.evaluator <- weaker
 
 (* ------------------------------------------------------------------ *)
@@ -256,6 +270,9 @@ let run_phases (t : t) : unit =
         | (Fail | Degrade), Par { pool; family } ->
           Exec.run_tick_parallel ?delta:delta_in t.compiled ~pool ~family ~units:t.units
             ~groups:(groups t) ~rand_for
+        | (Fail | Degrade), Fus { evaluator; kernels } ->
+          Exec.run_tick_fused ?delta:delta_in t.compiled ~fused:kernels ~evaluator
+            ~units:t.units ~groups:(groups t) ~rand_for
         | Quarantine_script, engine ->
           (* per-group guards: a failing group contributes an empty effect
              bag this tick and is excluded from future ones *)
@@ -266,6 +283,9 @@ let run_phases (t : t) : unit =
                 ~groups:(groups t) ~rand_for
             | Par { pool; family } ->
               Exec.run_tick_parallel_guarded ?delta:delta_in t.compiled ~pool ~family
+                ~units:t.units ~groups:(groups t) ~rand_for
+            | Fus { evaluator; kernels } ->
+              Exec.run_tick_fused_guarded ?delta:delta_in t.compiled ~fused:kernels ~evaluator
                 ~units:t.units ~groups:(groups t) ~rand_for
           in
           List.iter (quarantine t) faults;
@@ -368,7 +388,7 @@ let step (t : t) : unit =
       let suppressed =
         match t.engine with
         | Par { pool; _ } -> Domain_pool.suppressed_failures pool
-        | Seq _ -> 0
+        | Seq _ | Fus _ -> 0
       in
       let fault =
         Fault.make ~tick:t.tick ~phase:t.phase ~evaluator:(evaluator_name t.evaluator)

@@ -30,6 +30,14 @@ type evaluator_kind =
           Produces tick-for-tick the same unit states as [Indexed] for any
           domain count: chunks merge through the combination operator (+),
           which is associative and commutative. *)
+  | Fused
+      (** The indexed evaluator driven through fused kernels: every plan
+          is lowered to the loop IR ({!Sgl_qopt.Loop_ir}) and compiled
+          once at startup into closure-composed kernels, eliminating the
+          per-row plan walking and evaluation-context allocation of the
+          interpreted backends.  Produces tick-for-tick the same unit
+          states as [Indexed] (rule V003 validates every lowering); under
+          [Degrade] it demotes to [Indexed], then [Naive]. *)
 
 val evaluator_name : evaluator_kind -> string
 
@@ -42,8 +50,8 @@ val evaluator_name : evaluator_kind -> string
       contribute an empty effect bag this tick; the group is excluded from
       every later tick and reported.  Faults not attributable to one group
       (index building, post-processing, movement, death) still fail.
-    - [Degrade]: demote the evaluator along parallel -> indexed -> naive
-      and retry the tick.  Every PRNG draw is keyed by [~tick ~key], so
+    - [Degrade]: demote the evaluator along fused/parallel -> indexed ->
+      naive and retry the tick.  Every PRNG draw is keyed by [~tick ~key], so
       the retried tick is bit-identical to a healthy run of the weaker
       evaluator; when even naive fails, re-raise. *)
 type fault_policy =

@@ -212,6 +212,66 @@ let run_tick_parallel ?delta (c : compiled) ~(pool : Sgl_util.Domain_pool.t)
   out
 
 (* ------------------------------------------------------------------ *)
+(* Fused execution: the same ticks, driven by specialized kernels.
+
+   [fuse] lowers every plan through [Loop_ir.Lower] and compiles the loop
+   programs once; a fused tick then runs each group through its kernel
+   instead of walking the plan tree.  The evaluator stays a run-time
+   parameter, so fused execution composes with the shared index cache and
+   with [Degrade]'s demotion to a weaker evaluator without recompiling. *)
+
+type fused = (string * Loop_ir.Compile.kernel) list
+
+let tel_fused_kernels = Sgl_util.Telemetry.counter "fused.kernels"
+let tel_fused_rows = Sgl_util.Telemetry.counter "fused.rows"
+
+let fuse (c : compiled) : fused =
+  let schema = c.prog.Core_ir.schema in
+  List.map
+    (fun (name, plan) -> (name, Loop_ir.Compile.compile ~schema (Loop_ir.Lower.lower plan)))
+    c.plans
+
+(* Mirrors [run_group]: the ["exec.group"] injection point fires first and
+   with the same call count as under interpreted execution, so an
+   [At_count] fault quarantines the same script whichever backend runs the
+   tick; ["fused.kernel"] fires only on this path. *)
+let run_group_fused (c : compiled) ~(schema : Schema.t) ~(fused : fused)
+    ~(evaluator : Eval.t) ~(find_key : int -> Tuple.t option) ~(acc : Combine.Acc.t)
+    ~(units : Tuple.t array) ~(rand_for : key:int -> int -> int) (g : group) : unit =
+  Sgl_util.Fault_inject.hit "exec.group";
+  Sgl_util.Telemetry.Counter.add tel_rows_in (Array.length g.members);
+  match List.assoc_opt g.script fused with
+  | None -> raise (Exec_error (Fmt.str "no fused kernel for script %S" g.script))
+  | Some kernel ->
+    let body () =
+      Sgl_util.Fault_inject.hit "fused.kernel";
+      Sgl_util.Telemetry.Counter.add tel_fused_kernels 1;
+      Sgl_util.Telemetry.Counter.add tel_fused_rows (Array.length g.members);
+      let rows = Array.map (fun i -> make_row c.width units.(i)) g.members in
+      let rands =
+        Array.map
+          (fun i ->
+            let key = Tuple.key schema units.(i) in
+            rand_for ~key)
+          g.members
+      in
+      kernel { Loop_ir.Compile.evaluator; find_key; acc } ~rows ~rands
+    in
+    if Sgl_util.Telemetry.Span.enabled () then
+      Sgl_util.Telemetry.Span.with_ ~cat:"exec" ("kernel:" ^ g.script) body
+    else body ()
+
+let run_tick_fused ?delta (c : compiled) ~(fused : fused) ~(evaluator : Eval.t)
+    ~(units : Tuple.t array) ~(groups : group list) ~(rand_for : key:int -> int -> int) :
+    Combine.Acc.t =
+  let schema = c.prog.Core_ir.schema in
+  evaluator.Eval.begin_tick ?delta units;
+  let find_key = key_table schema units in
+  let acc = Combine.Acc.create schema in
+  List.iter (run_group_fused c ~schema ~fused ~evaluator ~find_key ~acc ~units ~rand_for) groups;
+  acc
+
+(* ------------------------------------------------------------------ *)
 (* Guarded (quarantine-mode) execution.
 
    Each group accumulates into a *private* effect bag merged into the
@@ -240,6 +300,30 @@ let run_tick_guarded ?delta (c : compiled) ~(evaluator : Eval.t) ~(units : Tuple
     (fun g ->
       let gacc = Combine.Acc.create schema in
       match run_group c ~schema ~evaluator ~find_key ~acc:gacc ~units ~rand_for g with
+      | () -> Combine.Acc.merge_into ~dst:acc gacc
+      | exception e ->
+        let bt = Printexc.get_raw_backtrace () in
+        faults :=
+          { gf_script = g.script; gf_exn = e; gf_backtrace = bt; gf_suppressed = 0 } :: !faults)
+    groups;
+  (acc, List.rev !faults)
+
+(* Guarded fused tick: the same per-group transactional discipline as
+   [run_tick_guarded], driving the kernels.  A raising kernel contributes
+   nothing and is reported under its script name, so [Quarantine_script]
+   behaves identically whichever backend runs the tick. *)
+let run_tick_fused_guarded ?delta (c : compiled) ~(fused : fused) ~(evaluator : Eval.t)
+    ~(units : Tuple.t array) ~(groups : group list) ~(rand_for : key:int -> int -> int) :
+    Combine.Acc.t * group_fault list =
+  let schema = c.prog.Core_ir.schema in
+  evaluator.Eval.begin_tick ?delta units;
+  let find_key = key_table schema units in
+  let acc = Combine.Acc.create schema in
+  let faults = ref [] in
+  List.iter
+    (fun g ->
+      let gacc = Combine.Acc.create schema in
+      match run_group_fused c ~schema ~fused ~evaluator ~find_key ~acc:gacc ~units ~rand_for g with
       | () -> Combine.Acc.merge_into ~dst:acc gacc
       | exception e ->
         let bt = Printexc.get_raw_backtrace () in

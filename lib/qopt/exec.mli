@@ -70,6 +70,31 @@ val run_tick_parallel :
   rand_for:(key:int -> int -> int) ->
   Combine.Acc.t
 
+(** Fused execution backend: every script's plan lowered through
+    {!Loop_ir.Lower} and compiled once into a closure-composed kernel. *)
+type fused = (string * Loop_ir.Compile.kernel) list
+
+(** Lower and compile every plan of [compiled].  Done once per scenario;
+    the evaluator remains a run-time parameter of the kernels, so the same
+    [fused] serves every tick and survives [Degrade] demotion. *)
+val fuse : compiled -> fused
+
+(** [run_tick] driven by fused kernels instead of plan walking.
+    Bit-identical to {!run_tick} with the same evaluator: kernels mirror
+    the interpreter's expression semantics exactly, and the reordering
+    introduced by operator fusion only permutes contributions to the
+    commutative ⊕-accumulator (rule V003 validates each lowering).  Fires
+    the ["fused.kernel"] injection point per group, after ["exec.group"]. *)
+val run_tick_fused :
+  ?delta:Delta.t ->
+  compiled ->
+  fused:fused ->
+  evaluator:Eval.t ->
+  units:Tuple.t array ->
+  groups:group list ->
+  rand_for:(key:int -> int -> int) ->
+  Combine.Acc.t
+
 (** One script group's failure under guarded execution.  [gf_suppressed]
     counts further failures of the same group on other chunks of a
     parallel tick. *)
@@ -90,6 +115,20 @@ type group_fault = {
 val run_tick_guarded :
   ?delta:Delta.t ->
   compiled ->
+  evaluator:Eval.t ->
+  units:Tuple.t array ->
+  groups:group list ->
+  rand_for:(key:int -> int -> int) ->
+  Combine.Acc.t * group_fault list
+
+(** Guarded variant of {!run_tick_fused}: per-group private bags, a
+    raising kernel reported under its script name — the exact fault
+    surface of {!run_tick_guarded}, so quarantine decisions do not depend
+    on which backend ran the tick. *)
+val run_tick_fused_guarded :
+  ?delta:Delta.t ->
+  compiled ->
+  fused:fused ->
   evaluator:Eval.t ->
   units:Tuple.t array ->
   groups:group list ->

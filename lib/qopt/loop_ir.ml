@@ -1,0 +1,415 @@
+(* The fused loop IR: imperative loop programs lowered from optimized
+   plans, compiled once per scenario into closure-composed kernels.
+
+   [Plan.t] execution ([Exec.run_plan]) is tree-at-a-time: each node loops
+   over the live selection, every expression evaluation allocates an
+   [Expr.ctx], and every [Select] partitions through intermediate lists.
+   The loop IR keeps the same batch boundaries the pluggable evaluator
+   needs — aggregate binds and area-of-effect combination — but fuses all
+   straight-line work (register binds, self/key effect emissions) into
+   single passes, and [Compile] turns each pass into one composed closure
+   specialized at startup.
+
+   Bit-identity with the interpreter is a hard requirement (the
+   conformance harness diffs unit states after 50 ticks), so every closure
+   mirrors [Expr.eval] operation-for-operation: same error messages, same
+   short-circuiting, same tie-breaking in min/max, and constant folding
+   only for [Random]-free subtrees whose value cannot depend on the row —
+   with a run-time fallback when folding itself raises, so errors surface
+   where the interpreter would raise them. *)
+
+open Sgl_relalg
+open Sgl_lang
+
+type step =
+  | Bind_col of int * Expr.t
+  | Emit of Core_ir.effect_clause
+
+type t =
+  | Halt
+  | Pass of step list * t
+  | Agg_fill of { slot : int; agg_id : int; next : t }
+  | Aoe of Core_ir.effect_clause * t
+  | Partition of Expr.t * t * t
+  | Fanout of t list
+
+(* ------------------------------------------------------------------ *)
+(* Inspection *)
+
+let guarded_clauses (p : t) : ((bool * Expr.t) list * Core_ir.effect_clause) list =
+  let out = ref [] in
+  let rec go guards = function
+    | Halt -> ()
+    | Pass (steps, k) ->
+      List.iter
+        (function
+          | Emit c -> out := (List.rev guards, c) :: !out
+          | Bind_col _ -> ())
+        steps;
+      go guards k
+    | Agg_fill { next; _ } -> go guards next
+    | Aoe (c, k) ->
+      out := (List.rev guards, c) :: !out;
+      go guards k
+    | Partition (c, a, b) ->
+      go ((true, c) :: guards) a;
+      go ((false, c) :: guards) b
+    | Fanout ps -> List.iter (go guards) ps
+  in
+  go [] p;
+  List.rev !out
+
+type stats = {
+  passes : int;
+  fused_steps : int;
+  agg_fills : int;
+  partitions : int;
+  aoes : int;
+}
+
+let stats (p : t) : stats =
+  let s = ref { passes = 0; fused_steps = 0; agg_fills = 0; partitions = 0; aoes = 0 } in
+  let rec go = function
+    | Halt -> ()
+    | Pass (steps, k) ->
+      s := { !s with passes = !s.passes + 1; fused_steps = !s.fused_steps + List.length steps };
+      go k
+    | Agg_fill { next; _ } ->
+      s := { !s with agg_fills = !s.agg_fills + 1 };
+      go next
+    | Aoe (_, k) ->
+      s := { !s with aoes = !s.aoes + 1 };
+      go k
+    | Partition (_, a, b) ->
+      s := { !s with partitions = !s.partitions + 1 };
+      go a;
+      go b
+    | Fanout ps -> List.iter go ps
+  in
+  go p;
+  !s
+
+let pp_step ppf = function
+  | Bind_col (slot, e) -> Fmt.pf ppf "r%d := %a" slot Expr.pp e
+  | Emit c -> begin
+    match c.Core_ir.target with
+    | Core_ir.Self -> Fmt.pf ppf "emit self"
+    | Core_ir.Key e -> Fmt.pf ppf "emit key(%a)" Expr.pp e
+    | Core_ir.All _ -> Fmt.pf ppf "emit all(?)"
+  end
+
+let rec pp ppf = function
+  | Halt -> Fmt.pf ppf "halt"
+  | Pass (steps, k) ->
+    Fmt.pf ppf "@[<v 2>pass {%a}@]@,%a" Fmt.(list ~sep:(any "; ") pp_step) steps pp k
+  | Agg_fill { slot; agg_id; next } -> Fmt.pf ppf "r%d := agg:%d@,%a" slot agg_id pp next
+  | Aoe (_, k) -> Fmt.pf ppf "aoe@,%a" pp k
+  | Partition (c, a, b) ->
+    Fmt.pf ppf "@[<v 2>partition %a@,then: %a@,else: %a@]" Expr.pp c pp a pp b
+  | Fanout ps -> Fmt.pf ppf "@[<v 2>fanout@,%a@]" Fmt.(list ~sep:cut pp) ps
+
+(* ------------------------------------------------------------------ *)
+(* Lowering *)
+
+module Lower = struct
+  (* Prepend steps to a program, merging into an immediately following
+     pass so adjacent straight-line work fuses into one loop. *)
+  let pass (steps : step list) (next : t) : t =
+    match (steps, next) with
+    | [], k -> k
+    | steps, Pass (more, k) -> Pass (steps @ more, k)
+    | steps, k -> Pass (steps, k)
+
+  (* One [Act]: self/key clauses become fused [Emit] steps; area clauses
+     become batch [Aoe] ops.  Splitting a clause list this way reorders
+     only the order in which contributions reach the ⊕-accumulator, which
+     is commutative — V003 checks the clause multiset survives. *)
+  let act (clauses : Core_ir.effect_clause list) : t =
+    let emits, aoes =
+      List.partition
+        (fun (c : Core_ir.effect_clause) ->
+          match c.Core_ir.target with
+          | Core_ir.Self | Core_ir.Key _ -> true
+          | Core_ir.All _ -> false)
+        clauses
+    in
+    let tail = List.fold_right (fun c k -> Aoe (c, k)) aoes Halt in
+    pass (List.map (fun c -> Emit c) emits) tail
+
+  (* [Both] arms run over the same selection; arms that are pure passes
+     (no batch boundary, no partition) fuse into a single loop.  Per-row
+     order across fused arms differs from per-set order across sequential
+     arms, but register writes are row-local, random draws are pure
+     per-row functions, and emissions meet a commutative ⊕ — so the fused
+     pass computes the same effect bag. *)
+  let fanout (progs : t list) : t =
+    let progs = List.filter (fun p -> p <> Halt) progs in
+    let rec merge = function
+      | Pass (s1, Halt) :: Pass (s2, Halt) :: rest -> merge (Pass (s1 @ s2, Halt) :: rest)
+      | p :: rest -> p :: merge rest
+      | [] -> []
+    in
+    match merge progs with
+    | [] -> Halt
+    | [ p ] -> p
+    | ps -> Fanout ps
+
+  let rec lower (p : Plan.t) : t =
+    match p with
+    | Plan.Nop -> Halt
+    | Plan.Bind (slot, Plan.Bind_expr e, k) -> pass [ Bind_col (slot, e) ] (lower k)
+    | Plan.Bind (slot, Plan.Bind_agg agg_id, k) -> Agg_fill { slot; agg_id; next = lower k }
+    | Plan.Select (c, a, b) -> Partition (c, lower a, lower b)
+    | Plan.Both plans -> fanout (List.map lower plans)
+    | Plan.Act clauses -> act clauses
+end
+
+(* ------------------------------------------------------------------ *)
+(* Compilation: closure composition with constant folding *)
+
+module Compile = struct
+  type env = {
+    evaluator : Eval.t;
+    find_key : int -> Tuple.t option;
+    acc : Combine.Acc.t;
+  }
+
+  type kernel = env -> rows:Tuple.t array -> rands:(int -> int) array -> unit
+
+  (* A compiled expression: either a value known at compile time, or a
+     closure over (row, env tuple, random stream) — the same context
+     [Expr.eval] threads, minus the per-call record allocation. *)
+  type comp =
+    | Known of Value.t
+    | Dyn of (Tuple.t -> Tuple.t option -> (int -> int) -> Value.t)
+
+  let dyn = function
+    | Known v -> fun _ _ _ -> v
+    | Dyn f -> f
+
+  let eval_error fmt = Fmt.kstr (fun s -> raise (Expr.Eval_error s)) fmt
+
+  (* Fold a node whose children are all Known by running its closure with
+     dummy context (Known children ignore their arguments).  If the fold
+     raises — e.g. [abs] of a vector constant — keep the closure so the
+     error is raised at run time, exactly where the interpreter raises. *)
+  let no_rand (_ : int) = 0
+
+  let fold_node (run : Tuple.t -> Tuple.t option -> (int -> int) -> Value.t) : comp =
+    match run [||] None no_rand with
+    | v -> Known v
+    | exception _ -> Dyn run
+
+  let fold2 ca cb run =
+    match (ca, cb) with
+    | Known _, Known _ -> fold_node run
+    | _ -> Dyn run
+
+  let fold1 ca run =
+    match ca with
+    | Known _ -> fold_node run
+    | Dyn _ -> Dyn run
+
+  let rec compile_expr (expr : Expr.t) : comp =
+    match expr with
+    | Expr.Const v -> Known v
+    | Expr.UAttr i ->
+      Dyn
+        (fun u _ _ ->
+          if i >= Array.length u then eval_error "unit slot %d out of range" i;
+          u.(i))
+    | Expr.EAttr i ->
+      Dyn
+        (fun _ e _ ->
+          match e with
+          | None -> eval_error "e.* reference outside an aggregate or effect body"
+          | Some e ->
+            if i >= Array.length e then eval_error "env attribute %d out of range" i;
+            e.(i))
+    | Expr.Binop (op, a, b) ->
+      let ca = compile_expr a and cb = compile_expr b in
+      let fa = dyn ca and fb = dyn cb in
+      fold2 ca cb (fun u e r -> Expr.apply_binop op (fa u e r) (fb u e r))
+    | Expr.Cmp (op, a, b) ->
+      let ca = compile_expr a and cb = compile_expr b in
+      let fa = dyn ca and fb = dyn cb in
+      fold2 ca cb (fun u e r -> Value.Bool (Expr.apply_cmp op (fa u e r) (fb u e r)))
+    | Expr.And (a, b) ->
+      let ca = compile_expr a and cb = compile_expr b in
+      let fa = dyn ca and fb = dyn cb in
+      fold2 ca cb (fun u e r -> Value.Bool (Value.to_bool (fa u e r) && Value.to_bool (fb u e r)))
+    | Expr.Or (a, b) ->
+      let ca = compile_expr a and cb = compile_expr b in
+      let fa = dyn ca and fb = dyn cb in
+      fold2 ca cb (fun u e r -> Value.Bool (Value.to_bool (fa u e r) || Value.to_bool (fb u e r)))
+    | Expr.Not a ->
+      let ca = compile_expr a in
+      let fa = dyn ca in
+      fold1 ca (fun u e r -> Value.Bool (not (Value.to_bool (fa u e r))))
+    | Expr.Neg a ->
+      let ca = compile_expr a in
+      let fa = dyn ca in
+      fold1 ca (fun u e r -> Value.neg (fa u e r))
+    | Expr.VecOf (a, b) ->
+      let ca = compile_expr a and cb = compile_expr b in
+      let fa = dyn ca and fb = dyn cb in
+      fold2 ca cb (fun u e r -> Value.make_vec (fa u e r) (fb u e r))
+    | Expr.VecX a ->
+      let ca = compile_expr a in
+      let fa = dyn ca in
+      fold1 ca (fun u e r -> Value.vec_x (fa u e r))
+    | Expr.VecY a ->
+      let ca = compile_expr a in
+      let fa = dyn ca in
+      fold1 ca (fun u e r -> Value.vec_y (fa u e r))
+    | Expr.Abs a ->
+      let ca = compile_expr a in
+      let fa = dyn ca in
+      fold1 ca (fun u e r ->
+          match fa u e r with
+          | Value.Int i -> Value.Int (abs i)
+          | Value.Float f -> Value.Float (Float.abs f)
+          | v -> eval_error "abs of non-number %a" Value.pp v)
+    | Expr.Sqrt a ->
+      let ca = compile_expr a in
+      let fa = dyn ca in
+      fold1 ca (fun u e r -> Value.Float (sqrt (Value.to_float (fa u e r))))
+    | Expr.MinOf (a, b) ->
+      let ca = compile_expr a and cb = compile_expr b in
+      let fa = dyn ca and fb = dyn cb in
+      fold2 ca cb (fun u e r ->
+          let va = fa u e r and vb = fb u e r in
+          if Value.compare_num va vb <= 0 then va else vb)
+    | Expr.MaxOf (a, b) ->
+      let ca = compile_expr a and cb = compile_expr b in
+      let fa = dyn ca and fb = dyn cb in
+      fold2 ca cb (fun u e r ->
+          let va = fa u e r and vb = fb u e r in
+          if Value.compare_num va vb >= 0 then va else vb)
+    | Expr.Random a ->
+      (* Never folds: the draw depends on the row's random stream. *)
+      let fa = dyn (compile_expr a) in
+      Dyn (fun u e r -> Value.Int (r (Value.to_int (fa u e r))))
+
+  (* ---------------------------------------------------------------- *)
+  (* Steps and programs *)
+
+  (* One step, applied to one row. *)
+  let compile_step (schema : Schema.t) (step : step) :
+      env -> Tuple.t -> (int -> int) -> unit =
+    match step with
+    | Bind_col (slot, e) ->
+      let f = dyn (compile_expr e) in
+      fun _env row rand -> row.(slot) <- f row None rand
+    | Emit c ->
+      let ups =
+        Array.of_list
+          (List.map (fun (attr, e) -> (attr, dyn (compile_expr e))) c.Core_ir.updates)
+      in
+      let emit env (row : Tuple.t) rand (target : Tuple.t) =
+        let key = Tuple.key schema target in
+        let e = Some target in
+        Array.iter
+          (fun (attr, f) -> Combine.Acc.add_attr env.acc ~base:target ~key attr (f row e rand))
+          ups
+      in
+      begin
+        match c.Core_ir.target with
+        | Core_ir.Self -> fun env row rand -> emit env row rand row
+        | Core_ir.Key key_expr ->
+          let kf = dyn (compile_expr key_expr) in
+          fun env row rand -> begin
+            match env.find_key (Value.to_int (kf row None rand)) with
+            | None -> ()
+            | Some target -> emit env row rand target
+          end
+        | Core_ir.All _ -> invalid_arg "Loop_ir.Compile: area clause in a fused pass"
+      end
+
+  let compose fs =
+    match fs with
+    | [] -> fun _ _ _ -> ()
+    | [ f ] -> f
+    | f :: rest ->
+      List.fold_left
+        (fun g f env row rand ->
+          g env row rand;
+          f env row rand)
+        f rest
+
+  type state = { env : env; rows : Tuple.t array; rands : (int -> int) array }
+
+  (* A compiled program runs over an explicit selection of row indexes —
+     the loop-IR analogue of [Exec.run_plan]'s [sel].  Callers guarantee
+     the selection is non-empty, mirroring the interpreter's skip of empty
+     sub-plans (in particular: no aggregate batch is ever evaluated over
+     zero rows). *)
+  let rec compile_prog (schema : Schema.t) (p : t) : state -> int array -> unit =
+    match p with
+    | Halt -> fun _ _ -> ()
+    | Pass (steps, k) ->
+      let f = compose (List.map (compile_step schema) steps) in
+      let kk = compile_prog schema k in
+      fun st sel ->
+        Array.iter (fun i -> f st.env st.rows.(i) st.rands.(i)) sel;
+        kk st sel
+    | Agg_fill { slot; agg_id; next } ->
+      let kk = compile_prog schema next in
+      fun st sel ->
+        let batch_rows = Array.map (fun i -> st.rows.(i)) sel in
+        let batch_rands = Array.map (fun i -> st.rands.(i)) sel in
+        let eval () =
+          st.env.evaluator.Eval.eval_agg ~agg_id ~rows:batch_rows ~rands:batch_rands
+        in
+        let values =
+          if Sgl_util.Telemetry.Span.enabled () then
+            Sgl_util.Telemetry.Span.with_ ~cat:"op" (Printf.sprintf "agg:%d" agg_id) eval
+          else eval ()
+        in
+        Array.iteri (fun j i -> st.rows.(i).(slot) <- values.(j)) sel;
+        kk st sel
+    | Aoe (c, k) ->
+      let pred =
+        match c.Core_ir.target with
+        | Core_ir.All pred -> pred
+        | Core_ir.Self | Core_ir.Key _ ->
+          invalid_arg "Loop_ir.Compile: non-area clause in an Aoe op"
+      in
+      let updates = c.Core_ir.updates in
+      let kk = compile_prog schema k in
+      fun st sel ->
+        let contributors = Array.map (fun i -> st.rows.(i)) sel in
+        let contributor_rands = Array.map (fun i -> st.rands.(i)) sel in
+        st.env.evaluator.Eval.apply_aoe ~pred ~updates ~contributors ~contributor_rands
+          ~acc:st.env.acc;
+        kk st sel
+    | Partition (c, a, b) ->
+      let cf = dyn (compile_expr c) in
+      let ka = compile_prog schema a and kb = compile_prog schema b in
+      fun st sel ->
+        let n = Array.length sel in
+        let yes = Array.make n 0 and no = Array.make n 0 in
+        let ny = ref 0 and nn = ref 0 in
+        Array.iter
+          (fun i ->
+            if Value.to_bool (cf st.rows.(i) None st.rands.(i)) then begin
+              yes.(!ny) <- i;
+              incr ny
+            end
+            else begin
+              no.(!nn) <- i;
+              incr nn
+            end)
+          sel;
+        if !ny > 0 then ka st (Array.sub yes 0 !ny);
+        if !nn > 0 then kb st (Array.sub no 0 !nn)
+    | Fanout ps ->
+      let ks = List.map (compile_prog schema) ps in
+      fun st sel -> List.iter (fun k -> k st sel) ks
+
+  let compile ~(schema : Schema.t) (p : t) : kernel =
+    let run = compile_prog schema p in
+    fun env ~rows ~rands ->
+      if Array.length rows > 0 then
+        run { env; rows; rands } (Array.init (Array.length rows) (fun i -> i))
+end

@@ -28,7 +28,8 @@ let () =
 
 (* The points compiled into the engine.  [arm] validates against this
    list: a typo in a point name must fail loudly, not silently never fire. *)
-let points = [ "eval.member"; "exec.group"; "index.build"; "pool.lane"; "post.apply" ]
+let points =
+  [ "eval.member"; "exec.group"; "fused.kernel"; "index.build"; "pool.lane"; "post.apply" ]
 
 type point = {
   name : string;

@@ -60,7 +60,8 @@ let catalogue () =
       match Rules.find id with
       | Some r -> Alcotest.(check string) "find returns the rule" id r.Rules.id
       | None -> Alcotest.failf "rule %s missing from catalogue" id)
-    [ "T001"; "R001"; "R002"; "R003"; "R004"; "V001"; "V002"; "P001"; "P002"; "P003"; "P004"; "P005" ];
+    [ "T001"; "R001"; "R002"; "R003"; "R004"; "V001"; "V002"; "V003"; "P001"; "P002"; "P003";
+      "P004"; "P005" ];
   Alcotest.(check bool) "unknown id reports as error" true
     (Rules.severity "Z999" = Diagnostic.Error);
   (* severities pinned: R003/R004/P001/P004/P005 warn, P002/P003 info, rest error *)
@@ -74,6 +75,7 @@ let catalogue () =
       ("R004", Diagnostic.Warn);
       ("V001", Diagnostic.Error);
       ("V002", Diagnostic.Error);
+      ("V003", Diagnostic.Error);
       ("P001", Diagnostic.Warn);
       ("P002", Diagnostic.Info);
       ("P003", Diagnostic.Info);

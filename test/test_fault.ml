@@ -331,6 +331,74 @@ let degrade_to_naive () =
         (match Simulation.degradations sim with [ (t, _, _) ] -> t > 0 | _ -> false);
       check_states ~msg:"mid-run demotion vs clean naive" clean (sorted_units sim))
 
+(* Quarantine decisions must not depend on the backend: [exec.group] is
+   hit once per script group under both the interpreted and the fused
+   tick, so the same call count quarantines the same script. *)
+let quarantine_fused_differential () =
+  let quarantined evaluator =
+    with_injection (fun () ->
+        Fault_inject.arm ~point:"exec.group" (Fault_inject.At_count 7);
+        let sim = battle_sim ~fault_policy:Simulation.Quarantine_script ~evaluator () in
+        Simulation.run sim ~ticks:20;
+        Alcotest.(check int) "all ticks ran" 20 (Simulation.tick_count sim);
+        Simulation.quarantined_scripts sim)
+  in
+  let indexed = quarantined Simulation.Indexed in
+  let fused = quarantined Simulation.Fused in
+  Alcotest.(check int) "one group quarantined under fused" 1 (List.length fused);
+  Alcotest.(check (list string)) "same script quarantined" indexed fused
+
+(* The fused-only injection point: a faulting kernel is reported under its
+   script name and excluded like any other group failure — and the
+   interpreted backend never reaches the point at all. *)
+let quarantine_fused_kernel_point () =
+  with_injection (fun () ->
+      Fault_inject.arm ~point:"fused.kernel" (Fault_inject.At_count 7);
+      let sim =
+        battle_sim ~fault_policy:Simulation.Quarantine_script ~evaluator:Simulation.Fused ()
+      in
+      Simulation.run sim ~ticks:20;
+      Alcotest.(check int) "all ticks ran" 20 (Simulation.tick_count sim);
+      let quarantined = Simulation.quarantined_scripts sim in
+      Alcotest.(check int) "one group quarantined" 1 (List.length quarantined);
+      let known = [ "knight"; "knight_move"; "archer"; "archer_reposition"; "healer" ] in
+      Alcotest.(check bool) "a real battle script" true (List.mem (List.hd quarantined) known);
+      (match Simulation.faults sim with
+      | [ f ] ->
+        Alcotest.(check (option string)) "fault names the script" (Some (List.hd quarantined))
+          f.Fault.script
+      | fs -> Alcotest.failf "expected one logged fault, got %d" (List.length fs));
+      let calls_before = Fault_inject.calls "fused.kernel" in
+      let sim2 = battle_sim ~evaluator:Simulation.Indexed () in
+      Simulation.run sim2 ~ticks:5;
+      Alcotest.(check int) "indexed never hits fused.kernel" calls_before
+        (Fault_inject.calls "fused.kernel"))
+
+(* Degrade out of the fused backend: a kernel fault demotes fused ->
+   indexed, and the retried run lands on exactly the states of a clean
+   indexed run — the kernels share the evaluator, so nothing is lost. *)
+let degrade_fused_to_indexed () =
+  let clean =
+    let sim = battle_sim ~evaluator:Simulation.Indexed () in
+    Simulation.run sim ~ticks:30;
+    sorted_units sim
+  in
+  with_injection (fun () ->
+      Fault_inject.arm ~point:"fused.kernel" Fault_inject.Always;
+      let sim = battle_sim ~fault_policy:Simulation.Degrade ~evaluator:Simulation.Fused () in
+      Simulation.run sim ~ticks:30;
+      Alcotest.(check int) "all ticks ran" 30 (Simulation.tick_count sim);
+      Alcotest.(check string) "landed on indexed" "indexed"
+        (Simulation.evaluator_name (Simulation.current_evaluator sim));
+      Alcotest.(check int) "one retry" 1 (Simulation.retries sim);
+      (match Simulation.degradations sim with
+      | [ (tick, from_, to_) ] ->
+        Alcotest.(check int) "demoted on the first tick" 0 tick;
+        Alcotest.(check string) "from fused" "fused" from_;
+        Alcotest.(check string) "to indexed" "indexed" to_
+      | ds -> Alcotest.failf "expected one demotion, got %d" (List.length ds));
+      check_states ~msg:"degraded fused vs clean indexed" clean (sorted_units sim))
+
 (* Degrade exhausted: when even naive faults, step re-raises in context. *)
 let degrade_exhausted () =
   with_injection (fun () ->
@@ -408,6 +476,12 @@ let suite =
         Alcotest.test_case "fail: rollback, context, recovery" `Quick fail_policy_rolls_back;
         Alcotest.test_case "quarantine: excluded group, run completes" `Quick quarantine_completes;
         Alcotest.test_case "quarantine composes with parallel chunks" `Slow quarantine_parallel;
+        Alcotest.test_case "quarantine: fused = indexed on the faulting script" `Slow
+          quarantine_fused_differential;
+        Alcotest.test_case "fused.kernel point quarantines in context" `Slow
+          quarantine_fused_kernel_point;
+        Alcotest.test_case "degrade: fused -> indexed, bit-identical" `Slow
+          degrade_fused_to_indexed;
         Alcotest.test_case "degrade: parallel -> indexed, bit-identical" `Slow
           degrade_parallel_to_indexed;
         Alcotest.test_case "degrade: down to naive, bit-identical" `Slow degrade_to_naive;
