@@ -1075,6 +1075,104 @@ let fused_bench ~full () =
   pr " probes cost the same under every backend.)@."
 
 (* ------------------------------------------------------------------ *)
+(* Durable state: checkpoint/journal overhead on the 12k-unit battle.
+
+   Baseline is the shipped default (persistence off).  The durable
+   passes pay one CRC-framed journal append (+ fsync unless disarmed)
+   per committed tick, plus a full-state snapshot every [every] ticks —
+   cadence 10 is checkpoint-heavy, cadence 100 isolates the journal
+   cost (only the arming snapshot lands inside the run).  Ambient
+   telemetry is enabled for every pass (same tax everywhere) so the
+   persist.* metrics carry checkpoint write times and journal volume. *)
+
+let persist_bench () =
+  header "Durable state - checkpoint/journal overhead (indexed evaluator, 12000 units)";
+  let n = 12_000 and density = 0.01 and ticks = 40 in
+  let rec rm_rf path =
+    if Sys.file_exists path then
+      if Sys.is_directory path then begin
+        Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+        Sys.rmdir path
+      end
+      else Sys.remove path
+  in
+  let fresh_dir tag =
+    let dir = Filename.concat (Filename.get_temp_dir_name ()) ("sgl-bench-persist-" ^ tag) in
+    rm_rf dir;
+    Sys.mkdir dir 0o755;
+    dir
+  in
+  let measure ~mode ~every ~fsync () =
+    Telemetry.reset ();
+    Telemetry.set_enabled true;
+    let scenario =
+      Battle.Scenario.setup ~density ~per_side:(Battle.Scenario.standard_mix (n / 2)) ()
+    in
+    let sim = Battle.Scenario.simulation ~evaluator:Simulation.Indexed scenario in
+    (* warm one tick outside the clock; the arming snapshot of the
+       durable passes stays outside it too *)
+    Simulation.step sim;
+    let dir = Option.map fresh_dir (if every >= 0 then Some mode else None) in
+    Option.iter (fun dir -> Simulation.checkpoint_every ~fsync sim ~dir ~every) dir;
+    let (), seconds = Timer.timed (fun () -> Simulation.run sim ~ticks) in
+    Simulation.detach_persistence sim;
+    let counter name =
+      match List.assoc_opt name (Telemetry.Registry.counters Telemetry.default) with
+      | Some v -> v
+      | None -> 0
+    in
+    let ckpt =
+      match List.assoc_opt "persist.checkpoint_ns" (Telemetry.Registry.histograms Telemetry.default) with
+      | Some s -> s
+      | None -> { Telemetry.count = 0; mean = 0.; stddev = 0.; min = 0.; max = 0.; total = 0. }
+    in
+    let journal_bytes = counter "persist.journal_bytes" in
+    Telemetry.set_enabled false;
+    Option.iter rm_rf dir;
+    let per_tick = seconds /. float_of_int ticks in
+    Bench_json.emit ~section:"persist"
+      ~config:
+        [
+          ("mode", mode);
+          ("units", string_of_int n);
+          ("every", string_of_int every);
+          ("fsync", string_of_bool fsync);
+        ]
+      ~ticks_per_s:(1. /. per_tick)
+      ~phases:
+        [
+          ("checkpoint_mean_s", ckpt.Telemetry.mean /. 1e9);
+          ("checkpoint_max_s", ckpt.Telemetry.max /. 1e9);
+          ("checkpoint_total_s", ckpt.Telemetry.total /. 1e9);
+          ("checkpoints", float_of_int ckpt.Telemetry.count);
+          ("journal_bytes_per_tick", float_of_int journal_bytes /. float_of_int ticks);
+        ];
+    (mode, per_tick, ckpt, journal_bytes)
+  in
+  (* every = -1 encodes "persistence off" (the baseline) *)
+  let rows =
+    [
+      measure ~mode:"off" ~every:(-1) ~fsync:false ();
+      measure ~mode:"every=10" ~every:10 ~fsync:true ();
+      measure ~mode:"every=100" ~every:100 ~fsync:true ();
+      measure ~mode:"every=10,nofsync" ~every:10 ~fsync:false ();
+    ]
+  in
+  let _, t_off, _, _ = List.hd rows in
+  pr "@.%-18s %10s %9s %7s %12s %12s@." "mode" "ticks/s" "overhead" "ckpts" "ckpt mean ms" "jrnl B/tick";
+  List.iter
+    (fun (mode, per_tick, ckpt, journal_bytes) ->
+      pr "%-18s %10.1f %8.1f%% %7d %12.2f %12.0f@." mode (1. /. per_tick)
+        ((per_tick /. t_off -. 1.) *. 100.)
+        ckpt.Telemetry.count (ckpt.Telemetry.mean /. 1e6)
+        (float_of_int journal_bytes /. float_of_int ticks))
+    rows;
+  pr "@.(the journal append is tens of bytes per tick; the snapshot is@.";
+  pr " tens of milliseconds at this population and amortizes with the@.";
+  pr " cadence, so the durability tax stays in the single-digit percent@.";
+  pr " range - overhead spreads beyond that are run-to-run noise.)@."
+
+(* ------------------------------------------------------------------ *)
 (* Driver *)
 
 let everything ~full () =
@@ -1092,6 +1190,7 @@ let everything ~full () =
   fused_bench ~full ();
   faults_bench ();
   telemetry_bench ();
+  persist_bench ();
   micro ()
 
 let () =
@@ -1135,6 +1234,7 @@ let () =
             | "fused-full" -> fused_bench ~full:true ()
             | "faults" -> faults_bench ()
             | "telemetry" -> telemetry_bench ()
+            | "persist" -> persist_bench ()
             | "micro" -> micro ()
             | other ->
               Fmt.epr "unknown benchmark %S@." other;

@@ -9,7 +9,8 @@ open Cmdliner
 open Sgl
 
 let run units ticks evaluator domains density seed optimize resurrect index_cache verbose ascii
-    trace fault_policy injects metrics trace_spans explain_plans =
+    trace fault_policy injects metrics trace_spans explain_plans ckpt_dir ckpt_every do_restore
+    no_fsync sleep_ms =
   let evaluator_kind =
     match (evaluator, domains) with
     (* --domains N forces the parallel evaluator regardless of --evaluator *)
@@ -58,9 +59,36 @@ let run units ticks evaluator domains density seed optimize resurrect index_cach
     (Simulation.evaluator_name evaluator_kind)
     (Simulation.fault_policy_name fault_policy);
   let sim =
-    Battle.Scenario.simulation ~optimize ~seed ~resurrect ~fault_policy ~index_cache
-      ~evaluator:evaluator_kind scenario
+    if do_restore then begin
+      let dir =
+        match ckpt_dir with
+        | Some dir -> dir
+        | None -> Fmt.failwith "--restore requires --checkpoint-dir"
+      in
+      (* recovery rebuilds the exact scenario config (same seed, scripts,
+         grid) so the deterministic journal replay is bit-identical *)
+      let config = Battle.Scenario.sim_config ~optimize ~seed ~resurrect scenario in
+      match
+        Simulation.restore ~fault_policy ~index_cache config ~evaluator:evaluator_kind ~dir
+      with
+      | Error e -> Fmt.failwith "restore failed: %s" e
+      | Ok (sim, info) ->
+        Fmt.pr "restored: checkpoint tick=%d, replayed %d journal tick(s)%s%s@."
+          info.Simulation.restored_tick info.Simulation.replayed
+          (if info.Simulation.generations_skipped > 0 then
+             Fmt.str ", fell back past %d corrupt generation(s)" info.Simulation.generations_skipped
+           else "")
+          (if info.Simulation.journal_torn then ", torn journal tail discarded" else "");
+        sim
+    end
+    else
+      Battle.Scenario.simulation ~optimize ~seed ~resurrect ~fault_policy ~index_cache
+        ~evaluator:evaluator_kind scenario
   in
+  (match ckpt_dir with
+  | Some dir -> Simulation.checkpoint_every ~fsync:(not no_fsync) sim ~dir ~every:ckpt_every
+  | None -> ());
+  let start_tick = Simulation.tick_count sim in
   let s = Simulation.schema sim in
   let draw () =
     let w = min 100 scenario.Battle.Scenario.width
@@ -93,24 +121,41 @@ let run units ticks evaluator domains density seed optimize resurrect index_cach
           ~attrs:[ "key"; "player"; "kind"; "posx"; "posy"; "health" ])
       trace
   in
-  Option.iter (fun t -> Trace.record t ~tick:0 (Simulation.units sim)) tracer;
+  Option.iter (fun t -> Trace.record t ~tick:start_tick (Simulation.units sim)) tracer;
   let wall = Timer.create () in
   Timer.start wall;
-  (* Whatever happens in the tick loop — including a [Fault.Error] under
-     the fail policy — the trace file is flushed and closed. *)
+  (* The single exit path.  Whatever happens in the tick loop — a normal
+     finish, a [Fault.Error] under the fail policy (exit 3), or an
+     exception escaping a persistence hook — the journal is closed with no
+     half-written tail, the trace file is flushed and closed, and the
+     metrics/span documents are written.  A crash test must never report a
+     corrupt observability file as a failure of the thing under test. *)
+  let finalize () =
+    Timer.stop wall;
+    Simulation.detach_persistence sim;
+    Option.iter
+      (fun tr ->
+        Trace.close tr;
+        Fmt.pr "trace: %d rows written to %s@." (Trace.rows tr) (Option.get trace))
+      tracer;
+    (match metrics with
+    | None -> ()
+    | Some path ->
+      Telemetry.Registry.write_json Telemetry.default ~path;
+      Fmt.pr "metrics: written to %s@." path);
+    match trace_spans with
+    | None -> ()
+    | Some path ->
+      Telemetry.Span.stop ();
+      Telemetry.Span.write ~path;
+      Fmt.pr "trace-spans: %d events written to %s@." (Telemetry.Span.count ()) path
+  in
   let failed =
-    Fun.protect
-      ~finally:(fun () ->
-        Timer.stop wall;
-        Option.iter
-          (fun tr ->
-            Trace.close tr;
-            Fmt.pr "trace: %d rows written to %s@." (Trace.rows tr) (Option.get trace))
-          tracer)
-      (fun () ->
+    Fun.protect ~finally:finalize (fun () ->
         try
-          for t = 1 to ticks do
+          for t = start_tick + 1 to ticks do
             Simulation.step sim;
+            if sleep_ms > 0 then Unix.sleepf (float_of_int sleep_ms /. 1000.);
             Option.iter (fun tr -> Trace.record tr ~tick:t (Simulation.units sim)) tracer;
             if verbose && t mod (max 1 (ticks / 10)) = 0 then begin
               let r = Simulation.report sim in
@@ -135,19 +180,17 @@ let run units ticks evaluator domains density seed optimize resurrect index_cach
     let prog = Battle.Scripts.compile () in
     Fmt.pr "@.%s" (Eval.explain ~schema:s ~aggregates:prog.Core_ir.aggregates ())
   end;
-  (match metrics with
-  | None -> ()
-  | Some path ->
-    Telemetry.Registry.write_json Telemetry.default ~path;
-    Fmt.pr "metrics: written to %s@." path);
-  (match trace_spans with
-  | None -> ()
-  | Some path ->
-    Telemetry.Span.stop ();
-    Telemetry.Span.write ~path;
-    Fmt.pr "trace-spans: %d events written to %s@." (Telemetry.Span.count ()) path);
+  (* The deterministic state fingerprint: everything on this line is a
+     pure function of (scenario, seed, ticks), so an interrupted-and-
+     recovered run must reproduce it byte for byte. *)
+  Fmt.pr "final state: tick=%d units=%d digest=%s deaths=%d resurrections=%d quarantined=[%s]@."
+    (Simulation.tick_count sim)
+    (Array.length (Simulation.units sim))
+    (Sgl.Persist.Crc32.to_hex (Simulation.state_digest sim))
+    r.Simulation.deaths r.Simulation.resurrections
+    (String.concat "," r.Simulation.quarantined);
   let elapsed = Timer.elapsed wall in
-  let done_ticks = Simulation.tick_count sim in
+  let done_ticks = Simulation.tick_count sim - start_tick in
   if done_ticks > 0 && elapsed > 1e-9 then
     Fmt.pr "wall clock: %.3fs (%.1f ticks/s)@." elapsed (float_of_int done_ticks /. elapsed)
   else Fmt.pr "wall clock: %.3fs@." elapsed;
@@ -240,15 +283,60 @@ let explain_arg =
               counters: rows scanned, index probes, prefix-aggregate answers vs. enumerations \
               vs. sweeps, and cache reuse per index group.")
 
+let checkpoint_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint-dir" ] ~docv:"DIR"
+        ~doc:"Arm durable state: append a CRC-framed journal record after every committed tick \
+              and write checkpoint generations into $(docv) (created if missing).  A crashed \
+              run restarts from where it left off with $(b,--restore).")
+
+let checkpoint_every_arg =
+  Arg.(
+    value
+    & opt int 25
+    & info [ "checkpoint-every" ] ~docv:"N"
+        ~doc:"Ticks between checkpoint generations (with --checkpoint-dir; 0 keeps only the \
+              initial generation and relies on journal replay).")
+
+let restore_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "restore" ]
+        ~doc:"Recover from --checkpoint-dir instead of starting fresh: load the newest \
+              checkpoint generation that passes checksum validation (falling back past corrupt \
+              ones), deterministically replay the journal, then continue to --ticks.  The \
+              final state is bit-identical to an uninterrupted run.")
+
+let no_fsync_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "no-fsync" ]
+        ~doc:"Skip fsync on journal appends and checkpoint writes (faster, but a crash can \
+              lose recent ticks; recovery still works from whatever reached the disk).")
+
+let sleep_ms_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "sleep-ms" ] ~docv:"MS"
+        ~doc:"Sleep $(docv) milliseconds after each tick.  For crash-recovery tests that need \
+              to kill the process mid-run at a predictable point.")
+
 let cmd =
   let doc = "run the SGL battle simulation (knights, archers, healers)" in
   Cmd.v
     (Cmd.info "battle_sim" ~version:Sgl.version ~doc)
     Term.(
-      const (fun u t e dom d s no_opt no_res no_cache v a tr fp inj m sp ex ->
-          run u t e dom d s (not no_opt) (not no_res) (not no_cache) v a tr fp inj m sp ex)
+      const (fun u t e dom d s no_opt no_res no_cache v a tr fp inj m sp ex cd ce rst nf slp ->
+          run u t e dom d s (not no_opt) (not no_res) (not no_cache) v a tr fp inj m sp ex cd ce
+            rst nf slp)
       $ units_arg $ ticks_arg $ evaluator_arg $ domains_arg $ density_arg $ seed_arg
       $ optimize_arg $ resurrect_arg $ index_cache_arg $ verbose_arg $ ascii_arg $ trace_arg
-      $ fault_policy_arg $ inject_arg $ metrics_arg $ trace_spans_arg $ explain_arg)
+      $ fault_policy_arg $ inject_arg $ metrics_arg $ trace_spans_arg $ explain_arg
+      $ checkpoint_dir_arg $ checkpoint_every_arg $ restore_arg $ no_fsync_arg $ sleep_ms_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -76,9 +76,11 @@ let setup ?(density = 0.01) ~(per_side : army) () : t =
   deploy s ~army:per_side ~player:1 ~width ~height ~next_key out;
   { schema = s; units = Varray.to_array out; width; height; density }
 
-(* Assemble a full simulation over the scenario. *)
-let simulation ?(optimize = true) ?(seed = 42) ?(resurrect = true) ?fault_policy ?index_cache
-    ~(evaluator : Simulation.evaluator_kind) (t : t) : Simulation.t =
+(* The simulation configuration over the scenario — shared between fresh
+   assembly and checkpoint recovery, which must rebuild the exact same
+   config (same seed, same scripts, same movement grid) for the journal
+   replay to be bit-identical. *)
+let sim_config ?(optimize = true) ?(seed = 42) ?(resurrect = true) (t : t) : Simulation.config =
   let s = t.schema in
   let prog = Scripts.compile () in
   let kind_ix = Schema.find s "kind" in
@@ -97,19 +99,22 @@ let simulation ?(optimize = true) ?(seed = 42) ?(resurrect = true) ?fault_policy
       height = t.height;
     }
   in
-  let config =
-    {
-      Simulation.prog;
-      script_of;
-      postprocess = Postprocess.battle_spec ~schema:s;
-      movement = Some movement;
-      death =
-        (if resurrect then
-           Simulation.Resurrect
-             { health = Schema.find s "health"; max_health = Schema.find s "max_health" }
-         else Simulation.Remove);
-      seed;
-      optimize;
-    }
-  in
+  {
+    Simulation.prog;
+    script_of;
+    postprocess = Postprocess.battle_spec ~schema:s;
+    movement = Some movement;
+    death =
+      (if resurrect then
+         Simulation.Resurrect
+           { health = Schema.find s "health"; max_health = Schema.find s "max_health" }
+       else Simulation.Remove);
+    seed;
+    optimize;
+  }
+
+(* Assemble a full simulation over the scenario. *)
+let simulation ?optimize ?seed ?resurrect ?fault_policy ?index_cache
+    ~(evaluator : Simulation.evaluator_kind) (t : t) : Simulation.t =
+  let config = sim_config ?optimize ?seed ?resurrect t in
   Simulation.create ?fault_policy ?index_cache config ~evaluator ~units:t.units

@@ -28,6 +28,13 @@ type t = {
     sized to hold the occupied-cell fraction at [density]. *)
 val setup : ?density:float -> per_side:army -> unit -> t
 
+(** The simulation configuration over the scenario (battle scripts,
+    post-processing, movement, death rule).  Checkpoint recovery rebuilds
+    the same config — same seed, scripts and grid — and hands it to
+    {!Simulation.restore}; [simulation] is [Simulation.create] over it. *)
+val sim_config :
+  ?optimize:bool -> ?seed:int -> ?resurrect:bool -> t -> Simulation.config
+
 (** Assemble the full simulation: battle scripts, post-processing, movement,
     death rule (resurrection by default).  [index_cache] is forwarded to
     {!Simulation.create} (cross-tick index structure reuse, on by

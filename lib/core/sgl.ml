@@ -75,6 +75,14 @@ module Analysis = struct
   module Driver = Sgl_analysis.Driver
 end
 
+(* Durable state *)
+module Persist = struct
+  module Crc32 = Sgl_util.Crc32
+  module Codec = Sgl_persist.Codec
+  module Checkpoint = Sgl_persist.Checkpoint
+  module Journal = Sgl_persist.Journal
+end
+
 (* The discrete simulation engine *)
 module Postprocess = Sgl_engine.Postprocess
 module Movement = Sgl_engine.Movement

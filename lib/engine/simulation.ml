@@ -76,6 +76,31 @@ type engine =
    per-simulation registry below is the report's source of truth. *)
 let tel_rollbacks = Telemetry.counter "sim.rollbacks"
 
+(* Durable-state telemetry (ambient registry, gated like the rest). *)
+let tel_checkpoints = Telemetry.counter "persist.checkpoints"
+let tel_journal_records = Telemetry.counter "persist.journal_records"
+let tel_journal_bytes = Telemetry.counter "persist.journal_bytes"
+let tel_recoveries = Telemetry.counter "persist.recoveries"
+let tel_fallbacks = Telemetry.counter "persist.fallbacks"
+let tel_replayed = Telemetry.counter "persist.replayed_ticks"
+let tel_checkpoint_ns = Telemetry.histogram "persist.checkpoint_ns"
+
+module Checkpoint = Sgl_persist.Checkpoint
+module Journal = Sgl_persist.Journal
+module Codec = Sgl_persist.Codec
+
+(* Armed durable persistence: a journal record per committed tick, a new
+   checkpoint generation every [p_every] ticks (0: only the generation
+   written when arming). *)
+type persistence = {
+  p_dir : string;
+  p_every : int;
+  p_fsync : bool;
+  p_keep : int;
+  mutable p_base : int; (* tick of the newest durable checkpoint *)
+  mutable p_journal : Journal.writer option;
+}
+
 type timings = {
   decision : Timer.t; (* includes index building; see evaluator stats *)
   post : Timer.t;
@@ -118,6 +143,7 @@ type t = {
   mutable quarantined : string list; (* script groups excluded from future ticks *)
   mutable degradations : (int * string * string) list; (* tick, from, to *)
   mutable retired_stats : Eval.eval_stats; (* totals of engines retired by demotion *)
+  mutable persist : persistence option; (* armed by [checkpoint_every] *)
 }
 
 let make_engine ~(schema : Schema.t) ~(aggregates : Aggregate.t array)
@@ -170,6 +196,7 @@ let create ?(fault_policy = Fail) ?(fault_log_capacity = 64) ?(index_cache = tru
     quarantined = [];
     degradations = [];
     retired_stats = Eval.fresh_stats ();
+    persist = None;
   }
 
 let schema t = t.config.prog.Core_ir.schema
@@ -237,6 +264,85 @@ let demote (t : t) (weaker : evaluator_kind) : unit =
   t.engine <-
     make_engine ~schema ~aggregates:t.config.prog.Core_ir.aggregates ~compiled:t.compiled weaker;
   t.evaluator <- weaker
+
+(* ------------------------------------------------------------------ *)
+(* Durable state: snapshots and the commit journal *)
+
+(* The deterministic engine counters a recovered run must agree on with an
+   uninterrupted one.  Timings and index statistics are deliberately
+   absent: they describe work done, not simulation state. *)
+let counter_snapshot (t : t) : (string * int) list =
+  [
+    ("deaths", Telemetry.Counter.value t.c_deaths);
+    ("resurrections", Telemetry.Counter.value t.c_resurrections);
+    ("faults", Telemetry.Counter.value t.c_faults);
+    ("retries", Telemetry.Counter.value t.c_retries);
+    ("rollbacks", Telemetry.Counter.value t.c_rollbacks);
+    ("suppressed", Telemetry.Counter.value t.c_suppressed);
+  ]
+
+let state_of (t : t) : Checkpoint.state =
+  {
+    Checkpoint.tick = t.tick;
+    seed = t.config.seed;
+    (* the counter-mode PRNG's position is (seed, tick): both are here *)
+    cache_epoch = (if t.index_cache then t.tick else 0);
+    units = t.units;
+    quarantined = t.quarantined;
+    counters = counter_snapshot t;
+    degradations = t.degradations;
+  }
+
+(* CRC-32 of the canonical encoding of the current unit array — the
+   fingerprint journal records and recovery differentials compare. *)
+let state_digest (t : t) : int = Codec.units_digest t.units
+
+(* Write a checkpoint generation now, then rotate the journal onto it.
+   Ordering matters for crash safety: the new generation is durable before
+   the old journal closes, so at every instant some checkpoint + journal
+   chain reaches the last committed tick. *)
+let checkpoint_now (t : t) : unit =
+  match t.persist with
+  | None -> invalid_arg "Simulation.checkpoint_now: persistence is not armed"
+  | Some p ->
+    Telemetry.Span.with_ ~cat:"persist" "checkpoint" @@ fun () ->
+    let t0 = Timer.now_ns () in
+    let (_ : string) = Checkpoint.save ~dir:p.p_dir ~fsync:p.p_fsync ~schema:(schema t) (state_of t) in
+    Option.iter Journal.close p.p_journal;
+    p.p_base <- t.tick;
+    p.p_journal <- Some (Journal.create ~dir:p.p_dir ~base:t.tick ~fsync:p.p_fsync);
+    Checkpoint.prune ~dir:p.p_dir ~keep:p.p_keep;
+    Telemetry.Counter.incr tel_checkpoints;
+    Telemetry.Histogram.observe tel_checkpoint_ns
+      (Int64.to_float (Int64.sub (Timer.now_ns ()) t0))
+
+(* One journal record for the tick that just committed. *)
+let journal_commit (t : t) (p : persistence) : unit =
+  match p.p_journal with
+  | None -> ()
+  | Some w ->
+    let structural, dirty_attrs, dirty_keys =
+      match t.pending_delta with
+      | Some d -> (Delta.structural d, Delta.dirty_attrs d, Delta.dirty_key_count d)
+      | None ->
+        (* no summary recorded (cache off / rolled back): claim everything
+           changed — over-reporting is sound, here as in the index cache *)
+        (true, [], 0)
+    in
+    let before = Journal.bytes_written w in
+    Journal.append w
+      {
+        Journal.j_tick = t.tick;
+        j_units = Array.length t.units;
+        j_digest = Codec.units_digest t.units;
+        j_deaths = Telemetry.Counter.value t.c_deaths;
+        j_resurrections = Telemetry.Counter.value t.c_resurrections;
+        j_structural = structural;
+        j_dirty_attrs = dirty_attrs;
+        j_dirty_keys = dirty_keys;
+      };
+    Telemetry.Counter.incr tel_journal_records;
+    Telemetry.Counter.add tel_journal_bytes (Journal.bytes_written w - before)
 
 (* ------------------------------------------------------------------ *)
 (* The tick *)
@@ -427,7 +533,15 @@ let step (t : t) : unit =
           attempt ()
       end)
   in
-  attempt ()
+  attempt ();
+  (* Durability hooks run only for a committed tick: a failed attempt was
+     rolled back before the policy re-raised, so the journal never sees a
+     state the simulation did not keep. *)
+  match t.persist with
+  | None -> ()
+  | Some p ->
+    journal_commit t p;
+    if p.p_every > 0 && t.tick - p.p_base >= p.p_every then checkpoint_now t
 
 let run (t : t) ~(ticks : int) : unit =
   (* Fix the target tick up front: [step] can grow or shrink [t.units]
@@ -437,6 +551,138 @@ let run (t : t) ~(ticks : int) : unit =
   while t.tick < target do
     step t
   done
+
+(* ------------------------------------------------------------------ *)
+(* Durable state: arming and recovery *)
+
+let checkpoint_every ?(fsync = true) ?(keep = 2) (t : t) ~(dir : string) ~(every : int) : unit =
+  (match t.persist with
+  | Some p ->
+    Option.iter Journal.close p.p_journal;
+    p.p_journal <- None
+  | None -> ());
+  t.persist <- Some { p_dir = dir; p_every = every; p_fsync = fsync; p_keep = keep;
+                      p_base = t.tick; p_journal = None };
+  (* an initial durable generation, so recovery always has a base *)
+  checkpoint_now t
+
+let detach_persistence (t : t) : unit =
+  match t.persist with
+  | None -> ()
+  | Some p ->
+    Option.iter Journal.close p.p_journal;
+    p.p_journal <- None;
+    t.persist <- None
+
+type restore_info = {
+  restored_tick : int; (* the checkpoint generation recovery loaded *)
+  replayed : int; (* journal ticks re-executed on top of it *)
+  generations_skipped : int; (* newer generations rejected as corrupt/unreadable *)
+  journal_torn : bool; (* the journal chain ended in a torn record *)
+}
+
+(* Recovery: newest valid checkpoint generation + deterministic replay of
+   the journal chain.  Replay re-executes [step] — every PRNG draw is a
+   pure function of (seed, tick, key, i), so the re-run is bit-identical
+   to the crashed one — and each replayed tick is verified against the
+   journaled fingerprint before the next is attempted. *)
+let restore ?fault_policy ?fault_log_capacity ?index_cache (config : config)
+    ~(evaluator : evaluator_kind) ~(dir : string) : (t * restore_info, string) result =
+  let schema = config.prog.Core_ir.schema in
+  match Checkpoint.load_latest ~schema ~dir with
+  | Error e -> Error e
+  | Ok (st, generations_skipped) ->
+    if st.Checkpoint.seed <> config.seed then
+      Error
+        (Printf.sprintf "checkpoint was taken under seed %d, config has seed %d — replay would diverge"
+           st.Checkpoint.seed config.seed)
+    else begin
+      let t =
+        create ?fault_policy ?fault_log_capacity ?index_cache config ~evaluator
+          ~units:st.Checkpoint.units
+      in
+      t.tick <- st.Checkpoint.tick;
+      t.quarantined <- st.Checkpoint.quarantined;
+      t.degradations <- st.Checkpoint.degradations;
+      let set_counter name c =
+        match List.assoc_opt name st.Checkpoint.counters with
+        | Some v -> Telemetry.Counter.set c v
+        | None -> ()
+      in
+      set_counter "deaths" t.c_deaths;
+      set_counter "resurrections" t.c_resurrections;
+      set_counter "faults" t.c_faults;
+      set_counter "retries" t.c_retries;
+      set_counter "rollbacks" t.c_rollbacks;
+      set_counter "suppressed" t.c_suppressed;
+      (* Replay the journal chain: every journal whose base is at or after
+         the loaded generation, oldest first.  The chain exists because
+         rotation happens at checkpoint time — journal [base=B] covers
+         exactly the ticks between generation B and the next one. *)
+      let bases =
+        if Sys.file_exists dir then
+          Sys.readdir dir |> Array.to_list
+          |> List.filter_map Journal.base_of_filename
+          |> List.filter (fun b -> b >= st.Checkpoint.tick)
+          |> List.sort compare
+        else []
+      in
+      let replayed = ref 0 and torn = ref false and error = ref None in
+      let verify (e : Journal.entry) =
+        if Array.length t.units <> e.Journal.j_units
+           || Codec.units_digest t.units <> e.Journal.j_digest
+           || Telemetry.Counter.value t.c_deaths <> e.Journal.j_deaths
+           || Telemetry.Counter.value t.c_resurrections <> e.Journal.j_resurrections
+        then
+          error :=
+            Some
+              (Printf.sprintf
+                 "replay diverged at tick %d: journal has units=%d digest=%08x, replay produced units=%d digest=%08x"
+                 e.Journal.j_tick e.Journal.j_units e.Journal.j_digest (Array.length t.units)
+                 (Codec.units_digest t.units))
+      in
+      (try
+         List.iter
+           (fun base ->
+             if !error = None && not !torn then begin
+               let entries, t_torn = Journal.read ~dir ~base in
+               List.iter
+                 (fun (e : Journal.entry) ->
+                   if !error = None && not !torn then
+                     if e.Journal.j_tick <= t.tick then () (* already in the snapshot *)
+                     else if e.Journal.j_tick = t.tick + 1 then begin
+                       Telemetry.Span.with_ ~cat:"persist" "replay" (fun () -> step t);
+                       incr replayed;
+                       verify e
+                     end
+                     else
+                       (* a gap means records are missing: stop like a tear
+                          rather than replay past unverifiable ticks *)
+                       torn := true)
+                 entries;
+               if t_torn then torn := true
+             end)
+           bases
+       with
+      | Codec.Corrupt msg -> error := Some (Printf.sprintf "journal unreadable: %s" msg)
+      | Fault.Error f -> error := Some (Printf.sprintf "fault during replay: %s" (Fmt.str "%a" Fault.pp f))
+      | Fault_inject.Injected { point; count } ->
+        error := Some (Printf.sprintf "injected read fault at %s (call %d)" point count));
+      match !error with
+      | Some e -> Error e
+      | None ->
+        Telemetry.Counter.incr tel_recoveries;
+        Telemetry.Counter.add tel_fallbacks generations_skipped;
+        Telemetry.Counter.add tel_replayed !replayed;
+        Ok
+          ( t,
+            {
+              restored_tick = st.Checkpoint.tick;
+              replayed = !replayed;
+              generations_skipped;
+              journal_torn = !torn;
+            } )
+    end
 
 (* ------------------------------------------------------------------ *)
 (* Reporting *)

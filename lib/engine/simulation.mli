@@ -90,6 +90,68 @@ val tick_count : t -> int
 val step : t -> unit
 val run : t -> ticks:int -> unit
 
+(** {2 Durable state}
+
+    Armed persistence makes the simulation survive its process: every
+    committed tick appends one CRC-framed record to a commit journal
+    ({!Sgl_persist.Journal}), and every [every] ticks the full state is
+    snapshotted as a new checkpoint generation
+    ({!Sgl_persist.Checkpoint}).  Recovery ({!restore}) loads the newest
+    generation that passes checksum validation — falling back to older
+    generations when a file is corrupt — then deterministically re-executes
+    the journaled ticks, verifying each against its journaled fingerprint.
+    The replay is bit-identical to the lost run because every PRNG draw is
+    a pure function of (seed, tick, key, i) and evaluators are
+    differentially pinned equal. *)
+
+(** [checkpoint_every ?fsync ?keep t ~dir ~every] arms persistence: an
+    initial checkpoint generation is written immediately, a journal record
+    follows every committed tick, and a new generation is cut each [every]
+    ticks ([0]: only the arming checkpoint; the journal still grows).
+    [fsync] (default [true]) fsyncs every journal append and checkpoint;
+    [keep] (default 2) bounds retained generations.  Raises on I/O
+    failure, and propagates ["io.checkpoint.write"] /
+    ["io.journal.append"] injections. *)
+val checkpoint_every : ?fsync:bool -> ?keep:int -> t -> dir:string -> every:int -> unit
+
+(** Cut a checkpoint generation now (persistence must be armed). *)
+val checkpoint_now : t -> unit
+
+(** Close the journal and disarm persistence (idempotent).  Call on every
+    exit path so the journal's tail record is not torn by process
+    teardown. *)
+val detach_persistence : t -> unit
+
+(** CRC-32 of the canonical binary encoding of the current unit array —
+    the deterministic state fingerprint journal records carry and
+    crash-recovery differentials compare. *)
+val state_digest : t -> int
+
+type restore_info = {
+  restored_tick : int;  (** the checkpoint generation recovery loaded *)
+  replayed : int;  (** journal ticks re-executed on top of it *)
+  generations_skipped : int;
+      (** newer generations rejected as corrupt or unreadable *)
+  journal_torn : bool;
+      (** the journal chain ended in a torn (mid-append) record *)
+}
+
+(** [restore config ~evaluator ~dir] recovers a simulation from [dir]:
+    newest valid checkpoint plus deterministic journal replay, each
+    replayed tick verified bit-for-bit against its journaled digest.
+    [Error] when no generation validates, the checkpoint seed disagrees
+    with [config.seed], or replay diverges from the journal.  The
+    returned simulation is not armed for persistence — call
+    {!checkpoint_every} to resume durability. *)
+val restore :
+  ?fault_policy:fault_policy ->
+  ?fault_log_capacity:int ->
+  ?index_cache:bool ->
+  config ->
+  evaluator:evaluator_kind ->
+  dir:string ->
+  (t * restore_info, string) result
+
 (** Retained faults, oldest first (bounded by the log capacity). *)
 val faults : t -> Fault.t list
 

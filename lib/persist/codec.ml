@@ -1,0 +1,252 @@
+(* The binary codec under durable simulation state.
+
+   Everything is fixed-width little-endian: ints as 64-bit two's
+   complement, floats as their IEEE-754 bit pattern, strings with a u32
+   length prefix.  The encoding is canonical — one state, one byte string
+   — which is what lets a CRC-32 of the encoded unit array stand in for
+   the state itself in the journal and in the recovery differentials.
+
+   Decoding is defensive throughout: every read is bounds-checked and
+   every declared length is validated against the remaining input before
+   it is trusted, so a torn or bit-flipped file surfaces as [Corrupt]
+   rather than as an out-of-bounds access or an absurd allocation. *)
+
+open Sgl_util
+open Sgl_relalg
+
+exception Corrupt of string
+
+let corrupt fmt = Fmt.kstr (fun s -> raise (Corrupt s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Writer: a thin layer over Buffer with the canonical encodings. *)
+
+module W = struct
+  type t = Buffer.t
+
+  let create ?(size = 1024) () : t = Buffer.create size
+  let length = Buffer.length
+  let u8 b v = Buffer.add_char b (Char.chr (v land 0xFF))
+
+  let u16 b v =
+    if v < 0 || v > 0xFFFF then corrupt "u16 out of range: %d" v;
+    Buffer.add_uint16_le b v
+
+  let u32 b v =
+    if v < 0 || v > 0xFFFFFFFF then corrupt "u32 out of range: %d" v;
+    Buffer.add_int32_le b (Int32.of_int v)
+
+  let i64 b v = Buffer.add_int64_le b v
+  let int b v = i64 b (Int64.of_int v)
+  let float b v = i64 b (Int64.bits_of_float v)
+
+  let str b s =
+    u32 b (String.length s);
+    Buffer.add_string b s
+
+  let bool b v = u8 b (if v then 1 else 0)
+
+  let value b (v : Value.t) =
+    match v with
+    | Value.Int i ->
+      u8 b 0;
+      int b i
+    | Value.Float f ->
+      u8 b 1;
+      float b f
+    | Value.Bool x ->
+      u8 b 2;
+      bool b x
+    | Value.Vec { Vec2.x; y } ->
+      u8 b 3;
+      float b x;
+      float b y
+
+  let tuple b (t : Tuple.t) =
+    u16 b (Tuple.arity t);
+    Array.iter (value b) t
+
+  let ty_code = function
+    | Value.TInt -> 0
+    | Value.TFloat -> 1
+    | Value.TBool -> 2
+    | Value.TVec -> 3
+
+  let tag_code = function
+    | Schema.Const -> 0
+    | Schema.Sum -> 1
+    | Schema.Max -> 2
+    | Schema.Min -> 3
+    | Schema.Pmax -> 4
+
+  let schema b (s : Schema.t) =
+    u16 b (Schema.arity s);
+    List.iter
+      (fun (a : Schema.attr) ->
+        str b a.Schema.name;
+        u8 b (ty_code a.Schema.ty);
+        u8 b (tag_code a.Schema.tag))
+      (Schema.attrs s)
+
+  let contents = Buffer.contents
+end
+
+(* ------------------------------------------------------------------ *)
+(* Reader: a cursor over an immutable string. *)
+
+module R = struct
+  type t = { s : string; mutable pos : int }
+
+  let of_string s = { s; pos = 0 }
+  let remaining r = String.length r.s - r.pos
+
+  let need r n what =
+    if n < 0 || remaining r < n then
+      corrupt "truncated input: %s needs %d bytes, %d remain" what n (remaining r)
+
+  let u8 r =
+    need r 1 "u8";
+    let v = Char.code r.s.[r.pos] in
+    r.pos <- r.pos + 1;
+    v
+
+  let u16 r =
+    need r 2 "u16";
+    let v = String.get_uint16_le r.s r.pos in
+    r.pos <- r.pos + 2;
+    v
+
+  let u32 r =
+    need r 4 "u32";
+    let v = Int32.to_int (String.get_int32_le r.s r.pos) land 0xFFFFFFFF in
+    r.pos <- r.pos + 4;
+    v
+
+  let i64 r =
+    need r 8 "i64";
+    let v = String.get_int64_le r.s r.pos in
+    r.pos <- r.pos + 8;
+    v
+
+  let int r =
+    let v = i64 r in
+    (* OCaml ints are 63-bit: a persisted value outside the native range
+       cannot round-trip, so reject it rather than silently wrap. *)
+    if Int64.of_int (Int64.to_int v) <> v then corrupt "int out of native range: %Ld" v;
+    Int64.to_int v
+
+  let float r = Int64.float_of_bits (i64 r)
+
+  let raw r n =
+    need r n "raw bytes";
+    let v = String.sub r.s r.pos n in
+    r.pos <- r.pos + n;
+    v
+
+  let str r = raw r (u32 r)
+
+  let bool r =
+    match u8 r with
+    | 0 -> false
+    | 1 -> true
+    | v -> corrupt "invalid bool byte %d" v
+
+  let value r : Value.t =
+    match u8 r with
+    | 0 -> Value.Int (int r)
+    | 1 -> Value.Float (float r)
+    | 2 -> Value.Bool (bool r)
+    | 3 ->
+      let x = float r in
+      let y = float r in
+      Value.Vec (Vec2.make x y)
+    | tag -> corrupt "unknown value tag %d" tag
+
+  let tuple r : Tuple.t =
+    let n = u16 r in
+    need r n "tuple values" (* each value is at least a tag byte *);
+    Array.init n (fun _ -> value r)
+
+  let ty_of_code = function
+    | 0 -> Value.TInt
+    | 1 -> Value.TFloat
+    | 2 -> Value.TBool
+    | 3 -> Value.TVec
+    | c -> corrupt "unknown type code %d" c
+
+  let tag_of_code = function
+    | 0 -> Schema.Const
+    | 1 -> Schema.Sum
+    | 2 -> Schema.Max
+    | 3 -> Schema.Min
+    | 4 -> Schema.Pmax
+    | c -> corrupt "unknown combination-tag code %d" c
+
+  let schema r : Schema.t =
+    let n = u16 r in
+    let attrs =
+      List.init n (fun _ ->
+          let name = str r in
+          let ty = ty_of_code (u8 r) in
+          let tag = tag_of_code (u8 r) in
+          Schema.attr ~tag name ty)
+    in
+    try Schema.create attrs
+    with Schema.Schema_error msg -> corrupt "persisted schema invalid: %s" msg
+end
+
+(* ------------------------------------------------------------------ *)
+(* Section framing *)
+
+let end_tag = "END!"
+
+let write_header b ~(magic : string) ~(version : int) : unit =
+  if String.length magic <> 8 then invalid_arg "Codec.write_header: magic must be 8 bytes";
+  Buffer.add_string b magic;
+  Buffer.add_int32_le b (Int32.of_int version)
+
+let write_section b ~(tag : string) (payload : string) : unit =
+  if String.length tag <> 4 then invalid_arg "Codec.write_section: tag must be 4 bytes";
+  Buffer.add_string b tag;
+  Buffer.add_int32_le b (Int32.of_int (String.length payload));
+  Buffer.add_string b payload;
+  Buffer.add_int32_le b (Int32.of_int (Crc32.string payload))
+
+let read_header (r : R.t) ~(magic : string) ~(version : int) : unit =
+  R.need r 8 "magic";
+  let got = String.sub r.R.s r.R.pos 8 in
+  if not (String.equal got magic) then corrupt "bad magic %S (want %S)" got magic;
+  r.R.pos <- r.R.pos + 8;
+  let v = R.u32 r in
+  if v <> version then corrupt "unsupported version %d (this build reads version %d)" v version
+
+let read_sections (r : R.t) : (string * string) list =
+  let rec go acc =
+    R.need r 4 "section tag";
+    let tag = String.sub r.R.s r.R.pos 4 in
+    r.R.pos <- r.R.pos + 4;
+    let len = R.u32 r in
+    R.need r len (Printf.sprintf "section %S payload" tag);
+    let payload = String.sub r.R.s r.R.pos len in
+    r.R.pos <- r.R.pos + len;
+    let stored = R.u32 r in
+    let actual = Crc32.string payload in
+    if stored <> actual then
+      corrupt "section %S checksum mismatch: stored %s, computed %s" tag (Crc32.to_hex stored)
+        (Crc32.to_hex actual);
+    if String.equal tag end_tag then begin
+      if R.remaining r <> 0 then corrupt "%d trailing bytes after terminator" (R.remaining r);
+      List.rev acc
+    end
+    else go ((tag, payload) :: acc)
+  in
+  go []
+
+(* ------------------------------------------------------------------ *)
+(* State fingerprints *)
+
+let units_digest (units : Tuple.t array) : int =
+  let b = W.create ~size:(64 * (1 + Array.length units)) () in
+  W.u32 b (Array.length units);
+  Array.iter (W.tuple b) units;
+  Crc32.string (W.contents b)

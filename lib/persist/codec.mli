@@ -1,0 +1,111 @@
+(** The binary codec under durable simulation state.
+
+    Fixed-width little-endian encodings wrapped in CRC-framed sections:
+    every number is a canonical byte string (ints as 64-bit two's
+    complement, floats as IEEE-754 bit patterns), so the encoding of a
+    unit array is itself a canonical fingerprint of simulation state —
+    {!units_digest} is the integrity check both the journal and the
+    differential tests compare.
+
+    Readers never trust the input: every length is bounds-checked against
+    the remaining bytes and every section payload is verified against its
+    stored CRC-32 before it is decoded.  Any violation raises {!Corrupt}
+    with a description of the first inconsistency found. *)
+
+open Sgl_relalg
+
+exception Corrupt of string
+
+val corrupt : ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+(** {1 Writer} *)
+
+module W : sig
+  type t
+
+  val create : ?size:int -> unit -> t
+  val length : t -> int
+  val u8 : t -> int -> unit
+  val u16 : t -> int -> unit
+  val u32 : t -> int -> unit
+  val i64 : t -> int64 -> unit
+
+  (** OCaml int as 64-bit two's complement. *)
+  val int : t -> int -> unit
+
+  val float : t -> float -> unit
+
+  (** u32 length prefix + bytes. *)
+  val str : t -> string -> unit
+
+  val bool : t -> bool -> unit
+  val value : t -> Value.t -> unit
+  val tuple : t -> Tuple.t -> unit
+  val schema : t -> Schema.t -> unit
+  val contents : t -> string
+end
+
+(** {1 Reader} *)
+
+module R : sig
+  type t
+
+  val of_string : string -> t
+
+  (** Bytes not yet consumed. *)
+  val remaining : t -> int
+
+  val u8 : t -> int
+  val u16 : t -> int
+  val u32 : t -> int
+  val i64 : t -> int64
+  val int : t -> int
+  val float : t -> float
+  val str : t -> string
+
+  (** [raw r n] consumes exactly [n] bytes. *)
+  val raw : t -> int -> string
+
+  val bool : t -> bool
+  val value : t -> Value.t
+  val tuple : t -> Tuple.t
+
+  (** Decodes and re-validates the schema invariants (via
+      {!Sgl_relalg.Schema.create}); a schema the engine would reject
+      reads as corrupt. *)
+  val schema : t -> Schema.t
+end
+
+(** {1 Section framing}
+
+    A persisted file is a header ([magic] bytes + u32 version) followed by
+    sections: a 4-byte tag, a u32 payload length, the payload, and the
+    payload's CRC-32.  A well-formed file ends with an empty ["END!"]
+    section, so plain truncation is always detectable. *)
+
+val end_tag : string
+
+(** [write_header b ~magic ~version] starts a file; [magic] must be 8
+    bytes. *)
+val write_header : Buffer.t -> magic:string -> version:int -> unit
+
+(** [write_section b ~tag payload] frames one section; [tag] must be 4
+    bytes. *)
+val write_section : Buffer.t -> tag:string -> string -> unit
+
+(** [read_header r ~magic ~version] checks the magic and returns the file
+    version after raising {!Corrupt} unless it equals [version]. *)
+val read_header : R.t -> magic:string -> version:int -> unit
+
+(** [read_sections r] consumes CRC-verified [(tag, payload)] sections up
+    to and excluding the ["END!"] terminator.  Raises {!Corrupt} on a
+    truncated file, a bad CRC, or trailing garbage after the
+    terminator. *)
+val read_sections : R.t -> (string * string) list
+
+(** {1 State fingerprints} *)
+
+(** CRC-32 of the canonical encoding of the unit array, in array order —
+    bit-identical across evaluators and runs by the engine's determinism
+    guarantee. *)
+val units_digest : Tuple.t array -> int

@@ -1,0 +1,57 @@
+(** The per-tick commit journal.
+
+    One journal file accompanies each checkpoint generation
+    ([jrnl-<base>.sglj], where [base] is the generation's tick): after a
+    tick commits, one CRC-framed record is appended and the file is
+    flushed (and fsynced unless the writer was opened with
+    [~fsync:false]).  Recovery is replay-by-re-execution: the engine is
+    deterministic from a snapshot, so a record does not carry effects —
+    it carries the committed tick's *fingerprint* (canonical-encoding
+    digest, population, engine counters) plus the tick's delta summary,
+    and the restore path re-runs the tick and verifies it reproduced the
+    journaled state bit-for-bit.
+
+    A crash mid-append leaves a torn final record; {!read} returns the
+    valid prefix and flags the tear instead of failing, because a torn
+    tail is the *expected* shape of a journal after a crash. *)
+
+type entry = {
+  j_tick : int;  (** the tick this record commits (post-tick counter) *)
+  j_units : int;  (** population after the tick *)
+  j_digest : int;  (** {!Codec.units_digest} of the post-tick unit array *)
+  j_deaths : int;  (** cumulative deterministic counters, for verification *)
+  j_resurrections : int;
+  j_structural : bool;  (** the tick's delta summary, when one was recorded *)
+  j_dirty_attrs : int list;
+  j_dirty_keys : int;
+}
+
+val path : dir:string -> base:int -> string
+
+(** Parse a journal file name back to its base tick. *)
+val base_of_filename : string -> int option
+
+type writer
+
+(** [create ~dir ~base ~fsync] opens (truncating) the journal for the
+    generation at [base] and writes its header. *)
+val create : dir:string -> base:int -> fsync:bool -> writer
+
+(** Appends one record, flushes, and fsyncs when armed.  Hits the
+    ["io.journal.append"] injection point first.  Raises
+    [Sys_error] on I/O failure. *)
+val append : writer -> entry -> unit
+
+(** Payload bytes appended so far (excluding header and framing). *)
+val bytes_written : writer -> int
+
+(** Idempotent. *)
+val close : writer -> unit
+
+(** [read ~dir ~base] returns the valid record prefix of the generation's
+    journal and whether a torn tail was discarded.  A missing file reads
+    as [([], false)]; a file whose *header* is corrupt raises
+    {!Codec.Corrupt} (unlike a torn tail, a bad header means the journal
+    cannot be trusted at all).  Hits ["io.restore.read"] once per file
+    opened. *)
+val read : dir:string -> base:int -> entry list * bool

@@ -1,0 +1,38 @@
+(* CRC-32 (IEEE 802.3), the reflected 0xEDB88320 polynomial — the same
+   digest zlib and gzip use, so persisted files can be checked with
+   off-the-shelf tools.  Table-driven, one table shared process-wide;
+   digests live in plain ints (always in [0, 2^32)), so no Int32 boxing
+   on the per-byte path. *)
+
+type t = int
+
+let poly = 0xEDB88320
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 <> 0 then poly lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let empty : t = 0
+
+let update_bytes (crc : t) (b : Bytes.t) ~(pos : int) ~(len : int) : t =
+  if pos < 0 || len < 0 || pos > Bytes.length b - len then
+    invalid_arg "Crc32.update: range out of bounds";
+  let table = Lazy.force table in
+  (* pre-condition with the final xor so [empty] is a valid digest *)
+  let c = ref (crc lxor 0xFFFFFFFF) in
+  for i = pos to pos + len - 1 do
+    c := table.((!c lxor Char.code (Bytes.unsafe_get b i)) land 0xFF) lxor (!c lsr 8)
+  done;
+  !c lxor 0xFFFFFFFF
+
+let update (crc : t) (s : string) ~(pos : int) ~(len : int) : t =
+  update_bytes crc (Bytes.unsafe_of_string s) ~pos ~len
+
+let string (s : string) : t = update empty s ~pos:0 ~len:(String.length s)
+
+let to_hex (t : t) : string = Printf.sprintf "%08x" (t land 0xFFFFFFFF)

@@ -1,0 +1,20 @@
+(** CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the checksum
+    guarding every persisted section and journal record.  Pure OCaml,
+    table-driven; digests are non-negative ints in [\[0, 2^32)]. *)
+
+type t = int
+(** A running CRC state (already pre/post-conditioned: [empty] is the
+    digest of the empty string, and any [t] is a valid final digest). *)
+
+val empty : t
+
+(** [update crc s ~pos ~len] folds [s.[pos .. pos+len-1]] into [crc].
+    @raise Invalid_argument when the range is out of bounds. *)
+val update : t -> string -> pos:int -> len:int -> t
+
+val update_bytes : t -> Bytes.t -> pos:int -> len:int -> t
+
+(** [string s] is [update empty s ~pos:0 ~len:(String.length s)]. *)
+val string : string -> t
+
+val to_hex : t -> string

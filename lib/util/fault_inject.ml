@@ -29,7 +29,10 @@ let () =
 (* The points compiled into the engine.  [arm] validates against this
    list: a typo in a point name must fail loudly, not silently never fire. *)
 let points =
-  [ "eval.member"; "exec.group"; "fused.kernel"; "index.build"; "pool.lane"; "post.apply" ]
+  [
+    "eval.member"; "exec.group"; "fused.kernel"; "index.build"; "io.checkpoint.write";
+    "io.journal.append"; "io.restore.read"; "pool.lane"; "post.apply";
+  ]
 
 type point = {
   name : string;
