@@ -36,6 +36,7 @@ let analyze_core ?(post_reads : int list = []) ?(pos_of : string -> Ast.pos = fu
   Diagnostic.sort
     (Effect_race.check ~post_reads ~pos_of prog
     @ Perf_lint.check_aggregates ~pos_of prog
+    @ Perf_lint.check_kernels ~pos_of prog
     @ Plan_check.validate_program ~pos_of prog)
 
 let analyze_ast ?(consts : (string * Value.t) list = []) ?(post_reads : int list = [])
@@ -56,6 +57,7 @@ let analyze_ast ?(consts : (string * Value.t) list = []) ?(post_reads : int list
       (front
       @ Effect_race.check ~post_reads ~pos_of core
       @ Perf_lint.check_aggregates ~pos_of core
+      @ Perf_lint.check_kernels ~pos_of core
       @ Plan_check.validate_program ~pos_of core)
   end
 

@@ -130,6 +130,16 @@ let all : t list =
         "the branch condition folds to a constant (literals and consts only): one arm \
          is dead and the test costs a per-unit evaluation before rewriting";
     };
+    {
+      id = "P006";
+      severity = Diagnostic.Info;
+      title = "fused bind falls back to tuple materialization";
+      rationale =
+        "a scalar bind is not float-guaranteed over column-backed attributes (random, \
+         comparisons, integer arithmetic, environment reads), so the fused kernel \
+         materializes boxed tuples inside its per-row loop instead of loading typed \
+         columns";
+    };
   ]
 
 let find (id : string) : t option = List.find_opt (fun r -> r.id = id) all

@@ -116,6 +116,15 @@ type t = {
   policy : fault_policy;
   prng : Prng.t;
   mutable units : Tuple.t array;
+  (* Columnar mirror of [units] (struct-of-arrays, one typed column per
+     schema attribute).  [units] stays authoritative; the mirror is
+     refreshed copy-on-write at each commit point, keyed by the tick's
+     dirty-attribute delta, and handed to the decision phase as the
+     evaluators' and kernels' contiguous access path.  A faulting tick
+     never refreshes it, so after rollback it still mirrors the restored
+     unit array. *)
+  store : Colstore.t;
+  columnar : bool; (* hand the mirror to the decision phase as an access path *)
   index_cache : bool; (* hand deltas to the evaluator across ticks *)
   (* What the last committed tick changed, relative to the unit array its
      decision phase saw.  Consumed by the next tick's [begin_tick]/
@@ -165,7 +174,8 @@ let make_engine ~(schema : Schema.t) ~(aggregates : Aggregate.t array)
     Fus { evaluator = Eval.indexed ~schema ~aggregates (); kernels = Exec.fuse compiled }
 
 let create ?(fault_policy = Fail) ?(fault_log_capacity = 64) ?(index_cache = true)
-    (config : config) ~(evaluator : evaluator_kind) ~(units : Tuple.t array) : t =
+    ?(columnar = true) (config : config) ~(evaluator : evaluator_kind)
+    ~(units : Tuple.t array) : t =
   let schema = config.prog.Core_ir.schema in
   let aggregates = config.prog.Core_ir.aggregates in
   let tel = Telemetry.Registry.create ~enabled:true () in
@@ -178,6 +188,9 @@ let create ?(fault_policy = Fail) ?(fault_log_capacity = 64) ?(index_cache = tru
     policy = fault_policy;
     prng = Prng.create config.seed;
     units = Array.map Tuple.copy units;
+    (* decomposed into columns at build time; shares nothing with [units] *)
+    store = Colstore.of_tuples schema units;
+    columnar;
     index_cache;
     pending_delta = None;
     tick = 0;
@@ -364,6 +377,17 @@ let run_phases (t : t) : unit =
      and every tick opens cold. *)
   let delta_in = if t.index_cache then t.pending_delta else None in
   let delta_out = if t.index_cache then Some (Delta.create sch) else None in
+  (* The columnar mirror is committed alongside [t.units]; mid-restore or
+     after a half-applied refresh it may not cover the array, in which
+     case the tick simply runs on boxed reads. *)
+  let cols =
+    if
+      t.columnar
+      && Colstore.length t.store = Array.length t.units
+      && Colstore.rectangular t.store
+    then Some t.store
+    else None
+  in
   (* decision + action *)
   t.phase <- Fault.Decision;
   let acc =
@@ -371,13 +395,13 @@ let run_phases (t : t) : unit =
     Timer.record t.timings.decision (fun () ->
         match (t.policy, t.engine) with
         | (Fail | Degrade), Seq evaluator ->
-          Exec.run_tick ?delta:delta_in t.compiled ~evaluator ~units:t.units ~groups:(groups t)
-            ~rand_for
+          Exec.run_tick ?delta:delta_in ?cols t.compiled ~evaluator ~units:t.units
+            ~groups:(groups t) ~rand_for
         | (Fail | Degrade), Par { pool; family } ->
-          Exec.run_tick_parallel ?delta:delta_in t.compiled ~pool ~family ~units:t.units
+          Exec.run_tick_parallel ?delta:delta_in ?cols t.compiled ~pool ~family ~units:t.units
             ~groups:(groups t) ~rand_for
         | (Fail | Degrade), Fus { evaluator; kernels } ->
-          Exec.run_tick_fused ?delta:delta_in t.compiled ~fused:kernels ~evaluator
+          Exec.run_tick_fused ?delta:delta_in ?cols t.compiled ~fused:kernels ~evaluator
             ~units:t.units ~groups:(groups t) ~rand_for
         | Quarantine_script, engine ->
           (* per-group guards: a failing group contributes an empty effect
@@ -385,14 +409,14 @@ let run_phases (t : t) : unit =
           let acc, faults =
             match engine with
             | Seq evaluator ->
-              Exec.run_tick_guarded ?delta:delta_in t.compiled ~evaluator ~units:t.units
+              Exec.run_tick_guarded ?delta:delta_in ?cols t.compiled ~evaluator ~units:t.units
                 ~groups:(groups t) ~rand_for
             | Par { pool; family } ->
-              Exec.run_tick_parallel_guarded ?delta:delta_in t.compiled ~pool ~family
+              Exec.run_tick_parallel_guarded ?delta:delta_in ?cols t.compiled ~pool ~family
                 ~units:t.units ~groups:(groups t) ~rand_for
             | Fus { evaluator; kernels } ->
-              Exec.run_tick_fused_guarded ?delta:delta_in t.compiled ~fused:kernels ~evaluator
-                ~units:t.units ~groups:(groups t) ~rand_for
+              Exec.run_tick_fused_guarded ?delta:delta_in ?cols t.compiled ~fused:kernels
+                ~evaluator ~units:t.units ~groups:(groups t) ~rand_for
           in
           List.iter (quarantine t) faults;
           acc)
@@ -463,6 +487,11 @@ let run_phases (t : t) : unit =
      health and positions, which structural subsumes.) *)
   if Varray.length dead > 0 then Option.iter Delta.record_structural delta_out;
   t.units <- final;
+  (* Commit the columnar mirror copy-on-write: clean columns (per the
+     tick's dirty-attribute summary) keep their arrays, dirty ones rebuild
+     into fresh arrays.  Runs only on the success path — a faulting tick
+     leaves the mirror on the pre-tick state the rollback restores. *)
+  Colstore.refresh ?delta:delta_out t.store final;
   t.pending_delta <- delta_out;
   t.tick <- t.tick + 1
 
@@ -505,6 +534,11 @@ let step (t : t) : unit =
       Telemetry.Counter.add t.c_suppressed suppressed;
       Telemetry.Span.instant ~cat:"fault" "rollback";
       t.units <- units0;
+      (* Swap the mirror's column pointers back to the restored state.
+         Usually a no-op rebuild of identical content (the failed attempt
+         never reached the commit refresh), but it also repairs a refresh
+         that itself faulted half-way. *)
+      Colstore.refresh t.store units0;
       (* [set] writes through the enabled gate: the snapshot restore must
          happen whatever the registry state, like the field writes did. *)
       Telemetry.Counter.set t.c_deaths deaths0;

@@ -63,19 +63,24 @@ val fault_policy_name : fault_policy -> string
 
 type t
 
-(** [create ?fault_policy ?fault_log_capacity ?index_cache config
-    ~evaluator ~units] assembles a simulation.  [fault_policy] defaults to
-    [Fail]; [fault_log_capacity] bounds the in-memory fault log (default
-    64 — later faults are counted but not retained).  [index_cache]
-    (default [true]) hands each tick's delta summary to the next tick's
-    evaluator so index structures over untouched attributes survive across
-    ticks; [false] restores rebuild-every-tick behaviour.  Either setting
-    produces bit-identical unit states — the cache only trades build
-    work. *)
+(** [create ?fault_policy ?fault_log_capacity ?index_cache ?columnar
+    config ~evaluator ~units] assembles a simulation.  [fault_policy]
+    defaults to [Fail]; [fault_log_capacity] bounds the in-memory fault
+    log (default 64 — later faults are counted but not retained).
+    [index_cache] (default [true]) hands each tick's delta summary to the
+    next tick's evaluator so index structures over untouched attributes
+    survive across ticks; [false] restores rebuild-every-tick behaviour.
+    [columnar] (default [true]) hands the struct-of-arrays mirror of the
+    unit array to the decision phase — index builds scan typed columns
+    and fused kernels load float operands directly; [false] keeps every
+    read on the boxed row path (the benchmark baseline).  Every setting
+    combination produces bit-identical unit states — both switches only
+    trade access-path work. *)
 val create :
   ?fault_policy:fault_policy ->
   ?fault_log_capacity:int ->
   ?index_cache:bool ->
+  ?columnar:bool ->
   config ->
   evaluator:evaluator_kind ->
   units:Tuple.t array ->

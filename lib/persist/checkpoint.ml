@@ -3,8 +3,17 @@
    File layout:
 
      "SGLCKPT\x01"  u32 version
-     sections: META | SCHM | UNIT | QUAR | CNTR | DEGR | END!
+     sections: META | SCHM | UNIT-or-COLU | QUAR | CNTR | DEGR | END!
      (each: 4-byte tag | u32 len | payload | u32 crc(payload))
+
+   Version 2 (written by this build) stores the unit array columnar: a
+   COLU section holding one typed column per schema attribute — bulk
+   little-endian blits for int/float/bool columns, boxed values only for
+   mixed-tag or vec columns (the same promotion rules as the in-memory
+   {!Sgl_relalg.Colstore}, so the encoding stays canonical).  Version 1
+   files (row-major UNIT section) load unchanged; both decode to the
+   identical unit array, and the journal's row-based [units_digest] is
+   computed over materialized rows either way.
 
    Writes are atomic — encode fully, write a ".tmp" sibling, fsync,
    rename, fsync the directory — so the only artifacts a crash can leave
@@ -17,7 +26,8 @@ open Sgl_util
 open Sgl_relalg
 
 let magic = "SGLCKPT\x01"
-let version = 1
+let version = 2
+let read_versions = [ 1; 2 ]
 let inject_point = "io.checkpoint.write"
 
 type state = {
@@ -31,6 +41,73 @@ type state = {
 }
 
 let path ~dir ~tick = Filename.concat dir (Printf.sprintf "ckpt-%010d.sglc" tick)
+
+(* v2 unit payload: the array decomposed into per-attribute typed columns.
+   Deterministic (so still "one state, one byte string"): a column is
+   typed exactly when every stored value carries the schema type's
+   constructor, boxed otherwise — [Colstore]'s promotion rule. *)
+let encode_units_columnar (w : Codec.W.t) ~(schema : Schema.t) (units : Tuple.t array) : unit =
+  let store = Colstore.of_tuples schema units in
+  if not (Colstore.rectangular store) then
+    invalid_arg "Checkpoint.save: units must have schema arity";
+  let n = Array.length units in
+  Codec.W.u32 w n;
+  Codec.W.u16 w (Schema.arity schema);
+  for j = 0 to Schema.arity schema - 1 do
+    match Colstore.col store j with
+    | Colstore.Ints a ->
+      Codec.W.u8 w 0;
+      let b = Bytes.create (8 * n) in
+      for i = 0 to n - 1 do
+        Bytes.set_int64_le b (8 * i) (Int64.of_int a.(i))
+      done;
+      Codec.W.raw w (Bytes.unsafe_to_string b)
+    | Colstore.Floats a ->
+      Codec.W.u8 w 1;
+      let b = Bytes.create (8 * n) in
+      for i = 0 to n - 1 do
+        Bytes.set_int64_le b (8 * i) (Int64.bits_of_float a.(i))
+      done;
+      Codec.W.raw w (Bytes.unsafe_to_string b)
+    | Colstore.Bools a ->
+      Codec.W.u8 w 2;
+      Codec.W.raw w (Bytes.sub_string a 0 n)
+    | Colstore.Boxed a ->
+      Codec.W.u8 w 3;
+      for i = 0 to n - 1 do
+        Codec.W.value w a.(i)
+      done
+  done
+
+let decode_units_columnar (u : Codec.R.t) ~(schema : Schema.t) ~(n_units : int) : Tuple.t array =
+  let n = Codec.R.u32 u in
+  if n <> n_units then Codec.corrupt "unit count mismatch: META says %d, COLU holds %d" n_units n;
+  let arity = Codec.R.u16 u in
+  if arity <> Schema.arity schema then
+    Codec.corrupt "columnar arity mismatch: COLU has %d, schema has %d" arity
+      (Schema.arity schema);
+  let cols = Array.make arity [||] in
+  for j = 0 to arity - 1 do
+    cols.(j) <-
+      (match Codec.R.u8 u with
+      | 0 ->
+        let s = Codec.R.raw u (8 * n) in
+        Array.init n (fun i -> Value.Int (Int64.to_int (String.get_int64_le s (8 * i))))
+      | 1 ->
+        let s = Codec.R.raw u (8 * n) in
+        Array.init n (fun i -> Value.Float (Int64.float_of_bits (String.get_int64_le s (8 * i))))
+      | 2 ->
+        let s = Codec.R.raw u n in
+        Array.init n (fun i -> Value.Bool (s.[i] <> '\000'))
+      | 3 ->
+        let a = Array.make n (Value.Int 0) in
+        for i = 0 to n - 1 do
+          a.(i) <- Codec.R.value u
+        done;
+        a
+      | tag -> Codec.corrupt "unknown column representation %d" tag)
+  done;
+  Array.init n (fun i -> Array.init arity (fun j -> cols.(j).(i)))
 
 let tick_of_filename (name : string) : int option =
   match Scanf.sscanf_opt name "ckpt-%d.sglc%!" (fun t -> t) with
@@ -57,9 +134,7 @@ let encode ~(schema : Schema.t) (st : state) : string =
       Codec.W.int w st.cache_epoch;
       Codec.W.u32 w (Array.length st.units));
   section b ~tag:"SCHM" (fun w -> Codec.W.schema w schema);
-  section b ~tag:"UNIT" (fun w ->
-      Codec.W.u32 w (Array.length st.units);
-      Array.iter (Codec.W.tuple w) st.units);
+  section b ~tag:"COLU" (fun w -> encode_units_columnar w ~schema st.units);
   section b ~tag:"QUAR" (fun w ->
       Codec.W.u16 w (List.length st.quarantined);
       List.iter (Codec.W.str w) st.quarantined);
@@ -139,7 +214,7 @@ let load ~(schema : Schema.t) (p : string) : state =
       (fun () -> really_input_string ic (in_channel_length ic))
   in
   let r = Codec.R.of_string body in
-  Codec.read_header r ~magic ~version;
+  let file_version = Codec.read_header_any r ~magic ~versions:read_versions in
   let sections = Codec.read_sections r in
   let meta = find_section sections "META" in
   let tick = Codec.R.int meta in
@@ -151,11 +226,14 @@ let load ~(schema : Schema.t) (p : string) : state =
     Codec.corrupt "schema mismatch: checkpoint has %a, engine expects %a" Schema.pp
       persisted_schema Schema.pp schema;
   let units =
-    let u = find_section sections "UNIT" in
-    let n = Codec.R.u32 u in
-    if n <> n_units then
-      Codec.corrupt "unit count mismatch: META says %d, UNIT holds %d" n_units n;
-    Array.init n (fun _ -> Codec.R.tuple u)
+    if file_version = 1 then begin
+      let u = find_section sections "UNIT" in
+      let n = Codec.R.u32 u in
+      if n <> n_units then
+        Codec.corrupt "unit count mismatch: META says %d, UNIT holds %d" n_units n;
+      Array.init n (fun _ -> Codec.R.tuple u)
+    end
+    else decode_units_columnar (find_section sections "COLU") ~schema ~n_units
   in
   Array.iteri
     (fun i t ->

@@ -44,6 +44,8 @@ module W = struct
     u32 b (String.length s);
     Buffer.add_string b s
 
+  let raw b s = Buffer.add_string b s
+
   let bool b v = u8 b (if v then 1 else 0)
 
   let value b (v : Value.t) =
@@ -212,13 +214,19 @@ let write_section b ~(tag : string) (payload : string) : unit =
   Buffer.add_string b payload;
   Buffer.add_int32_le b (Int32.of_int (Crc32.string payload))
 
-let read_header (r : R.t) ~(magic : string) ~(version : int) : unit =
+let read_header_any (r : R.t) ~(magic : string) ~(versions : int list) : int =
   R.need r 8 "magic";
   let got = String.sub r.R.s r.R.pos 8 in
   if not (String.equal got magic) then corrupt "bad magic %S (want %S)" got magic;
   r.R.pos <- r.R.pos + 8;
   let v = R.u32 r in
-  if v <> version then corrupt "unsupported version %d (this build reads version %d)" v version
+  if not (List.mem v versions) then
+    corrupt "unsupported version %d (this build reads versions %s)" v
+      (String.concat ", " (List.map string_of_int versions));
+  v
+
+let read_header (r : R.t) ~(magic : string) ~(version : int) : unit =
+  ignore (read_header_any r ~magic ~versions:[ version ])
 
 let read_sections (r : R.t) : (string * string) list =
   let rec go acc =

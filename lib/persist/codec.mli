@@ -38,6 +38,10 @@ module W : sig
   (** u32 length prefix + bytes. *)
   val str : t -> string -> unit
 
+  (** Bytes as-is, no length prefix — bulk column blits; pair with
+      {!R.raw} and an out-of-band length. *)
+  val raw : t -> string -> unit
+
   val bool : t -> bool -> unit
   val value : t -> Value.t -> unit
   val tuple : t -> Tuple.t -> unit
@@ -92,6 +96,10 @@ val write_header : Buffer.t -> magic:string -> version:int -> unit
 (** [write_section b ~tag payload] frames one section; [tag] must be 4
     bytes. *)
 val write_section : Buffer.t -> tag:string -> string -> unit
+
+(** [read_header_any r ~magic ~versions] checks the magic, requires the
+    version to be one of [versions], and returns it. *)
+val read_header_any : R.t -> magic:string -> versions:int list -> int
 
 (** [read_header r ~magic ~version] checks the magic and returns the file
     version after raising {!Corrupt} unless it equals [version]. *)

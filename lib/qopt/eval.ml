@@ -91,8 +91,11 @@ type t = {
   name : string;
   (* [delta] describes what changed since the previous [begin_tick]'s unit
      array; [None] (or a structural delta) forces a cold rebuild of every
-     cached structure. *)
-  begin_tick : ?delta:Delta.t -> Tuple.t array -> unit;
+     cached structure.  [cols] is the columnar mirror of [units] when the
+     caller maintains one — index builds then scan contiguous typed columns
+     instead of boxed rows.  Purely an access-path hint: results are
+     bit-identical with or without it. *)
+  begin_tick : ?delta:Delta.t -> ?cols:Colstore.t -> Tuple.t array -> unit;
   (* Values of aggregate instance [agg_id] for each probing row. *)
   eval_agg : agg_id:int -> rows:Tuple.t array -> rands:(int -> int) array -> Value.t array;
   (* Apply one All-target effect clause, from each contributor row to every
@@ -114,7 +117,7 @@ let dummy_rand (_ : int) = 0
 
 let naive_core ~(schema : Schema.t) ~(aggregates : Aggregate.t array)
     ~(units : Tuple.t array ref) ~(stats : eval_stats)
-    ~(begin_tick : ?delta:Delta.t -> Tuple.t array -> unit) : t =
+    ~(begin_tick : ?delta:Delta.t -> ?cols:Colstore.t -> Tuple.t array -> unit) : t =
   let tels = agg_tels aggregates in
   {
     name = "naive";
@@ -156,7 +159,7 @@ let naive_core ~(schema : Schema.t) ~(aggregates : Aggregate.t array)
 let naive ~(schema : Schema.t) ~(aggregates : Aggregate.t array) : t =
   let units = ref [||] in
   let stats = fresh_stats () in
-  naive_core ~schema ~aggregates ~units ~stats ~begin_tick:(fun ?delta:_ e -> units := e)
+  naive_core ~schema ~aggregates ~units ~stats ~begin_tick:(fun ?delta:_ ?cols:_ e -> units := e)
 
 (* ------------------------------------------------------------------ *)
 (* Index groups: instances that can share trees *)
@@ -243,12 +246,39 @@ type built_index = {
   mutable epoch : int;
   group : group;
   cat : sub_index Cat_index.t;
+  (* Columnar mirror of [data] when the caller maintains one; sub-structure
+     builds then read coordinates/statistics from contiguous typed columns.
+     Swapped alongside [data] on revalidation. *)
+  mutable cols : Colstore.t option;
 }
 
-(* Evaluate a statistic vector for one data row. *)
-let stat_vector (stats_exprs : Expr.t list) (row : Tuple.t) : float array =
-  let ctx = { Expr.u = [||]; e = Some row; rand = dummy_rand } in
-  Array.of_list (List.map (fun e -> Expr.eval_float ctx e) stats_exprs)
+(* Coordinate accessor for attribute [attr] of [bi.data]: a contiguous
+   column read when the store mirrors the data and the column is numeric,
+   otherwise the boxed row read.  [Colstore.float_reader] guarantees the
+   same float as [Value.to_float], so the two paths are bit-identical. *)
+let coord_fn (bi : built_index) (attr : int) : int -> float =
+  let fallback id = Value.to_float (Tuple.get bi.data.(id) attr) in
+  match bi.cols with
+  | Some cs when attr < Schema.arity (Colstore.schema cs) -> (
+    match Colstore.float_reader cs attr with Some read -> read | None -> fallback)
+  | _ -> fallback
+
+(* Per-statistic accessors: a bare attribute reference reads its column
+   directly ([Expr.eval_float] of [EAttr j] is [Value.to_float row.(j)],
+   which the column reader reproduces exactly); anything else evaluates
+   the expression against the boxed row. *)
+let stat_fns (bi : built_index) : (int -> float) array =
+  Array.of_list
+    (List.map
+       (fun e ->
+         let fallback id =
+           Expr.eval_float { Expr.u = [||]; e = Some bi.data.(id); rand = dummy_rand } e
+         in
+         match (e, bi.cols) with
+         | Expr.EAttr j, Some cs when j < Schema.arity (Colstore.schema cs) -> (
+           match Colstore.float_reader cs j with Some read -> read | None -> fallback)
+         | _ -> fallback)
+       bi.group.stats_exprs)
 
 (* Shared build bookkeeping: the evaluator-local stats record, the global
    build counter, and the build-duration histogram. *)
@@ -259,23 +289,42 @@ let count_build (st : eval_stats) (t0 : float) : unit =
   Telemetry.Counter.incr tel_index_build;
   Telemetry.Histogram.observe tel_build_hist dt
 
-let build_index ?(epoch = 0) (st : eval_stats) ~(group : group) ~(data : Tuple.t array) :
+let build_index ?(epoch = 0) ?cols (st : eval_stats) ~(group : group) ~(data : Tuple.t array) :
     built_index =
   Fault_inject.hit "index.build";
   let t0 = Timer.now () in
+  (* Only trust a columnar mirror that actually covers [data]. *)
+  let cols =
+    match cols with
+    | Some cs when Colstore.length cs = Array.length data && Colstore.rectangular cs -> Some cs
+    | _ -> None
+  in
   let n = Array.length data in
   let pass id =
     let ctx = { Expr.u = [||]; e = Some data.(id); rand = dummy_rand } in
     Predicate.holds ctx group.data_filter
   in
   let ids = Array.of_list (List.filter pass (List.init n (fun i -> i))) in
-  let keys id = List.map (fun a -> Value.to_int (Tuple.get data.(id) a)) group.cat_attrs in
+  let keys =
+    match cols with
+    | Some cs ->
+      let readers =
+        List.map
+          (fun a ->
+            match Colstore.int_reader cs a with
+            | Some r -> r
+            | None -> fun id -> Value.to_int (Tuple.get data.(id) a))
+          group.cat_attrs
+      in
+      fun id -> List.map (fun r -> r id) readers
+    | None -> fun id -> List.map (fun a -> Value.to_int (Tuple.get data.(id) a)) group.cat_attrs
+  in
   let cat =
     Cat_index.create ~keys ~ids ~builder:(fun members ->
         { members; divisible = None; enum_tree = None; kds = [] })
   in
   count_build st t0;
-  { data; epoch; group; cat }
+  { data; epoch; group; cat; cols }
 
 (* The partitions a prober may read, given the *instance's* categorical
    requirements. *)
@@ -328,9 +377,9 @@ let ensure_divisible ~(memoize : bool) st (bi : built_index) (sub : sub_index) :
   | None ->
     let t0 = Timer.now () in
     let m = bi.group.n_stats in
-    let stats_exprs = bi.group.stats_exprs in
-    let stat id = stat_vector stats_exprs bi.data.(id) in
-    let coord attr id = Value.to_float (Tuple.get bi.data.(id) attr) in
+    let fns = stat_fns bi in
+    let stat id = Array.map (fun f -> f id) fns in
+    let coord attr = coord_fn bi attr in
     let d =
       match bi.group.box_attrs with
       | [] ->
@@ -358,7 +407,7 @@ let ensure_enum_tree ~(memoize : bool) st (bi : built_index) (sub : sub_index) :
   | Some t -> t
   | None ->
     let t0 = Timer.now () in
-    let coord attr id = Value.to_float (Tuple.get bi.data.(id) attr) in
+    let coord attr = coord_fn bi attr in
     let dims =
       match bi.group.box_attrs with
       | [] -> [ (fun _ -> 0.) ] (* degenerate: everything in one slab *)
@@ -375,7 +424,7 @@ let ensure_kd ~(memoize : bool) st (bi : built_index) ~(ex : int) ~(ey : int) (s
   | Some t -> t
   | None ->
     let t0 = Timer.now () in
-    let coord attr id = Value.to_float (Tuple.get bi.data.(id) attr) in
+    let coord attr = coord_fn bi attr in
     let t = Kd_tree.build ~x:(coord ex) ~y:(coord ey) sub.members in
     if memoize then sub.kds <- ((ex, ey), t) :: sub.kds;
     count_build st t0;
@@ -449,19 +498,17 @@ let rec eval_indexed_batch st ~(tel : agg_tel) ~(memoize : bool) ~(strategy : Ag
             match Cat_index.find bi.cat key with
             | None -> ()
             | Some sub ->
+              let cx = coord_fn bi info.Agg_plan.x_data in
+              let cy = coord_fn bi info.Agg_plan.y_data in
               let data =
                 Array.map
                   (fun id ->
-                    let e = bi.data.(id) in
                     let v =
-                      Expr.eval_float { Expr.u = [||]; e = Some e; rand = dummy_rand } objective
+                      Expr.eval_float
+                        { Expr.u = [||]; e = Some bi.data.(id); rand = dummy_rand }
+                        objective
                     in
-                    {
-                      Sweepline.x = Value.to_float (Tuple.get e info.Agg_plan.x_data);
-                      y = Value.to_float (Tuple.get e info.Agg_plan.y_data);
-                      value = v;
-                      id;
-                    })
+                    { Sweepline.x = cx id; y = cy id; value = v; id })
                   sub.members
               in
               let queries = Varray.create { Sweepline.qx = 0.; qy = 0.; qid = 0 } in
@@ -647,6 +694,7 @@ type indexed_ctx = {
   strategies : Agg_plan.strategy array;
   memberships : membership option array;
   ctx_units : Tuple.t array ref;
+  ctx_cols : Colstore.t option ref; (* columnar mirror of [ctx_units], when published *)
   cache : (int, built_index) Hashtbl.t; (* group id -> built index, epoch-stamped *)
   mutable epoch : int; (* bumped once per [begin_tick]/[prepare] *)
 }
@@ -702,6 +750,7 @@ let make_indexed_ctx ?(share = true) ~(schema : Schema.t) ~(aggregates : Aggrega
     strategies;
     memberships;
     ctx_units = ref [||];
+    ctx_cols = ref None;
     cache = Hashtbl.create 32;
     epoch = 0;
   }
@@ -743,6 +792,7 @@ let revalidate_index (st : eval_stats) (ctx : indexed_ctx) ~(delta : Delta.t)
   then false
   else begin
     bi.data <- units;
+    bi.cols <- !(ctx.ctx_cols);
     bi.epoch <- ctx.epoch;
     st.index_reuses <- st.index_reuses + 1;
     Telemetry.Counter.incr tel_index_reuse;
@@ -798,8 +848,14 @@ let revalidate_index (st : eval_stats) (ctx : indexed_ctx) ~(delta : Delta.t)
    cold.  Structures that survive keep their epoch current; everything
    else reads as a miss. *)
 let open_tick (ctx : indexed_ctx) (st : eval_stats) ?(delta : Delta.t option)
-    (units : Tuple.t array) : unit =
+    ?(cols : Colstore.t option) (units : Tuple.t array) : unit =
   ctx.ctx_units := units;
+  (* Only publish a mirror that actually covers [units]; anything else
+     (mid-restore, ragged store) falls back to boxed reads everywhere. *)
+  ctx.ctx_cols :=
+    (match cols with
+    | Some cs when Colstore.length cs = Array.length units && Colstore.rectangular cs -> Some cs
+    | _ -> None);
   ctx.epoch <- ctx.epoch + 1;
   match delta with
   | None -> Hashtbl.reset ctx.cache
@@ -825,7 +881,7 @@ let group_index (ctx : indexed_ctx) (st : eval_stats) ~(memoize : bool) (m : mem
   match Hashtbl.find_opt ctx.cache m.group.group_id with
   | Some bi when bi.epoch = ctx.epoch -> (bi, false)
   | Some _ | None ->
-    let bi = build_index ~epoch:ctx.epoch st ~group:m.group ~data:!(ctx.ctx_units) in
+    let bi = build_index ~epoch:ctx.epoch ?cols:!(ctx.ctx_cols) st ~group:m.group ~data:!(ctx.ctx_units) in
     if memoize then Hashtbl.replace ctx.cache m.group.group_id bi;
     (bi, not memoize)
 
@@ -835,7 +891,7 @@ let group_index (ctx : indexed_ctx) (st : eval_stats) ~(memoize : bool) (m : mem
    so every shared structure they touch was published by [prebuild] before
    the domains forked. *)
 let indexed_member (ctx : indexed_ctx) ~(name : string) ~(stats : eval_stats) ~(memoize : bool)
-    ~(begin_tick : ?delta:Delta.t -> Tuple.t array -> unit) : t =
+    ~(begin_tick : ?delta:Delta.t -> ?cols:Colstore.t -> Tuple.t array -> unit) : t =
   let schema = ctx.ctx_schema in
   let aggregates = ctx.ctx_aggregates in
   let units = ctx.ctx_units in
@@ -994,7 +1050,7 @@ let indexed ?(share = true) ~(schema : Schema.t) ~(aggregates : Aggregate.t arra
   let ctx = make_indexed_ctx ~share ~schema ~aggregates () in
   let stats = fresh_stats () in
   indexed_member ctx ~name:"indexed" ~stats ~memoize:true
-    ~begin_tick:(fun ?delta e -> open_tick ctx stats ?delta e)
+    ~begin_tick:(fun ?delta ?cols e -> open_tick ctx stats ?delta ?cols e)
 
 (* ------------------------------------------------------------------ *)
 (* Families: the parallel decision phase's snapshot discipline *)
@@ -1047,7 +1103,7 @@ let prebuild (ctx : indexed_ctx) (st : eval_stats) : unit =
 
 type family = {
   members : t array;
-  prepare : ?delta:Delta.t -> Tuple.t array -> unit;
+  prepare : ?delta:Delta.t -> ?cols:Colstore.t -> Tuple.t array -> unit;
 }
 
 let indexed_family ?(share = true) ~(schema : Schema.t) ~(aggregates : Aggregate.t array)
@@ -1062,10 +1118,10 @@ let indexed_family ?(share = true) ~(schema : Schema.t) ~(aggregates : Aggregate
         indexed_member ctx
           ~name:(Printf.sprintf "indexed#%d" i)
           ~stats:(fresh_stats ()) ~memoize:solo
-          ~begin_tick:(fun ?delta:_ _ -> ()))
+          ~begin_tick:(fun ?delta:_ ?cols:_ _ -> ()))
   in
-  let prepare ?delta units =
-    open_tick ctx members.(0).stats ?delta units;
+  let prepare ?delta ?cols units =
+    open_tick ctx members.(0).stats ?delta ?cols units;
     prebuild ctx members.(0).stats
   in
   { members; prepare }

@@ -17,12 +17,17 @@ type eval_stats = {
 
 type t = {
   name : string;
-  begin_tick : ?delta:Delta.t -> Tuple.t array -> unit;
+  begin_tick : ?delta:Delta.t -> ?cols:Colstore.t -> Tuple.t array -> unit;
       (** Open a tick over [units].  [delta] summarises what changed since
           the previous tick's unit array; when present and non-structural,
           the indexed evaluators revalidate cached structures against it
           instead of dropping them.  Omitting [delta] is always sound: the
-          cache goes cold and everything rebuilds. *)
+          cache goes cold and everything rebuilds.  [cols], when given, is
+          a columnar mirror of [units] (same rows, same order): index
+          builds then scan contiguous typed columns instead of boxed rows.
+          It is purely an access-path hint — results are bit-identical
+          with or without it, and a mirror that does not cover [units] is
+          ignored. *)
   eval_agg : agg_id:int -> rows:Tuple.t array -> rands:(int -> int) array -> Value.t array;
   apply_aoe :
     pred:Predicate.t ->
@@ -61,7 +66,7 @@ val indexed : ?share:bool -> schema:Schema.t -> aggregates:Aggregate.t array -> 
     concurrent members need the write-free guarantee. *)
 type family = {
   members : t array;
-  prepare : ?delta:Delta.t -> Tuple.t array -> unit;
+  prepare : ?delta:Delta.t -> ?cols:Colstore.t -> Tuple.t array -> unit;
 }
 
 val indexed_family :

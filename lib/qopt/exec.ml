@@ -165,10 +165,10 @@ let run_group (c : compiled) ~(schema : Schema.t) ~(evaluator : Eval.t)
    [delta] (what changed since the previous tick's unit array) is passed
    straight to the evaluator, which may use it to keep cached index
    structures warm; omitting it only costs rebuilds, never correctness. *)
-let run_tick ?delta (c : compiled) ~(evaluator : Eval.t) ~(units : Tuple.t array)
+let run_tick ?delta ?cols (c : compiled) ~(evaluator : Eval.t) ~(units : Tuple.t array)
     ~(groups : group list) ~(rand_for : key:int -> int -> int) : Combine.Acc.t =
   let schema = c.prog.Core_ir.schema in
-  evaluator.Eval.begin_tick ?delta units;
+  evaluator.Eval.begin_tick ?delta ?cols units;
   let find_key = key_table schema units in
   let acc = Combine.Acc.create schema in
   List.iter (run_group c ~schema ~evaluator ~find_key ~acc ~units ~rand_for) groups;
@@ -183,11 +183,11 @@ let run_tick ?delta (c : compiled) ~(evaluator : Eval.t) ~(units : Tuple.t array
    associativity and commutativity make the merged result independent of
    how units were chunked — so any chunk count, including 1, reproduces
    the sequential tick bit-for-bit on integral workloads. *)
-let run_tick_parallel ?delta (c : compiled) ~(pool : Sgl_util.Domain_pool.t)
+let run_tick_parallel ?delta ?cols (c : compiled) ~(pool : Sgl_util.Domain_pool.t)
     ~(family : Eval.family) ~(units : Tuple.t array) ~(groups : group list)
     ~(rand_for : key:int -> int -> int) : Combine.Acc.t =
   let schema = c.prog.Core_ir.schema in
-  family.Eval.prepare ?delta units;
+  family.Eval.prepare ?delta ?cols units;
   let find_key = key_table schema units in
   let chunks = Array.length family.Eval.members in
   let ranges = Sgl_util.Domain_pool.chunk_ranges ~n:(Array.length units) ~chunks in
@@ -235,7 +235,7 @@ let fuse (c : compiled) : fused =
    with the same call count as under interpreted execution, so an
    [At_count] fault quarantines the same script whichever backend runs the
    tick; ["fused.kernel"] fires only on this path. *)
-let run_group_fused (c : compiled) ~(schema : Schema.t) ~(fused : fused)
+let run_group_fused ?cols (c : compiled) ~(schema : Schema.t) ~(fused : fused)
     ~(evaluator : Eval.t) ~(find_key : int -> Tuple.t option) ~(acc : Combine.Acc.t)
     ~(units : Tuple.t array) ~(rand_for : key:int -> int -> int) (g : group) : unit =
   Sgl_util.Fault_inject.hit "exec.group";
@@ -255,20 +255,24 @@ let run_group_fused (c : compiled) ~(schema : Schema.t) ~(fused : fused)
             rand_for ~key)
           g.members
       in
-      kernel { Loop_ir.Compile.evaluator; find_key; acc } ~rows ~rands
+      kernel
+        { Loop_ir.Compile.evaluator; find_key; acc; cols; ids = g.members }
+        ~rows ~rands
     in
     if Sgl_util.Telemetry.Span.enabled () then
       Sgl_util.Telemetry.Span.with_ ~cat:"exec" ("kernel:" ^ g.script) body
     else body ()
 
-let run_tick_fused ?delta (c : compiled) ~(fused : fused) ~(evaluator : Eval.t)
+let run_tick_fused ?delta ?cols (c : compiled) ~(fused : fused) ~(evaluator : Eval.t)
     ~(units : Tuple.t array) ~(groups : group list) ~(rand_for : key:int -> int -> int) :
     Combine.Acc.t =
   let schema = c.prog.Core_ir.schema in
-  evaluator.Eval.begin_tick ?delta units;
+  evaluator.Eval.begin_tick ?delta ?cols units;
   let find_key = key_table schema units in
   let acc = Combine.Acc.create schema in
-  List.iter (run_group_fused c ~schema ~fused ~evaluator ~find_key ~acc ~units ~rand_for) groups;
+  List.iter
+    (run_group_fused ?cols c ~schema ~fused ~evaluator ~find_key ~acc ~units ~rand_for)
+    groups;
   acc
 
 (* ------------------------------------------------------------------ *)
@@ -288,11 +292,11 @@ type group_fault = {
   gf_suppressed : int; (* further failures of the same group on other chunks *)
 }
 
-let run_tick_guarded ?delta (c : compiled) ~(evaluator : Eval.t) ~(units : Tuple.t array)
+let run_tick_guarded ?delta ?cols (c : compiled) ~(evaluator : Eval.t) ~(units : Tuple.t array)
     ~(groups : group list) ~(rand_for : key:int -> int -> int) :
     Combine.Acc.t * group_fault list =
   let schema = c.prog.Core_ir.schema in
-  evaluator.Eval.begin_tick ?delta units;
+  evaluator.Eval.begin_tick ?delta ?cols units;
   let find_key = key_table schema units in
   let acc = Combine.Acc.create schema in
   let faults = ref [] in
@@ -312,18 +316,20 @@ let run_tick_guarded ?delta (c : compiled) ~(evaluator : Eval.t) ~(units : Tuple
    [run_tick_guarded], driving the kernels.  A raising kernel contributes
    nothing and is reported under its script name, so [Quarantine_script]
    behaves identically whichever backend runs the tick. *)
-let run_tick_fused_guarded ?delta (c : compiled) ~(fused : fused) ~(evaluator : Eval.t)
+let run_tick_fused_guarded ?delta ?cols (c : compiled) ~(fused : fused) ~(evaluator : Eval.t)
     ~(units : Tuple.t array) ~(groups : group list) ~(rand_for : key:int -> int -> int) :
     Combine.Acc.t * group_fault list =
   let schema = c.prog.Core_ir.schema in
-  evaluator.Eval.begin_tick ?delta units;
+  evaluator.Eval.begin_tick ?delta ?cols units;
   let find_key = key_table schema units in
   let acc = Combine.Acc.create schema in
   let faults = ref [] in
   List.iter
     (fun g ->
       let gacc = Combine.Acc.create schema in
-      match run_group_fused c ~schema ~fused ~evaluator ~find_key ~acc:gacc ~units ~rand_for g with
+      match
+        run_group_fused ?cols c ~schema ~fused ~evaluator ~find_key ~acc:gacc ~units ~rand_for g
+      with
       | () -> Combine.Acc.merge_into ~dst:acc gacc
       | exception e ->
         let bt = Printexc.get_raw_backtrace () in
@@ -338,11 +344,11 @@ type chunk_outcome =
   | Chunk_ok of Combine.Acc.t
   | Chunk_failed of exn * Printexc.raw_backtrace
 
-let run_tick_parallel_guarded ?delta (c : compiled) ~(pool : Sgl_util.Domain_pool.t)
+let run_tick_parallel_guarded ?delta ?cols (c : compiled) ~(pool : Sgl_util.Domain_pool.t)
     ~(family : Eval.family) ~(units : Tuple.t array) ~(groups : group list)
     ~(rand_for : key:int -> int -> int) : Combine.Acc.t * group_fault list =
   let schema = c.prog.Core_ir.schema in
-  family.Eval.prepare ?delta units;
+  family.Eval.prepare ?delta ?cols units;
   let find_key = key_table schema units in
   let chunks = Array.length family.Eval.members in
   let ranges = Sgl_util.Domain_pool.chunk_ranges ~n:(Array.length units) ~chunks in

@@ -41,9 +41,14 @@ val run_plan :
     unknown script.  [delta] summarises what changed since the previous
     tick's unit array and is forwarded to [evaluator.begin_tick] so the
     cross-tick index cache can revalidate instead of rebuilding; omitting
-    it is always sound (cold tick). *)
+    it is always sound (cold tick).  [cols], when given, is the columnar
+    mirror of [units]: it is forwarded to the evaluator (index builds scan
+    typed columns) and, on the fused paths, into the kernels (float binds
+    become column loads).  Purely an access-path hint — ticks are
+    bit-identical with or without it. *)
 val run_tick :
   ?delta:Delta.t ->
+  ?cols:Colstore.t ->
   compiled ->
   evaluator:Eval.t ->
   units:Tuple.t array ->
@@ -62,6 +67,7 @@ val run_tick :
     forwarded to [family.prepare] like {!run_tick}'s. *)
 val run_tick_parallel :
   ?delta:Delta.t ->
+  ?cols:Colstore.t ->
   compiled ->
   pool:Sgl_util.Domain_pool.t ->
   family:Eval.family ->
@@ -87,6 +93,7 @@ val fuse : compiled -> fused
     the ["fused.kernel"] injection point per group, after ["exec.group"]. *)
 val run_tick_fused :
   ?delta:Delta.t ->
+  ?cols:Colstore.t ->
   compiled ->
   fused:fused ->
   evaluator:Eval.t ->
@@ -114,6 +121,7 @@ type group_fault = {
     merge through the associative-commutative (+)). *)
 val run_tick_guarded :
   ?delta:Delta.t ->
+  ?cols:Colstore.t ->
   compiled ->
   evaluator:Eval.t ->
   units:Tuple.t array ->
@@ -127,6 +135,7 @@ val run_tick_guarded :
     on which backend ran the tick. *)
 val run_tick_fused_guarded :
   ?delta:Delta.t ->
+  ?cols:Colstore.t ->
   compiled ->
   fused:fused ->
   evaluator:Eval.t ->
@@ -141,6 +150,7 @@ val run_tick_fused_guarded :
     fault with the extra failures counted in [gf_suppressed]. *)
 val run_tick_parallel_guarded :
   ?delta:Delta.t ->
+  ?cols:Colstore.t ->
   compiled ->
   pool:Sgl_util.Domain_pool.t ->
   family:Eval.family ->

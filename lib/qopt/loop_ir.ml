@@ -167,11 +167,41 @@ end
 (* ------------------------------------------------------------------ *)
 (* Compilation: closure composition with constant folding *)
 
+(* Bind_col / Agg_fill write targets, for the columnar-safety check: the
+   kernels may only read attributes straight from the columnar store when
+   no step overwrites a schema slot of the working rows (registers live at
+   slots >= arity, so in practice this always holds for lowered plans). *)
+let rec write_slots (p : t) : int list =
+  match p with
+  | Halt -> []
+  | Pass (steps, k) ->
+    List.filter_map (function Bind_col (s, _) -> Some s | Emit _ -> None) steps @ write_slots k
+  | Agg_fill { slot; next; _ } -> slot :: write_slots next
+  | Aoe (_, k) -> write_slots k
+  | Partition (_, a, b) -> write_slots a @ write_slots b
+  | Fanout ps -> List.concat_map write_slots ps
+
+(* Every scalar bind in the program, in program order. *)
+let rec bind_steps (p : t) : (int * Expr.t) list =
+  match p with
+  | Halt -> []
+  | Pass (steps, k) ->
+    List.filter_map (function Bind_col (s, e) -> Some (s, e) | Emit _ -> None) steps
+    @ bind_steps k
+  | Agg_fill { next; _ } -> bind_steps next
+  | Aoe (_, k) -> bind_steps k
+  | Partition (_, a, b) -> bind_steps a @ bind_steps b
+  | Fanout ps -> List.concat_map bind_steps ps
+
 module Compile = struct
   type env = {
     evaluator : Eval.t;
     find_key : int -> Tuple.t option;
     acc : Combine.Acc.t;
+    cols : Colstore.t option;
+        (* columnar mirror of the unit array; [None] disables column loads *)
+    ids : int array;
+        (* unit id (row id in [cols]) of each kernel row, parallel to [rows] *)
   }
 
   type kernel = env -> rows:Tuple.t array -> rands:(int -> int) array -> unit
@@ -292,15 +322,97 @@ module Compile = struct
       Dyn (fun u e r -> Value.Int (r (Value.to_int (fa u e r))))
 
   (* ---------------------------------------------------------------- *)
+  (* Columnar specialization of scalar binds.
+
+     [float_plan schema e] is [Some mk] when [e] is guaranteed to evaluate
+     to [Value.Float] through operations whose interpreter semantics on
+     float operands are the plain float primitives — then [mk cols] yields
+     an unboxed [int -> float] over row ids (or [None] when a referenced
+     column is not physically float-typed, e.g. after a mixed-tag
+     promotion).  The operation set is deliberately strict so the column
+     path is bit-identical to [Expr.eval]:
+
+     - [UAttr j] for schema slots backed by a [Floats] column reads the
+       exact stored float ([Value.to_float] of a [Float] is the identity);
+     - [+ - * /] on two float operands are [+. -. *. /.] ([Value.add] &c.
+       widen through [to_float]; floats never hit the int or vec cases,
+       and float division has no zero check);
+     - [Neg]/[Abs]/[Sqrt] on a float are [-.], [Float.abs], [sqrt];
+     - [MinOf]/[MaxOf] pick an operand by [Float.compare] (exactly
+       [Value.compare_num] on floats, NaNs included).
+
+     Everything else — int arithmetic (stays [Int]), [Mod], [Random],
+     comparisons, vec ops, [EAttr], register reads — falls back to the
+     boxed closure. *)
+  let rec float_plan (schema : Schema.t) (e : Expr.t) :
+      (Colstore.t -> (int -> float) option) option =
+    let un a op =
+      match float_plan schema a with
+      | None -> None
+      | Some pa ->
+        Some
+          (fun cs ->
+            match pa cs with Some fa -> Some (fun id -> op (fa id)) | None -> None)
+    in
+    let bin a b op =
+      match (float_plan schema a, float_plan schema b) with
+      | Some pa, Some pb ->
+        Some
+          (fun cs ->
+            match (pa cs, pb cs) with
+            | Some fa, Some fb -> Some (fun id -> op (fa id) (fb id))
+            | _ -> None)
+      | _ -> None
+    in
+    match e with
+    | Expr.Const (Value.Float f) -> Some (fun _ -> Some (fun _ -> f))
+    | Expr.UAttr j when j < Schema.arity schema ->
+      Some
+        (fun cs ->
+          match Colstore.col cs j with
+          | Colstore.Floats a -> Some (fun id -> Array.unsafe_get a id)
+          | _ -> None)
+    | Expr.Binop (Expr.Add, a, b) -> bin a b ( +. )
+    | Expr.Binop (Expr.Sub, a, b) -> bin a b ( -. )
+    | Expr.Binop (Expr.Mul, a, b) -> bin a b ( *. )
+    | Expr.Binop (Expr.Div, a, b) -> bin a b ( /. )
+    | Expr.Neg a -> un a (fun x -> -.x)
+    | Expr.Abs a -> un a Float.abs
+    | Expr.Sqrt a -> un a sqrt
+    | Expr.MinOf (a, b) -> bin a b (fun x y -> if Float.compare x y <= 0 then x else y)
+    | Expr.MaxOf (a, b) -> bin a b (fun x y -> if Float.compare x y >= 0 then x else y)
+    | _ -> None
+
+  (* ---------------------------------------------------------------- *)
   (* Steps and programs *)
 
-  (* One step, applied to one row. *)
-  let compile_step (schema : Schema.t) (step : step) :
-      env -> Tuple.t -> (int -> int) -> unit =
+  (* One step as a per-row closure, resolved against the env once per
+     kernel invocation (the env carries the tick's columnar mirror, which
+     changes between invocations).  The trailing [int] is the kernel-row
+     index, used to map into [env.ids] for column loads. *)
+  let compile_step (schema : Schema.t) ~(columnar : bool) (step : step) :
+      env -> Tuple.t -> (int -> int) -> int -> unit =
     match step with
     | Bind_col (slot, e) ->
       let f = dyn (compile_expr e) in
-      fun _env row rand -> row.(slot) <- f row None rand
+      let generic : env -> Tuple.t -> (int -> int) -> int -> unit =
+        fun _env -> fun row rand _i -> row.(slot) <- f row None rand
+      in
+      if not columnar then generic
+      else begin
+        match float_plan schema e with
+        | None -> generic
+        | Some mk -> (
+          fun env ->
+            match env.cols with
+            | None -> generic env
+            | Some cs -> (
+              match mk cs with
+              | None -> generic env
+              | Some g ->
+                let ids = env.ids in
+                fun row _rand i -> row.(slot) <- Value.Float (g (Array.unsafe_get ids i))))
+      end
     | Emit c ->
       let ups =
         Array.of_list
@@ -315,14 +427,16 @@ module Compile = struct
       in
       begin
         match c.Core_ir.target with
-        | Core_ir.Self -> fun env row rand -> emit env row rand row
+        | Core_ir.Self -> fun env -> fun row rand _i -> emit env row rand row
         | Core_ir.Key key_expr ->
           let kf = dyn (compile_expr key_expr) in
-          fun env row rand -> begin
-            match env.find_key (Value.to_int (kf row None rand)) with
-            | None -> ()
-            | Some target -> emit env row rand target
-          end
+          fun env ->
+            fun row rand _i ->
+              begin
+                match env.find_key (Value.to_int (kf row None rand)) with
+                | None -> ()
+                | Some target -> emit env row rand target
+              end
         | Core_ir.All _ -> invalid_arg "Loop_ir.Compile: area clause in a fused pass"
       end
 
@@ -332,9 +446,9 @@ module Compile = struct
     | [ f ] -> f
     | f :: rest ->
       List.fold_left
-        (fun g f env row rand ->
-          g env row rand;
-          f env row rand)
+        (fun g f row rand i ->
+          g row rand i;
+          f row rand i)
         f rest
 
   type state = { env : env; rows : Tuple.t array; rands : (int -> int) array }
@@ -344,14 +458,19 @@ module Compile = struct
      the selection is non-empty, mirroring the interpreter's skip of empty
      sub-plans (in particular: no aggregate batch is ever evaluated over
      zero rows). *)
-  let rec compile_prog (schema : Schema.t) (p : t) : state -> int array -> unit =
+  let rec compile_prog (schema : Schema.t) ~(columnar : bool) (p : t) :
+      state -> int array -> unit =
+    let compile_prog schema = compile_prog schema ~columnar in
     match p with
     | Halt -> fun _ _ -> ()
     | Pass (steps, k) ->
-      let f = compose (List.map (compile_step schema) steps) in
+      let mks = List.map (compile_step schema ~columnar) steps in
       let kk = compile_prog schema k in
       fun st sel ->
-        Array.iter (fun i -> f st.env st.rows.(i) st.rands.(i)) sel;
+        (* resolve the steps against this invocation's env (columnar
+           mirror, accumulator), then run the fused loop *)
+        let f = compose (List.map (fun mk -> mk st.env) mks) in
+        Array.iter (fun i -> f st.rows.(i) st.rands.(i) i) sel;
         kk st sel
     | Agg_fill { slot; agg_id; next } ->
       let kk = compile_prog schema next in
@@ -407,9 +526,34 @@ module Compile = struct
       let ks = List.map (compile_prog schema) ps in
       fun st sel -> List.iter (fun k -> k st sel) ks
 
+  (* Column loads are sound only while working-row schema slots still
+     mirror the store — i.e. no step in the program overwrites a slot
+     below the arity.  Lowered plans only bind registers (slots >= arity),
+     so this is a safety net, not a working restriction. *)
+  let columnar_ok ~(schema : Schema.t) (p : t) : bool =
+    List.for_all (fun s -> s >= Schema.arity schema) (write_slots p)
+
+  let boxed_binds ~(schema : Schema.t) (p : t) : (int * Expr.t) list =
+    let safe = columnar_ok ~schema p in
+    List.filter (fun (_, e) -> (not safe) || Option.is_none (float_plan schema e)) (bind_steps p)
+
   let compile ~(schema : Schema.t) (p : t) : kernel =
-    let run = compile_prog schema p in
+    let run = compile_prog schema ~columnar:(columnar_ok ~schema p) p in
     fun env ~rows ~rands ->
-      if Array.length rows > 0 then
+      if Array.length rows > 0 then begin
+        (* Trust the columnar mirror only when the id map covers the rows
+           and stays in range — otherwise drop to boxed reads wholesale. *)
+        let env =
+          match env.cols with
+          | None -> env
+          | Some cs ->
+            let n = Colstore.length cs in
+            if
+              Array.length env.ids >= Array.length rows
+              && Array.for_all (fun id -> id >= 0 && id < n) env.ids
+            then env
+            else { env with cols = None }
+        in
         run { env; rows; rands } (Array.init (Array.length rows) (fun i -> i))
+      end
 end

@@ -72,11 +72,19 @@ end
 module Compile : sig
   (** Everything a kernel needs at run time beyond the rows themselves.
       The evaluator is a parameter (not baked in at compile time) so one
-      compiled kernel serves every tick, chunk and degraded retry. *)
+      compiled kernel serves every tick, chunk and degraded retry.
+      [cols]/[ids] give scalar binds a columnar fast path: when [cols]
+      mirrors the tick's unit array and [ids.(i)] is the unit id behind
+      working row [i], float-typed [Bind_col] steps load operands straight
+      from the typed columns (bit-identical to the boxed evaluation; see
+      {!boxed_binds} for the exact eligibility rules).  [cols = None]
+      (or a mismatched id map) runs every step on the boxed path. *)
   type env = {
     evaluator : Eval.t;
     find_key : int -> Tuple.t option;
     acc : Combine.Acc.t;
+    cols : Colstore.t option;
+    ids : int array;
   }
 
   (** A specialized kernel: run the loop program over one group's
@@ -89,4 +97,14 @@ module Compile : sig
       (bit-identical results, including error behaviour), with
       [Random]-free constant subtrees folded at compile time. *)
   val compile : schema:Schema.t -> t -> kernel
+
+  (** The scalar binds of [p] that stay on the boxed-row path even when a
+      columnar mirror is available — i.e. the kernel materializes tuples
+      inside its per-row loop for them.  A bind specializes to a column
+      load only when its expression is float-guaranteed over column-backed
+      schema attributes through [+ - * / neg abs sqrt min max] (operations
+      whose float semantics are the plain primitives, keeping the two
+      paths bit-identical) and no step of [p] writes a schema slot.  Perf
+      lint P006 reports what this returns. *)
+  val boxed_binds : schema:Schema.t -> t -> (int * Expr.t) list
 end

@@ -1,0 +1,328 @@
+(* Struct-of-arrays relation storage.
+
+   Layout: one typed array per schema attribute, indexed by row id, plus a
+   boxed overflow column for let-extension slots and an optional per-row
+   length sidecar for short (projected) rows.  A column starts in the typed
+   representation its schema type suggests and is promoted to [Boxed] the
+   first time a value of a different constructor is stored — materialized
+   rows must reproduce the exact [Value.t] tags (the codec encodes tags, so
+   [Int 0] and [Float 0.] are digest-distinct even though [Value.equal]
+   identifies them). *)
+
+open Sgl_util
+
+type col =
+  | Floats of float array
+  | Ints of int array
+  | Bools of Bytes.t
+  | Boxed of Value.t array
+
+type t = {
+  schema : Schema.t;
+  arity : int;
+  mutable len : int;
+  mutable cap : int;
+  mutable cols : col array; (* one per schema attribute, each [cap] long *)
+  mutable ext : Value.t array array; (* per-row slots beyond arity; [cap] long *)
+  mutable lens : int array option; (* per-row lengths; None = derive *)
+  mutable any_ext : bool;
+}
+
+let tel_column_copies = Telemetry.counter "relalg.column_copies"
+let tel_cow_hits = Telemetry.counter "persist.snapshot_cow_hits"
+
+let no_ext : Value.t array = [||]
+
+let fresh_col ty cap =
+  match ty with
+  | Value.TFloat -> Floats (Array.make cap 0.)
+  | Value.TInt -> Ints (Array.make cap 0)
+  | Value.TBool -> Bools (Bytes.make cap '\000')
+  | Value.TVec -> Boxed (Array.make cap (Value.Int 0))
+
+let create ?(capacity = 16) schema =
+  let arity = Schema.arity schema in
+  let cap = max 1 capacity in
+  {
+    schema;
+    arity;
+    len = 0;
+    cap;
+    cols = Array.init arity (fun j -> fresh_col (Schema.ty_at schema j) cap);
+    ext = Array.make cap no_ext;
+    lens = None;
+    any_ext = false;
+  }
+
+let schema t = t.schema
+let length t = t.len
+
+let grow_col cap' len = function
+  | Floats a ->
+    let b = Array.make cap' 0. in
+    Array.blit a 0 b 0 len;
+    Floats b
+  | Ints a ->
+    let b = Array.make cap' 0 in
+    Array.blit a 0 b 0 len;
+    Ints b
+  | Bools a ->
+    let b = Bytes.make cap' '\000' in
+    Bytes.blit a 0 b 0 len;
+    Bools b
+  | Boxed a ->
+    let b = Array.make cap' (Value.Int 0) in
+    Array.blit a 0 b 0 len;
+    Boxed b
+
+let ensure_capacity t n =
+  if n > t.cap then begin
+    let cap' = max n (2 * t.cap) in
+    t.cols <- Array.map (grow_col cap' t.len) t.cols;
+    let ext' = Array.make cap' no_ext in
+    Array.blit t.ext 0 ext' 0 t.len;
+    t.ext <- ext';
+    (match t.lens with
+    | None -> ()
+    | Some ls ->
+      let ls' = Array.make cap' 0 in
+      Array.blit ls 0 ls' 0 t.len;
+      t.lens <- Some ls');
+    t.cap <- cap'
+  end
+
+(* Promote column [j] to Boxed, reproducing the exact values stored so far.
+   Slots past [len] (including short-row padding) are never materialized, so
+   their boxed value is irrelevant. *)
+let promote t j =
+  let boxed = Array.make t.cap (Value.Int 0) in
+  (match t.cols.(j) with
+  | Floats a ->
+    for i = 0 to t.len - 1 do
+      boxed.(i) <- Value.Float a.(i)
+    done
+  | Ints a ->
+    for i = 0 to t.len - 1 do
+      boxed.(i) <- Value.Int a.(i)
+    done
+  | Bools a ->
+    for i = 0 to t.len - 1 do
+      boxed.(i) <- Value.Bool (Bytes.get a i <> '\000')
+    done
+  | Boxed a -> Array.blit a 0 boxed 0 t.len);
+  t.cols.(j) <- Boxed boxed
+
+let rec set_slot t j i (v : Value.t) =
+  match (t.cols.(j), v) with
+  | Floats a, Value.Float f -> a.(i) <- f
+  | Ints a, Value.Int n -> a.(i) <- n
+  | Bools a, Value.Bool b -> Bytes.set a i (if b then '\001' else '\000')
+  | Boxed a, v -> a.(i) <- v
+  | (Floats _ | Ints _ | Bools _), v ->
+    promote t j;
+    set_slot t j i v
+
+let record_len t i n =
+  match t.lens with
+  | Some ls -> ls.(i) <- n
+  | None ->
+    if n <> t.arity + Array.length t.ext.(i) then begin
+      (* first irregular row: backfill the sidecar *)
+      let ls = Array.make t.cap 0 in
+      for k = 0 to t.len - 1 do
+        ls.(k) <- t.arity + Array.length t.ext.(k)
+      done;
+      ls.(i) <- n;
+      t.lens <- Some ls
+    end
+
+let append t (row : Tuple.t) =
+  let n = Array.length row in
+  let i = t.len in
+  ensure_capacity t (i + 1);
+  let upto = min n t.arity in
+  for j = 0 to upto - 1 do
+    set_slot t j i row.(j)
+  done;
+  if n > t.arity then begin
+    t.ext.(i) <- Array.sub row t.arity (n - t.arity);
+    t.any_ext <- true
+  end
+  else t.ext.(i) <- no_ext;
+  t.len <- i + 1;
+  record_len t i n
+
+let of_tuples schema rows =
+  let t = create ~capacity:(max 16 (Array.length rows)) schema in
+  Array.iter (append t) rows;
+  t
+
+let row_len t i =
+  if i < 0 || i >= t.len then invalid_arg "Colstore.row_len";
+  match t.lens with
+  | Some ls -> ls.(i)
+  | None -> t.arity + Array.length t.ext.(i)
+
+let col_get t j i =
+  match t.cols.(j) with
+  | Floats a -> Value.Float a.(i)
+  | Ints a -> Value.Int a.(i)
+  | Bools a -> Value.Bool (Bytes.get a i <> '\000')
+  | Boxed a -> a.(i)
+
+let get t i j =
+  if i < 0 || i >= t.len then invalid_arg "Colstore.get: row out of range";
+  let n = row_len t i in
+  if j < 0 || j >= n then invalid_arg "Colstore.get: slot out of range";
+  if j < t.arity then col_get t j i else t.ext.(i).(j - t.arity)
+
+let materialize t i =
+  if i < 0 || i >= t.len then invalid_arg "Colstore.materialize";
+  let n = row_len t i in
+  Array.init n (fun j -> if j < t.arity then col_get t j i else t.ext.(i).(j - t.arity))
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f (materialize t i)
+  done
+
+let iteri f t =
+  for i = 0 to t.len - 1 do
+    f i (materialize t i)
+  done
+
+let fold f init t =
+  let acc = ref init in
+  for i = 0 to t.len - 1 do
+    acc := f !acc (materialize t i)
+  done;
+  !acc
+
+let to_array t = Array.init t.len (materialize t)
+let col t j = t.cols.(j)
+
+let float_reader t j =
+  match t.cols.(j) with
+  | Floats a -> Some (fun i -> Array.unsafe_get a i)
+  | Ints a -> Some (fun i -> float_of_int (Array.unsafe_get a i))
+  | Bools _ | Boxed _ -> None
+
+let int_reader t j =
+  match t.cols.(j) with
+  | Ints a -> Some (fun i -> Array.unsafe_get a i)
+  | Floats _ | Bools _ | Boxed _ -> None
+
+let rectangular t =
+  (not t.any_ext)
+  &&
+  match t.lens with
+  | None -> true
+  | Some ls ->
+    let ok = ref true in
+    for i = 0 to t.len - 1 do
+      if ls.(i) <> t.arity then ok := false
+    done;
+    !ok
+
+(* Build a fresh column for attribute [j] straight from boxed rows — never
+   mutates the previous array, so readers captured at an earlier tick keep
+   seeing that tick's values. *)
+let build_col schema j (rows : Tuple.t array) : col =
+  let n = Array.length rows in
+  let boxed () =
+    let a = Array.make n (Value.Int 0) in
+    for i = 0 to n - 1 do
+      a.(i) <- rows.(i).(j)
+    done;
+    Boxed a
+  in
+  match Schema.ty_at schema j with
+  | Value.TFloat ->
+    let a = Array.make n 0. in
+    let rec go i =
+      if i >= n then Floats a
+      else
+        match rows.(i).(j) with
+        | Value.Float f ->
+          a.(i) <- f;
+          go (i + 1)
+        | _ -> boxed ()
+    in
+    go 0
+  | Value.TInt ->
+    let a = Array.make n 0 in
+    let rec go i =
+      if i >= n then Ints a
+      else
+        match rows.(i).(j) with
+        | Value.Int v ->
+          a.(i) <- v;
+          go (i + 1)
+        | _ -> boxed ()
+    in
+    go 0
+  | Value.TBool ->
+    let a = Bytes.make n '\000' in
+    let rec go i =
+      if i >= n then Bools a
+      else
+        match rows.(i).(j) with
+        | Value.Bool b ->
+          Bytes.set a i (if b then '\001' else '\000');
+          go (i + 1)
+        | _ -> boxed ()
+    in
+    go 0
+  | Value.TVec -> boxed ()
+
+let rebuild_all t rows =
+  let n = Array.length rows in
+  t.len <- n;
+  t.cap <- max 1 n;
+  t.cols <- Array.init t.arity (fun j -> build_col t.schema j rows);
+  t.ext <- Array.make t.cap no_ext;
+  t.lens <- None;
+  t.any_ext <- false;
+  Telemetry.Counter.add tel_column_copies t.arity
+
+let refresh ?delta t rows =
+  let rebuild () = rebuild_all t rows in
+  let body () =
+    match delta with
+    | None -> rebuild ()
+    | Some d ->
+      if Delta.structural d || Array.length rows <> t.len || not (rectangular t) then rebuild ()
+      else
+        for j = 0 to t.arity - 1 do
+          if Delta.dirty_attr d j then begin
+            t.cols.(j) <- build_col t.schema j rows;
+            Telemetry.Counter.incr tel_column_copies
+          end
+          else Telemetry.Counter.incr tel_cow_hits
+        done
+  in
+  if Telemetry.Span.enabled () then Telemetry.Span.with_ ~cat:"col" "col:refresh" body
+  else body ()
+
+let snapshot t =
+  {
+    schema = t.schema;
+    arity = t.arity;
+    len = t.len;
+    cap = t.cap;
+    cols = Array.copy t.cols;
+    ext = t.ext;
+    lens = t.lens;
+    any_ext = t.any_ext;
+  }
+
+let pp ppf t =
+  let rep_name = function
+    | Floats _ -> "floats"
+    | Ints _ -> "ints"
+    | Bools _ -> "bools"
+    | Boxed _ -> "boxed"
+  in
+  Fmt.pf ppf "@[<v>colstore %d rows@,%a@]" t.len
+    Fmt.(list ~sep:cut (pair ~sep:(any ": ") string string))
+    (List.init t.arity (fun j -> (Schema.name_at t.schema j, rep_name t.cols.(j))))

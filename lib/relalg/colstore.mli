@@ -1,0 +1,86 @@
+(** Struct-of-arrays storage for multiset relations.
+
+    One typed column per schema attribute — [float array] / [int array] /
+    packed [Bytes.t] for bools — indexed by row id, with a boxed overflow
+    column for [let]-extension slots beyond the schema arity and a length
+    sidecar for short (projected) rows.  Enum-like attributes are int-typed
+    in this engine, so they ride in [Ints].
+
+    The store is a faithful multiset of [Tuple.t] rows: {!materialize}
+    reproduces every row bit-identically, including the [Value.t]
+    constructor tags ([Int 0] and [Float 0.] compare equal but encode
+    differently, so a column only uses a typed representation while every
+    stored value matches it; a mismatched write promotes the column to
+    [Boxed] without changing any materialized row). *)
+
+(** A column's physical representation.  Arrays may be longer than the
+    store's {!length} (capacity slack); slots at or beyond [length] are
+    unspecified. *)
+type col =
+  | Floats of float array  (** every value is [Value.Float] *)
+  | Ints of int array  (** every value is [Value.Int] *)
+  | Bools of Bytes.t  (** every value is [Value.Bool]; ['\000'] = false *)
+  | Boxed of Value.t array  (** mixed or vec-typed values *)
+
+type t
+
+val create : ?capacity:int -> Schema.t -> t
+val of_tuples : Schema.t -> Tuple.t array -> t
+val schema : t -> Schema.t
+val length : t -> int
+
+(** Append a row.  The row may be longer than the schema arity (extension
+    slots go to the overflow column) or shorter (a projected row; missing
+    slots are absent, not defaulted). *)
+val append : t -> Tuple.t -> unit
+
+(** Length of row [i] as appended (arity + extensions, or shorter). *)
+val row_len : t -> int -> int
+
+(** [get t i j] is slot [j] of row [i].  Raises [Invalid_argument] when out
+    of range of the row as appended. *)
+val get : t -> int -> int -> Value.t
+
+(** Fresh boxed row equal (by {!Tuple.equal} and by codec bytes) to the row
+    as appended.  Mutating the result does not write back. *)
+val materialize : t -> int -> Tuple.t
+
+val iter : (Tuple.t -> unit) -> t -> unit
+val iteri : (int -> Tuple.t -> unit) -> t -> unit
+val fold : ('acc -> Tuple.t -> 'acc) -> 'acc -> t -> 'acc
+val to_array : t -> Tuple.t array
+
+(** The current physical column for attribute [j] (a view, not a copy).
+    Valid until the next {!append}/{!refresh} touching that column. *)
+val col : t -> int -> col
+
+(** [float_reader t j] is [Some read] when column [j] is numerically
+    readable without boxing: [read i] equals
+    [Value.to_float (get t i j)] for every [i < length t].  [None] for
+    bool, vec and mixed columns — callers fall back to the boxed path
+    (which also preserves the exact raise behavior). *)
+val float_reader : t -> int -> (int -> float) option
+
+(** [int_reader t j] is [Some read] only for pure int columns. *)
+val int_reader : t -> int -> (int -> int) option
+
+(** True when every row has exactly the schema arity (no extensions, no
+    short rows) — the environment-store case the COW refresh requires. *)
+val rectangular : t -> bool
+
+(** [refresh ?delta t rows] makes [t] mirror [rows] (all of schema arity).
+    With a non-structural [delta] of matching population, clean columns are
+    kept as-is — their values are unchanged, so the previous arrays remain
+    valid (counted as [persist.snapshot_cow_hits]) — and only dirty columns
+    are rebuilt into fresh arrays (counted as [relalg.column_copies]).
+    Rebuilds never mutate previously exposed arrays, so readers captured by
+    cross-tick index structures stay coherent.  Without a delta, or on a
+    structural tick, every column rebuilds. *)
+val refresh : ?delta:Delta.t -> t -> Tuple.t array -> unit
+
+(** Shallow snapshot sharing every column array with [t] — O(arity).
+    Valid as long as [t] only advances through {!refresh} (which copies
+    instead of mutating). *)
+val snapshot : t -> t
+
+val pp : t Fmt.t
