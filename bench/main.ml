@@ -874,6 +874,102 @@ let telemetry_bench () =
     [ off; metrics; spans ]
 
 (* ------------------------------------------------------------------ *)
+(* Observability: flight recorder + live endpoint overhead.
+
+   Same workload as the telemetry bench, four passes: no observer (the
+   shipped default), the flight ring alone, ring + streaming dump sink
+   (flushed per tick), and ring + the HTTP server bound with a client
+   polling /metrics and /health throughout the run.  The off pass is the
+   baseline the obs-on numbers are judged against — it must match the
+   no-obs engine exactly (the observer hook is a single option check).
+   The obs-on passes pay one O(n) state digest per commit, which is the
+   dominant cost; ring append, sink flush and a polling client are noise
+   on top of it. *)
+
+let obs_bench () =
+  header "Observability - flight recorder and live endpoint overhead (indexed, 2000 units)";
+  let n = 2000 and density = 0.01 and ticks = 20 in
+  let measure mode ~(attach : Simulation.t -> unit -> unit) =
+    let scenario =
+      Battle.Scenario.setup ~density ~per_side:(Battle.Scenario.standard_mix (n / 2)) ()
+    in
+    let sim = Battle.Scenario.simulation ~evaluator:Simulation.Indexed scenario in
+    Simulation.step sim;
+    let detach = attach sim in
+    let (), seconds = Timer.timed (fun () -> Simulation.run sim ~ticks) in
+    detach ();
+    let r = Simulation.report sim in
+    let per_tick = seconds /. float_of_int ticks in
+    Bench_json.emit ~section:"obs"
+      ~config:[ ("mode", mode); ("units", string_of_int n) ]
+      ~ticks_per_s:(1. /. per_tick)
+      ~phases:
+        [
+          ("decision_s", r.Simulation.decision_s);
+          ("build_s", r.Simulation.build_s);
+          ("post_s", r.Simulation.post_s);
+          ("movement_s", r.Simulation.movement_s);
+          ("death_s", r.Simulation.death_s);
+        ];
+    (mode, per_tick)
+  in
+  let prog = Battle.Scripts.compile () in
+  let off = measure "off" ~attach:(fun _ () -> ()) in
+  let flight =
+    measure "flight" ~attach:(fun sim ->
+        let live = Obs.Live.create ~flight_capacity:1024 ~sim ~prog () in
+        fun () -> Obs.Live.stop live)
+  in
+  let sink =
+    measure "flight+sink" ~attach:(fun sim ->
+        let path = Filename.temp_file "sgl_bench_flight" ".dump" in
+        let live = Obs.Live.create ~flight_capacity:1024 ~dump_path:path ~sim ~prog () in
+        fun () ->
+          Obs.Live.stop live;
+          (try Sys.remove path with Sys_error _ -> ()))
+  in
+  let http =
+    measure "flight+http" ~attach:(fun sim ->
+        let live = Obs.Live.create ~flight_capacity:1024 ~sim ~prog () in
+        let port = Obs.Live.serve live ~port:0 in
+        let polling = Atomic.make true in
+        let get target =
+          let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+          Fun.protect
+            ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+            (fun () ->
+              Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+              let req = Printf.sprintf "GET %s HTTP/1.0\r\n\r\n" target in
+              ignore (Unix.write_substring fd req 0 (String.length req));
+              let chunk = Bytes.create 4096 in
+              let rec drain () = if Unix.read fd chunk 0 4096 > 0 then drain () in
+              drain ())
+        in
+        let client =
+          Thread.create
+            (fun () ->
+              while Atomic.get polling do
+                (try
+                   get "/metrics";
+                   get "/health"
+                 with Unix.Unix_error _ -> ());
+                Thread.delay 0.005
+              done)
+            ()
+        in
+        fun () ->
+          Atomic.set polling false;
+          Thread.join client;
+          Obs.Live.stop live)
+  in
+  let _, t_off = off in
+  pr "@.%-16s %12s %10s@." "mode" "ticks/s" "overhead";
+  List.iter
+    (fun (mode, per_tick) ->
+      pr "%-16s %12.1f %9.1f%%@." mode (1. /. per_tick) ((per_tick /. t_off -. 1.) *. 100.))
+    [ off; flight; sink; http ]
+
+(* ------------------------------------------------------------------ *)
 (* Fused kernels: compiled decision execution vs interpreted plan walking.
 
    A decision-heavy scenario: every unit runs a scalar steering script —
@@ -1198,7 +1294,18 @@ let persist_bench () =
     let ckpt =
       match List.assoc_opt "persist.checkpoint_ns" (Telemetry.Registry.histograms Telemetry.default) with
       | Some s -> s
-      | None -> { Telemetry.count = 0; mean = 0.; stddev = 0.; min = 0.; max = 0.; total = 0. }
+      | None ->
+        {
+          Telemetry.count = 0;
+          mean = 0.;
+          stddev = 0.;
+          min = 0.;
+          max = 0.;
+          total = 0.;
+          p50 = 0.;
+          p90 = 0.;
+          p99 = 0.;
+        }
     in
     let journal_bytes = counter "persist.journal_bytes" in
     Telemetry.set_enabled false;
@@ -1265,6 +1372,7 @@ let everything ~full () =
   columnar_bench ~full ();
   faults_bench ();
   telemetry_bench ();
+  obs_bench ();
   persist_bench ();
   micro ()
 
@@ -1311,6 +1419,7 @@ let () =
             | "columnar-full" -> columnar_bench ~full:true ()
             | "faults" -> faults_bench ()
             | "telemetry" -> telemetry_bench ()
+            | "obs" -> obs_bench ()
             | "persist" -> persist_bench ()
             | "micro" -> micro ()
             | other ->

@@ -8,9 +8,31 @@
 open Cmdliner
 open Sgl
 
+(* --print-flight: load a flight-recorder dump and print a JSON summary,
+   so shell scripts (crash-recovery, the obs smoke job) never parse the
+   binary format themselves. *)
+let print_flight_summary (path : string) : int =
+  match Obs.Flight.load ~path with
+  | Error e ->
+    Fmt.epr "flight: cannot load %s: %s@." path e;
+    2
+  | Ok (records, torn) ->
+    let first_tick =
+      match records with [] -> -1 | s :: _ -> s.Simulation.s_tick
+    in
+    let last = match List.rev records with [] -> None | s :: _ -> Some s in
+    let last_tick = match last with None -> -1 | Some s -> s.Simulation.s_tick in
+    Fmt.pr "{\"records\": %d, \"torn\": %b, \"first_tick\": %d, \"last_tick\": %d, \"last\": %s}@."
+      (List.length records) torn first_tick last_tick
+      (match last with None -> "null" | Some s -> Obs.Flight.sample_json s);
+    0
+
 let run units ticks evaluator domains density seed optimize resurrect index_cache verbose ascii
     trace fault_policy injects metrics trace_spans explain_plans ckpt_dir ckpt_every do_restore
-    no_fsync sleep_ms =
+    no_fsync sleep_ms obs_port flight_cap dump_flight print_flight summary_json =
+  match print_flight with
+  | Some path -> print_flight_summary path
+  | None ->
   let evaluator_kind =
     match (evaluator, domains) with
     (* --domains N forces the parallel evaluator regardless of --evaluator *)
@@ -41,10 +63,12 @@ let run units ticks evaluator domains density seed optimize resurrect index_cach
             (String.concat ", " Fault_inject.points);
         Fault_inject.arm ~point spec)
     injects;
-  (* Telemetry: --metrics and --explain need the ambient registry live;
-     --trace-spans starts the span tracer.  All three leave unit states
-     bit-identical — telemetry never feeds back into the simulation. *)
-  if metrics <> None || explain_plans then begin
+  let obs_enabled = obs_port <> None || flight_cap > 0 || dump_flight <> None in
+  (* Telemetry: --metrics, --explain and the live endpoint need the
+     ambient registry live; --trace-spans starts the span tracer.  All of
+     them leave unit states bit-identical — telemetry never feeds back
+     into the simulation. *)
+  if metrics <> None || explain_plans || obs_enabled then begin
     Telemetry.set_enabled true;
     Telemetry.reset ()
   end;
@@ -88,6 +112,28 @@ let run units ticks evaluator domains density seed optimize resurrect index_cach
   (match ckpt_dir with
   | Some dir -> Simulation.checkpoint_every ~fsync:(not no_fsync) sim ~dir ~every:ckpt_every
   | None -> ());
+  (* The observability layer: flight recorder (+ streamed dump), live
+     endpoint, query port.  Installed after persistence is armed so the
+     first observed sample already describes a journaled tick. *)
+  let live =
+    if not obs_enabled then None
+    else begin
+      let prog = Battle.Scripts.compile () in
+      let l =
+        Obs.Live.create
+          ~flight_capacity:(if flight_cap > 0 then flight_cap else 1024)
+          ?dump_path:dump_flight ~sim ~prog ()
+      in
+      (match obs_port with
+      | Some p ->
+        let bound = Obs.Live.serve l ~port:p in
+        Fmt.pr
+          "obs: serving /metrics /stats /ticks /explain /health /query on http://127.0.0.1:%d@."
+          bound
+      | None -> ());
+      Some l
+    end
+  in
   let start_tick = Simulation.tick_count sim in
   let s = Simulation.schema sim in
   let draw () =
@@ -133,6 +179,18 @@ let run units ticks evaluator domains density seed optimize resurrect index_cach
   let finalize () =
     Timer.stop wall;
     Simulation.detach_persistence sim;
+    (* Uninstall the observer, close the streamed dump (its tail is
+       already on disk frame by frame), stop the endpoint. *)
+    Option.iter
+      (fun l ->
+        Obs.Live.stop l;
+        Option.iter
+          (fun path ->
+            Fmt.pr "flight: %d record(s) streamed to %s@."
+              (Obs.Flight.total (Obs.Live.flight l))
+              path)
+          dump_flight)
+      live;
     Option.iter
       (fun tr ->
         Trace.close tr;
@@ -168,6 +226,15 @@ let run units ticks evaluator domains density seed optimize resurrect index_cach
           Fmt.epr "fault: %a@." Fault.pp f;
           true)
   in
+  (* The automatic black-box dump on fault exit: when nothing streamed
+     the flight to disk, the ring is written now so the forensics are
+     not lost with the process. *)
+  (match live with
+  | Some l when failed && dump_flight = None ->
+    let path = "flight.dump" in
+    Obs.Live.dump l ~path;
+    Fmt.pr "flight: %d record(s) dumped to %s@." (Obs.Flight.length (Obs.Live.flight l)) path
+  | _ -> ());
   if ascii then draw ();
   let r = Simulation.report sim in
   Fmt.pr "@.%a@." Simulation.pp_report r;
@@ -191,9 +258,36 @@ let run units ticks evaluator domains density seed optimize resurrect index_cach
     (String.concat "," r.Simulation.quarantined);
   let elapsed = Timer.elapsed wall in
   let done_ticks = Simulation.tick_count sim - start_tick in
+  let ticks_per_s =
+    if done_ticks > 0 && elapsed > 1e-9 then float_of_int done_ticks /. elapsed else 0.
+  in
   if done_ticks > 0 && elapsed > 1e-9 then
-    Fmt.pr "wall clock: %.3fs (%.1f ticks/s)@." elapsed (float_of_int done_ticks /. elapsed)
+    Fmt.pr "wall clock: %.3fs (%.1f ticks/s)@." elapsed ticks_per_s
   else Fmt.pr "wall clock: %.3fs@." elapsed;
+  (* The machine-readable twin of the "final state:" line, so scripts
+     assert on JSON fields instead of grepping human output. *)
+  (match summary_json with
+  | None -> ()
+  | Some path ->
+    let body =
+      Printf.sprintf
+        "{\"tick\": %d, \"units\": %d, \"digest\": %s, \"deaths\": %d, \"resurrections\": %d, \
+         \"faults\": %d, \"quarantined\": [%s], \"evaluator\": %s, \"elapsed_s\": %s, \
+         \"ticks_per_s\": %s, \"failed\": %b}\n"
+        (Simulation.tick_count sim)
+        (Array.length (Simulation.units sim))
+        (Telemetry.json_string (Sgl.Persist.Crc32.to_hex (Simulation.state_digest sim)))
+        r.Simulation.deaths r.Simulation.resurrections r.Simulation.faults
+        (String.concat ", " (List.map Telemetry.json_string r.Simulation.quarantined))
+        (Telemetry.json_string (Simulation.evaluator_name (Simulation.current_evaluator sim)))
+        (Telemetry.json_float elapsed) (Telemetry.json_float ticks_per_s) failed
+    in
+    if path = "-" then print_string body
+    else begin
+      let oc = open_out path in
+      Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc body);
+      Fmt.pr "summary: written to %s@." path
+    end);
   if failed then 3 else 0
 
 let units_arg = Arg.(value & opt int 500 & info [ "units"; "n" ] ~doc:"Total units across both armies.")
@@ -326,17 +420,66 @@ let sleep_ms_arg =
         ~doc:"Sleep $(docv) milliseconds after each tick.  For crash-recovery tests that need \
               to kill the process mid-run at a predictable point.")
 
+let obs_port_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "obs-port" ] ~docv:"PORT"
+        ~doc:"Serve the live observability endpoint on 127.0.0.1:$(docv) while the battle runs: \
+              /metrics (Prometheus), /stats (JSON), /ticks (flight-recorder tail), /explain \
+              (live-annotated plans), /health (readiness + anomaly flags) and /query (read-only \
+              SGL aggregate over the last committed tick).  0 picks an ephemeral port (printed \
+              at startup).")
+
+let flight_cap_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "flight-recorder" ] ~docv:"N"
+        ~doc:"Keep a ring of the last $(docv) per-tick commit records (phase timings, counter \
+              deltas, population, state digest).  Implied with capacity 1024 by --obs-port or \
+              --dump-flight.")
+
+let dump_flight_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "dump-flight" ] ~docv:"FILE"
+        ~doc:"Stream every flight-recorder record to $(docv) as it commits (CRC-framed binary, \
+              flushed per record), so even a SIGKILL leaves a loadable black box.  Read it back \
+              with --print-flight.")
+
+let print_flight_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "print-flight" ] ~docv:"FILE"
+        ~doc:"Load a flight-recorder dump and print a JSON summary (record count, torn flag, \
+              first/last tick, last record), then exit without running a battle.")
+
+let summary_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "summary-json" ] ~docv:"FILE"
+        ~doc:"Write the final state as JSON (tick, units, digest, deaths, resurrections, \
+              quarantined, ticks/s, failed) to $(docv); '-' writes to stdout.  The \
+              machine-readable twin of the 'final state:' line.")
+
 let cmd =
   let doc = "run the SGL battle simulation (knights, archers, healers)" in
   Cmd.v
     (Cmd.info "battle_sim" ~version:Sgl.version ~doc)
     Term.(
-      const (fun u t e dom d s no_opt no_res no_cache v a tr fp inj m sp ex cd ce rst nf slp ->
+      const
+        (fun u t e dom d s no_opt no_res no_cache v a tr fp inj m sp ex cd ce rst nf slp op fc
+             dfl pfl sj ->
           run u t e dom d s (not no_opt) (not no_res) (not no_cache) v a tr fp inj m sp ex cd ce
-            rst nf slp)
+            rst nf slp op fc dfl pfl sj)
       $ units_arg $ ticks_arg $ evaluator_arg $ domains_arg $ density_arg $ seed_arg
       $ optimize_arg $ resurrect_arg $ index_cache_arg $ verbose_arg $ ascii_arg $ trace_arg
       $ fault_policy_arg $ inject_arg $ metrics_arg $ trace_spans_arg $ explain_arg
-      $ checkpoint_dir_arg $ checkpoint_every_arg $ restore_arg $ no_fsync_arg $ sleep_ms_arg)
+      $ checkpoint_dir_arg $ checkpoint_every_arg $ restore_arg $ no_fsync_arg $ sleep_ms_arg
+      $ obs_port_arg $ flight_cap_arg $ dump_flight_arg $ print_flight_arg $ summary_json_arg)
 
 let () = exit (Cmd.eval' cmd)

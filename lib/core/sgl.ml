@@ -90,6 +90,16 @@ module Simulation = Sgl_engine.Simulation
 module Trace = Sgl_engine.Trace
 module Fault = Sgl_engine.Fault
 
+(* Live observability: flight recorder, diagnostics endpoint, query port *)
+module Obs = struct
+  module Flight = Sgl_obs.Flight
+  module Prometheus = Sgl_obs.Prometheus
+  module Query = Sgl_obs.Query
+  module Health = Sgl_obs.Health
+  module Server = Sgl_obs.Server
+  module Live = Sgl_obs.Live
+end
+
 (* The battle case study *)
 module Battle = struct
   module D20 = Sgl_battle.D20

@@ -108,6 +108,32 @@ type timings = {
   death : Timer.t;
 }
 
+(* What one committed tick did, as deltas against the previous commit.
+   Handed to the observer (the flight recorder) right after the
+   durability hooks, so a sample describes exactly the state a crash
+   would recover to.  Everything here is derived from state the engine
+   already tracks; the digest is the only extra per-tick cost, and it is
+   computed only when an observer is installed. *)
+type tick_sample = {
+  s_tick : int;
+  s_units : int;
+  s_digest : int; (* Codec.units_digest of the committed unit array *)
+  s_tick_s : float; (* wall-clock of the whole step, retries included *)
+  s_decision_s : float;
+  s_post_s : float;
+  s_movement_s : float;
+  s_death_s : float;
+  s_deaths : int;
+  s_resurrections : int;
+  s_faults : int;
+  s_rollbacks : int;
+  s_retries : int;
+  s_demotions : int;
+  s_index_builds : int;
+  s_index_reuses : int;
+  s_evaluator : string; (* evaluator that committed the tick *)
+}
+
 type t = {
   config : config;
   compiled : Exec.compiled;
@@ -146,6 +172,11 @@ type t = {
   c_rollbacks : Telemetry.counter; (* snapshot restores after a fault *)
   c_faults : Telemetry.counter; (* faults observed (log may drop some) *)
   c_suppressed : Telemetry.counter; (* secondary failures hidden by a re-raise *)
+  h_tick_s : Telemetry.histogram; (* per-tick wall-clock, feeds report percentiles *)
+  (* The per-commit observer (None by default).  The engine never depends
+     on what it does; nothing it can reach feeds back into unit state, so
+     runs are bit-identical with and without one installed. *)
+  mutable observer : (tick_sample -> unit) option;
   (* fault-tolerance state *)
   fault_log : Fault.Log.t;
   mutable phase : Fault.phase; (* the phase currently executing, for context *)
@@ -204,6 +235,8 @@ let create ?(fault_policy = Fail) ?(fault_log_capacity = 64) ?(index_cache = tru
     c_rollbacks = Telemetry.Registry.counter tel "sim.rollbacks";
     c_faults = Telemetry.Registry.counter tel "sim.faults";
     c_suppressed = Telemetry.Registry.counter tel "sim.suppressed";
+    h_tick_s = Telemetry.Registry.histogram tel "sim.tick_seconds";
+    observer = None;
     fault_log = Fault.Log.create ~capacity:fault_log_capacity ();
     phase = Fault.Decision;
     quarantined = [];
@@ -503,7 +536,75 @@ let run_phases (t : t) : unit =
    under the next-weaker evaluator; since every PRNG draw is keyed by
    [~tick ~key], the retry is bit-identical to a healthy run of that
    evaluator. *)
+(* Cumulative evaluator statistics across demotions: retired engines'
+   totals plus the live engine's. *)
+let cumulative_stats (t : t) : Eval.eval_stats =
+  let s = Eval.fresh_stats () in
+  add_stats s t.retired_stats;
+  add_stats s (engine_stats t.engine);
+  s
+
+(* Counter values and cumulative timings captured before a step, so the
+   observer's sample can report per-tick deltas. *)
+type pre_step = {
+  pre_deaths : int;
+  pre_resurrections : int;
+  pre_faults : int;
+  pre_rollbacks : int;
+  pre_retries : int;
+  pre_demotions : int;
+  pre_decision_s : float;
+  pre_post_s : float;
+  pre_movement_s : float;
+  pre_death_s : float;
+  pre_builds : int;
+  pre_reuses : int;
+}
+
+let pre_step_of (t : t) : pre_step =
+  let s = cumulative_stats t in
+  {
+    pre_deaths = Telemetry.Counter.value t.c_deaths;
+    pre_resurrections = Telemetry.Counter.value t.c_resurrections;
+    pre_faults = Telemetry.Counter.value t.c_faults;
+    pre_rollbacks = Telemetry.Counter.value t.c_rollbacks;
+    pre_retries = Telemetry.Counter.value t.c_retries;
+    pre_demotions = List.length t.degradations;
+    pre_decision_s = Timer.elapsed t.timings.decision;
+    pre_post_s = Timer.elapsed t.timings.post;
+    pre_movement_s = Timer.elapsed t.timings.movement;
+    pre_death_s = Timer.elapsed t.timings.death;
+    pre_builds = s.Eval.index_builds;
+    pre_reuses = s.Eval.index_reuses;
+  }
+
+let sample_of (t : t) (pre : pre_step) ~(tick_s : float) : tick_sample =
+  let s = cumulative_stats t in
+  {
+    s_tick = t.tick;
+    s_units = Array.length t.units;
+    s_digest = Codec.units_digest t.units;
+    s_tick_s = tick_s;
+    s_decision_s = Timer.elapsed t.timings.decision -. pre.pre_decision_s;
+    s_post_s = Timer.elapsed t.timings.post -. pre.pre_post_s;
+    s_movement_s = Timer.elapsed t.timings.movement -. pre.pre_movement_s;
+    s_death_s = Timer.elapsed t.timings.death -. pre.pre_death_s;
+    s_deaths = Telemetry.Counter.value t.c_deaths - pre.pre_deaths;
+    s_resurrections = Telemetry.Counter.value t.c_resurrections - pre.pre_resurrections;
+    s_faults = Telemetry.Counter.value t.c_faults - pre.pre_faults;
+    s_rollbacks = Telemetry.Counter.value t.c_rollbacks - pre.pre_rollbacks;
+    s_retries = Telemetry.Counter.value t.c_retries - pre.pre_retries;
+    s_demotions = List.length t.degradations - pre.pre_demotions;
+    s_index_builds = s.Eval.index_builds - pre.pre_builds;
+    s_index_reuses = s.Eval.index_reuses - pre.pre_reuses;
+    s_evaluator = evaluator_name t.evaluator;
+  }
+
 let step (t : t) : unit =
+  (* Captured before the attempt so the observer (if any) can report
+     per-tick deltas; [pre] costs nothing when no observer is installed. *)
+  let t_start = Timer.now_ns () in
+  let pre = match t.observer with None -> None | Some _ -> Some (pre_step_of t) in
   let units0 = t.units
   and deaths0 = Telemetry.Counter.value t.c_deaths
   and resurrections0 = Telemetry.Counter.value t.c_resurrections in
@@ -571,11 +672,19 @@ let step (t : t) : unit =
   (* Durability hooks run only for a committed tick: a failed attempt was
      rolled back before the policy re-raised, so the journal never sees a
      state the simulation did not keep. *)
-  match t.persist with
+  (match t.persist with
   | None -> ()
   | Some p ->
     journal_commit t p;
-    if p.p_every > 0 && t.tick - p.p_base >= p.p_every then checkpoint_now t
+    if p.p_every > 0 && t.tick - p.p_base >= p.p_every then checkpoint_now t);
+  let tick_s = Int64.to_float (Int64.sub (Timer.now_ns ()) t_start) /. 1e9 in
+  Telemetry.Histogram.observe t.h_tick_s tick_s;
+  (* The observer runs last, after the durability hooks: its sample
+     describes a tick the journal has already committed, so a flight
+     record never gets ahead of recoverable state. *)
+  match (t.observer, pre) with
+  | Some f, Some pre -> f (sample_of t pre ~tick_s)
+  | _ -> ()
 
 let run (t : t) ~(ticks : int) : unit =
   (* Fix the target tick up front: [step] can grow or shrink [t.units]
@@ -743,6 +852,9 @@ type report = {
   suppressed : int; (* secondary failures hidden behind re-raised ones *)
   quarantined : string list;
   degradations : (int * string * string) list; (* tick, from, to *)
+  tick_p50_s : float; (* per-tick wall-clock percentiles (sim.tick_seconds) *)
+  tick_p90_s : float;
+  tick_p99_s : float;
 }
 
 let faults (t : t) : Fault.t list = Fault.Log.to_list t.fault_log
@@ -756,15 +868,18 @@ let current_evaluator (t : t) : evaluator_kind = t.evaluator
    registry's metrics or asserting on engine counters in tests. *)
 let telemetry (t : t) : Telemetry.Registry.t = t.tel
 
+(* Install (or remove) the per-commit observer.  Single slot: the flight
+   recorder composes the fan-out itself. *)
+let set_observer (t : t) (f : (tick_sample -> unit) option) : unit = t.observer <- f
+
 (* The delta the last committed tick recorded (None before the first tick,
    after a rollback, or with the cache disabled).  Exposed so differential
    tests can check it against the ground-truth [Delta.of_tuples]. *)
 let last_delta (t : t) : Delta.t option = t.pending_delta
 
 let report (t : t) : report =
-  let s = Eval.fresh_stats () in
-  add_stats s t.retired_stats;
-  add_stats s (engine_stats t.engine);
+  let s = cumulative_stats t in
+  let ts = Telemetry.Histogram.snapshot t.h_tick_s in
   let decision_s = Timer.elapsed t.timings.decision in
   let post_s = Timer.elapsed t.timings.post in
   let movement_s = Timer.elapsed t.timings.movement in
@@ -791,15 +906,19 @@ let report (t : t) : report =
     suppressed = Telemetry.Counter.value t.c_suppressed;
     quarantined = t.quarantined;
     degradations = t.degradations;
+    tick_p50_s = ts.Telemetry.p50;
+    tick_p90_s = ts.Telemetry.p90;
+    tick_p99_s = ts.Telemetry.p99;
   }
 
 let pp_report ppf (r : report) =
   Fmt.pf ppf
     "@[<v>ticks=%d units=%d total=%.3fs (decision=%.3fs [build=%.3fs] post=%.3fs move=%.3fs \
-     death=%.3fs)@,builds=%d reuses=%d probes=%d scans=%d uniform=%d deaths=%d resurrections=%d"
+     death=%.3fs)@,tick p50=%.2fms p90=%.2fms p99=%.2fms@,builds=%d reuses=%d probes=%d scans=%d \
+     uniform=%d deaths=%d resurrections=%d"
     r.ticks r.n_units r.total_s r.decision_s r.build_s r.post_s r.movement_s r.death_s
-    r.index_builds r.index_reuses r.index_probes r.naive_scans r.uniform_hits r.deaths
-    r.resurrections;
+    (r.tick_p50_s *. 1e3) (r.tick_p90_s *. 1e3) (r.tick_p99_s *. 1e3) r.index_builds
+    r.index_reuses r.index_probes r.naive_scans r.uniform_hits r.deaths r.resurrections;
   (* fault-free runs keep the pre-fault-layer report byte-identical *)
   if r.faults > 0 || r.retries > 0 || r.quarantined <> [] || r.degradations <> [] then
     Fmt.pf ppf "@,faults=%d retries=%d rollbacks=%d suppressed=%d quarantined=[%s] degraded=[%s]"

@@ -182,6 +182,38 @@ val current_evaluator : t -> evaluator_kind
     counts. *)
 val telemetry : t -> Telemetry.Registry.t
 
+(** What one committed tick did, as deltas against the previous commit:
+    population, state digest, wall-clock per phase, engine-counter and
+    index-statistic deltas, and the evaluator that committed it. *)
+type tick_sample = {
+  s_tick : int;
+  s_units : int;
+  s_digest : int;  (** {!Sgl_persist.Codec.units_digest} of the committed units *)
+  s_tick_s : float;  (** wall-clock of the whole step, retries included *)
+  s_decision_s : float;
+  s_post_s : float;
+  s_movement_s : float;
+  s_death_s : float;
+  s_deaths : int;
+  s_resurrections : int;
+  s_faults : int;
+  s_rollbacks : int;
+  s_retries : int;
+  s_demotions : int;
+  s_index_builds : int;
+  s_index_reuses : int;
+  s_evaluator : string;
+}
+
+(** [set_observer t (Some f)] calls [f] with a {!tick_sample} after each
+    committed tick, once the durability hooks have run — so a sample
+    never describes state a crash could lose beyond the last journal
+    record.  The observer cannot reach unit state, so simulations are
+    bit-identical with and without one ({!Sgl_obs} pins that with a
+    differential).  Per-tick digests are only computed while an observer
+    is installed; [set_observer t None] removes it. *)
+val set_observer : t -> (tick_sample -> unit) option -> unit
+
 (** The delta summary the last committed tick recorded ([None] before the
     first tick, after a rollback, or with the index cache disabled).  For
     tests: check it against the ground truth {!Sgl_relalg.Delta.of_tuples}
@@ -223,6 +255,11 @@ type report = {
           other chunks of a quarantined group) *)
   quarantined : string list;
   degradations : (int * string * string) list;
+  tick_p50_s : float;
+      (** per-tick wall-clock percentiles from the always-on
+          [sim.tick_seconds] histogram ({!Sgl_util.Stats.percentile}) *)
+  tick_p90_s : float;
+  tick_p99_s : float;
 }
 
 val report : t -> report

@@ -1,0 +1,63 @@
+(** The flight recorder: a bounded ring of per-tick commit samples with a
+    CRC-framed persistent form — the engine's crash-forensics black box.
+
+    The ring is written by the simulation thread (via the
+    {!Sgl_engine.Simulation.set_observer} hook) and read concurrently by
+    the live endpoint; persistence comes in two forms over one format: a
+    one-shot {!dump} of the ring and an append-only streaming {!sink}
+    flushed per record, so even a SIGKILL leaves a loadable file whose
+    last frame is the last committed tick the OS saw. *)
+
+open Sgl_engine
+
+type sample = Simulation.tick_sample
+
+type t
+
+(** Raises [Invalid_argument] unless [capacity > 0]. *)
+val create : capacity:int -> t
+
+val capacity : t -> int
+
+(** Store one committed tick's sample, evicting the oldest at capacity. *)
+val record : t -> sample -> unit
+
+(** Samples ever recorded (monotone; [>= length] once the ring wraps). *)
+val total : t -> int
+
+(** Samples currently held ([min total capacity]). *)
+val length : t -> int
+
+(** The newest [n] (default: all held) samples, oldest first. *)
+val tail : ?n:int -> t -> sample list
+
+val last : t -> sample option
+
+(** {1 Persistent form} *)
+
+(** Write the ring's current contents to [path] (header + one CRC-framed
+    record per sample, oldest first). *)
+val dump : t -> path:string -> unit
+
+(** An append-only stream of records, flushed per frame.  Independent of
+    any ring: the caller feeds it from the observer. *)
+type sink
+
+(** Truncates [path] and writes the file header. *)
+val sink_open : path:string -> sink
+
+val sink_record : sink -> sample -> unit
+val sink_close : sink -> unit
+
+(** [load ~path] reads a dump or sink file back.  The [bool] is a torn
+    flag: reading stops at the first truncated or CRC-invalid frame, and
+    everything before it is returned — the expected shape after a crash
+    mid-write.  [Error] only for an unreadable file or a bad header. *)
+val load : path:string -> (sample list * bool, string) result
+
+(** {1 JSON} *)
+
+val sample_json : sample -> string
+
+(** A JSON array of {!sample_json} objects, oldest first. *)
+val to_json : sample list -> string

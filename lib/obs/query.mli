@@ -1,0 +1,24 @@
+(** The read-only query port: compile one SGL aggregate body via the
+    ordinary pipeline and evaluate it against a committed tick
+    snapshot. *)
+
+open Sgl_relalg
+
+type snapshot = {
+  q_tick : int;
+  q_units : Tuple.t array;
+      (** a committed tick's unit array — never mutated after commit, so
+          safe to scan from another thread *)
+}
+
+(** [run ~schema ~snapshot ?key body] wraps [body] (an aggregate body,
+    e.g. ["count(*) where e.health > 0"]) in a one-aggregate program,
+    compiles it against [schema], and evaluates it with the naive
+    reference evaluator over [snapshot].  Correlated queries (mentioning
+    [u.*]) need [key] to select the probe unit by its [key] attribute.
+    Queries calling [random()] are rejected — the port must not draw
+    randomness.  [Ok] is a JSON object string (tick, units, query,
+    correlated, value); [Error] is a human-readable reason (compile
+    error, missing key, empty snapshot, undefined aggregate). *)
+val run :
+  schema:Schema.t -> snapshot:snapshot -> ?key:int -> string -> (string, string) result

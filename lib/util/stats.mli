@@ -17,6 +17,16 @@ val variance : t -> float
 val stddev : t -> float
 val min_value : t -> float
 val max_value : t -> float
+
+(** [percentile t q] estimates the [q]-quantile ([0. <= q <= 1.]) from a
+    fixed grid of logarithmic buckets (8 per octave): the clamped
+    geometric midpoint of the bucket containing the nearest rank, so the
+    relative error is bounded by the bucket width (about 9%).  Because
+    the grid is fixed, merged accumulators give bit-identical
+    percentiles regardless of how samples were partitioned.  [nan] when
+    empty; [q <= 0.]/[q >= 1.] return the exact min/max. *)
+val percentile : t -> float -> float
+
 val reset : t -> unit
 
 (** [merge ~into src] folds [src]'s samples into [into] as if each had

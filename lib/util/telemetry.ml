@@ -52,6 +52,9 @@ type histogram_snapshot = {
   min : float;
   max : float;
   total : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
 }
 
 module Counter = struct
@@ -101,6 +104,9 @@ module Histogram = struct
       min = (if n = 0 then 0. else Stats.min_value acc);
       max = (if n = 0 then 0. else Stats.max_value acc);
       total = Stats.total acc;
+      p50 = (if n = 0 then 0. else Stats.percentile acc 0.50);
+      p90 = (if n = 0 then 0. else Stats.percentile acc 0.90);
+      p99 = (if n = 0 then 0. else Stats.percentile acc 0.99);
     }
 end
 
@@ -239,9 +245,10 @@ module Registry = struct
     fields "gauges" (gauges t) json_float;
     Buffer.add_string b ",\n";
     fields "histograms" (histograms t) (fun (s : histogram_snapshot) ->
-        Printf.sprintf "{\"count\": %d, \"mean\": %s, \"stddev\": %s, \"min\": %s, \"max\": %s, \"total\": %s}"
+        Printf.sprintf
+          "{\"count\": %d, \"mean\": %s, \"stddev\": %s, \"min\": %s, \"max\": %s, \"total\": %s, \"p50\": %s, \"p90\": %s, \"p99\": %s}"
           s.count (json_float s.mean) (json_float s.stddev) (json_float s.min) (json_float s.max)
-          (json_float s.total));
+          (json_float s.total) (json_float s.p50) (json_float s.p90) (json_float s.p99));
     Buffer.add_string b "\n}\n";
     Buffer.contents b
 

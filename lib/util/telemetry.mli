@@ -21,6 +21,9 @@ type histogram_snapshot = {
   min : float;
   max : float;
   total : float;
+  p50 : float;  (** median, from {!Stats.percentile}'s merge-exact log buckets *)
+  p90 : float;
+  p99 : float;
 }
 
 module Counter : sig
@@ -54,6 +57,19 @@ module Histogram : sig
   (** Merge every shard ({!Stats.merge}) and summarize. *)
   val snapshot : histogram -> histogram_snapshot
 end
+
+(** {1 JSON fragments}
+
+    Hand-rolled helpers (the toolchain ships no JSON library), shared
+    with the observability layer's endpoint bodies. *)
+
+val json_escape : string -> string
+
+(** [json_escape] wrapped in quotes. *)
+val json_string : string -> string
+
+(** ["%.6g"]; non-finite floats render as [null]. *)
+val json_float : float -> string
 
 module Registry : sig
   type t

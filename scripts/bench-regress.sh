@@ -1,0 +1,128 @@
+#!/bin/sh
+# Bench regression gate: re-run the sections held by the newest archived
+# BENCH_*.json (or an explicitly named baseline) and fail when a pinned
+# metric regresses by more than the threshold against the archive.
+#
+# Pinned metrics, per row (rows are matched on exact section + config):
+#   - ticks_per_s        fails when fresh < baseline * (1 - threshold)
+#   - phases.decision_s  fails when fresh > baseline * (1 + threshold)
+#
+# The threshold is deliberately generous (30%): shared runners are noisy,
+# and this gate exists to catch accidental algorithmic regressions — an
+# index rebuilt per probe, a lost fast path — not single-digit drift.
+# Rows listed in scripts/bench-regress-skip.txt are excluded; keep that
+# list explicit so every exclusion is visible in review.
+#
+# Usage: scripts/bench-regress.sh [baseline.json] [threshold]
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BASELINE="${1:-}"
+THRESHOLD="${2:-0.30}"
+SKIP_FILE="scripts/bench-regress-skip.txt"
+FRESH="fresh-bench.json"
+
+fail() {
+  echo "bench-regress: FAIL: $*" >&2
+  exit 1
+}
+
+if [ -z "$BASELINE" ]; then
+  BASELINE="$(ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n | tail -n 1)"
+  [ -n "$BASELINE" ] || fail "no archived BENCH_*.json to compare against"
+fi
+[ -f "$BASELINE" ] || fail "baseline $BASELINE not found"
+
+SECTIONS="$(python3 -c "
+import json, sys
+rows = json.load(open('$BASELINE'))['rows']
+seen = []
+for r in rows:
+    if r['section'] not in seen:
+        seen.append(r['section'])
+print(' '.join(seen))
+")"
+[ -n "$SECTIONS" ] || fail "baseline $BASELINE holds no rows"
+
+echo "bench-regress: baseline $BASELINE, sections: $SECTIONS, threshold $THRESHOLD"
+dune build bench/main.exe
+_build/default/bench/main.exe $SECTIONS --json "$FRESH" > bench-regress.out 2>&1 \
+  || { cat bench-regress.out >&2; fail "bench run failed"; }
+
+python3 - "$BASELINE" "$FRESH" "$THRESHOLD" "$SKIP_FILE" <<'EOF' || exit 1
+import json, sys
+
+baseline_path, fresh_path, threshold, skip_path = sys.argv[1:5]
+threshold = float(threshold)
+
+def rows(path):
+    return json.load(open(path))["rows"]
+
+def key(row):
+    return (row["section"], tuple(sorted(row["config"].items())))
+
+def label(row):
+    cfg = ", ".join("%s=%s" % kv for kv in sorted(row["config"].items()))
+    return "%s[%s]" % (row["section"], cfg)
+
+# skip file: one entry per line, `section` or `section key=value ...`;
+# an entry skips rows of that section whose config matches every pair
+skips = []
+try:
+    for line in open(skip_path):
+        line = line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        pairs = dict(p.split("=", 1) for p in parts[1:])
+        skips.append((parts[0], pairs))
+except FileNotFoundError:
+    pass
+
+def skipped(row):
+    for section, pairs in skips:
+        if row["section"] == section and all(
+            row["config"].get(k) == v for k, v in pairs.items()
+        ):
+            return True
+    return False
+
+fresh = {key(r): r for r in rows(fresh_path)}
+failures, compared, skipped_n = [], 0, 0
+
+for base in rows(baseline_path):
+    if skipped(base):
+        skipped_n += 1
+        continue
+    got = fresh.get(key(base))
+    if got is None:
+        failures.append("%s: row missing from the fresh run" % label(base))
+        continue
+    compared += 1
+    b, f = base.get("ticks_per_s", 0.0), got.get("ticks_per_s", 0.0)
+    if b > 0 and f < b * (1.0 - threshold):
+        failures.append(
+            "%s: ticks_per_s %.1f -> %.1f (%.0f%% drop)"
+            % (label(base), b, f, (1.0 - f / b) * 100.0)
+        )
+    b = base.get("phases", {}).get("decision_s", 0.0)
+    f = got.get("phases", {}).get("decision_s", 0.0)
+    if b > 0 and f > b * (1.0 + threshold):
+        failures.append(
+            "%s: decision_s %.4f -> %.4f (%.0f%% slower)"
+            % (label(base), b, f, (f / b - 1.0) * 100.0)
+        )
+
+print(
+    "bench-regress: %d row(s) compared, %d skipped by %s"
+    % (compared, skipped_n, skip_path)
+)
+if failures:
+    for f in failures:
+        print("bench-regress: REGRESSION: " + f, file=sys.stderr)
+    sys.exit(1)
+print("bench-regress: OK (no pinned metric regressed past the threshold)")
+EOF
+
+rm -f "$FRESH" bench-regress.out

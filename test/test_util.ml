@@ -215,6 +215,70 @@ let stats_merge_order_invariance =
       && close (Stats.max_value acc) (Stats.max_value reference))
 
 (* ------------------------------------------------------------------ *)
+(* Percentiles *)
+
+let test_percentile_basic () =
+  let s = Stats.create () in
+  for i = 1 to 1000 do
+    Stats.add s (float_of_int i)
+  done;
+  (* log-bucketed: the answer is within one bucket width (2^(1/8) ~ 9%)
+     of the exact quantile *)
+  let check_close name expect got =
+    if Float.abs (got -. expect) > 0.1 *. expect then
+      Alcotest.failf "%s: expected ~%g, got %g" name expect got
+  in
+  check_close "p50" 500. (Stats.percentile s 0.50);
+  check_close "p90" 900. (Stats.percentile s 0.90);
+  check_close "p99" 990. (Stats.percentile s 0.99);
+  (* q <= 0 / q >= 1 are the exact extremes *)
+  check_float "p0 is min" 1. (Stats.percentile s 0.);
+  check_float "p100 is max" 1000. (Stats.percentile s 1.)
+
+let test_percentile_edges () =
+  let s = Stats.create () in
+  Alcotest.(check bool) "empty is nan" true (Float.is_nan (Stats.percentile s 0.5));
+  (* non-positive samples land in the sign bucket and report the minimum *)
+  Stats.add s (-4.);
+  Stats.add s 0.;
+  Stats.add s 8.;
+  check_float "p50 over sign bucket" (-4.) (Stats.percentile s 0.5);
+  check_float "p100" 8. (Stats.percentile s 1.);
+  (* a single sample answers every quantile with itself (clamped) *)
+  let one = Stats.create () in
+  Stats.add one 42.;
+  check_float "single p50" 42. (Stats.percentile one 0.5);
+  check_float "single p99" 42. (Stats.percentile one 0.99);
+  (* reset clears the buckets too *)
+  Stats.reset s;
+  Alcotest.(check bool) "reset -> nan" true (Float.is_nan (Stats.percentile s 0.9))
+
+(* Percentiles come from a fixed bucket grid, so merging is an exact count
+   sum: any partition, merged in any order, gives BIT-IDENTICAL
+   percentiles — stronger than the float-rounding tolerance Welford
+   needs. *)
+let percentile_merge_invariance =
+  QCheck.Test.make ~name:"Stats.percentile is merge-invariant (bit-exact)" ~count:200
+    QCheck.(
+      pair
+        (list_of_size Gen.(1 -- 60) (float_bound_inclusive 1e6))
+        (pair small_nat bool))
+    (fun (samples, (cut_seed, reverse)) ->
+      let reference = Stats.create () in
+      List.iter (Stats.add reference) samples;
+      let parts = Array.init 4 (fun _ -> Stats.create ()) in
+      List.iteri (fun i x -> Stats.add parts.((i + cut_seed) mod 4) x) samples;
+      let order = if reverse then [ 3; 2; 1; 0 ] else [ 0; 1; 2; 3 ] in
+      let acc = Stats.create () in
+      List.iter (fun i -> Stats.merge ~into:acc (Stats.copy parts.(i))) order;
+      List.for_all
+        (fun q ->
+          Int64.equal
+            (Int64.bits_of_float (Stats.percentile acc q))
+            (Int64.bits_of_float (Stats.percentile reference q)))
+        [ 0.; 0.25; 0.5; 0.9; 0.99; 1. ])
+
+(* ------------------------------------------------------------------ *)
 (* Search *)
 
 let test_search_bounds () =
@@ -292,6 +356,9 @@ let suite =
         tc "welford vs two-pass reference" `Quick test_stats_vs_two_pass;
         tc "merge" `Quick test_stats_merge_basic;
         QCheck_alcotest.to_alcotest stats_merge_order_invariance;
+        tc "percentile basic" `Quick test_percentile_basic;
+        tc "percentile edges" `Quick test_percentile_edges;
+        QCheck_alcotest.to_alcotest percentile_merge_invariance;
       ] );
     ( "util.search",
       [
