@@ -11,7 +11,10 @@
    3. If any error-severity diagnostic exists, stop: the later passes need
       a well-typed program to compile.
    4. Compile to closed core IR, then run the effect-race detector, the
-      aggregate strategy lints, and the plan translation validator.
+      aggregate strategy lints, the interval analysis (N rules), the
+      footprint analysis (S rules), and the plan translation validator —
+      the latter with a range-trusting interval-fact prover plugged in, so
+      the most aggressive guard-discharging rewrite is itself validated.
 
    Core-IR programs assembled through the library API (which never meet
    the typechecker) go straight to step 4 via [analyze_core]. *)
@@ -33,11 +36,14 @@ let of_type_diagnostic (d : Typecheck.diagnostic) : Diagnostic.t =
 
 let analyze_core ?(post_reads : int list = []) ?(pos_of : string -> Ast.pos = fun _ -> Ast.no_pos)
     (prog : Core_ir.program) : Diagnostic.t list =
+  let oracle = Absint.make_oracle ~trust_ranges:true prog in
   Diagnostic.sort
     (Effect_race.check ~post_reads ~pos_of prog
     @ Perf_lint.check_aggregates ~pos_of prog
     @ Perf_lint.check_kernels ~pos_of prog
-    @ Plan_check.validate_program ~pos_of prog)
+    @ Absint.check ~pos_of prog
+    @ Footprint.check ~pos_of prog
+    @ Plan_check.validate_program ~pos_of ~prove:oracle.Absint.prove prog)
 
 let analyze_ast ?(consts : (string * Value.t) list = []) ?(post_reads : int list = [])
     ~(schema : Schema.t) (prog : Ast.program) : Diagnostic.t list =
@@ -53,12 +59,15 @@ let analyze_ast ?(consts : (string * Value.t) list = []) ?(post_reads : int list
       | None -> Ast.no_pos
     in
     let core = Compile.compile_ast ~consts ~schema prog in
+    let oracle = Absint.make_oracle ~trust_ranges:true core in
     Diagnostic.sort
       (front
       @ Effect_race.check ~post_reads ~pos_of core
       @ Perf_lint.check_aggregates ~pos_of core
       @ Perf_lint.check_kernels ~pos_of core
-      @ Plan_check.validate_program ~pos_of core)
+      @ Absint.check ~pos_of core
+      @ Footprint.check ~pos_of core
+      @ Plan_check.validate_program ~pos_of ~prove:oracle.Absint.prove core)
   end
 
 let analyze_source ?consts ?post_reads ~schema (source : string) :

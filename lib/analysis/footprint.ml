@@ -1,0 +1,365 @@
+(* Footprint analysis: per-script shard-locality certificates.
+
+   A certificate answers the question the halo/ghost-region protocol of a
+   sharded simulation must ask statically: which attributes does the
+   script read and write, through which target classes do its effects
+   land, and how far from the acting unit can any read or write reach?
+
+   Spatial reach is derived syntactically from the window form the index
+   planner already recognizes — bounds of shape [u.axis ± δ] on a spatial
+   attribute — with δ's magnitude bounded by interval analysis
+   ({!Absint}) at the (path-refined) program point.  The syntactic match
+   matters: interval arithmetic on [e.posx - u.posx] would lose the
+   correlation between the two and always answer "unbounded".
+
+   Rules:
+   - S001 (info): an aggregate reads an unbounded region;
+   - S002 (warn): an All-target effect has no bounded spatial window;
+   - S003 (warn): a Key-target expression is not provably inside the key
+     attribute's range ([0, +inf) when the schema declares none — engine
+     keys are assigned from 0). *)
+
+open Sgl_relalg
+open Sgl_lang
+
+type region =
+  | R_keyed
+  | R_windowed of (string * float) list (* spatial axis, radius *)
+  | R_global of string (* reason *)
+
+type eclass =
+  | C_self
+  | C_key of bool (* target proven inside the key range *)
+  | C_all_bounded of (string * float) list
+  | C_all_unbounded of string
+
+type cert = {
+  script : string;
+  reads : string list;
+  writes : (string * string) list; (* attribute, target-kind name *)
+  regions : (string * region) list; (* aggregate name, read region *)
+  effects : eclass list; (* one per effect clause, body order *)
+  read_radius : float option; (* None = unbounded *)
+  write_radius : float option; (* None = unbounded *)
+  shard_local : bool; (* every effect lands within a bounded radius *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Spatial window extraction *)
+
+(* The spatial dimensions of the schema: the conventional position
+   attributes the battle store and the examples use. *)
+let spatial_axes (schema : Schema.t) : (string * int) list =
+  List.filter_map
+    (fun name ->
+      match Schema.find_opt schema name with
+      | Some i when Schema.ty_at schema i = Value.TFloat -> Some (name, i)
+      | _ -> None)
+    [ "posx"; "posy" ]
+
+let abs_ctx uenv = { Absint.u = uenv; e = None }
+
+(* Upper bound on |delta| at the site, when finite and nan-free. *)
+let delta_radius ~(uenv : int -> Absint.t) (d : Expr.t) : float option =
+  if Expr.mentions_e d then None
+  else
+    let v, err = Absint.eval (abs_ctx uenv) d in
+    if err || Absint.may_nan v then None
+    else
+      match Absint.num_bounds v with
+      | Some (lo, hi) ->
+        let r = Float.max (Float.abs lo) (Float.abs hi) in
+        if Float.is_finite r then Some r else None
+      | None -> None
+
+(* Radius of one range bound when it has the window form [u.axis ± δ].
+   Either direction of the offset is accepted for either bound: the
+   resulting region is always contained in [u.axis - r, u.axis + r]. *)
+let bound_radius ~uenv ~(axis_slot : int) (b : Predicate.bound) : float option =
+  match b.Predicate.value with
+  | Expr.UAttr i when i = axis_slot -> Some 0.
+  | Expr.Binop ((Expr.Add | Expr.Sub), Expr.UAttr i, d) when i = axis_slot ->
+    delta_radius ~uenv d
+  | Expr.Binop (Expr.Add, d, Expr.UAttr i) when i = axis_slot -> delta_radius ~uenv d
+  | _ -> None
+
+(* A spatial axis is windowed when both a lower and an upper bound in
+   window form constrain it; the axis radius is the larger offset. *)
+let axis_window ~uenv ~(axis_slot : int) (cls : Predicate.classified) : float option =
+  let best bounds =
+    List.fold_left
+      (fun acc (a, b) ->
+        if a <> axis_slot then acc
+        else
+          match (acc, bound_radius ~uenv ~axis_slot b) with
+          | Some r1, Some r2 -> Some (Float.min r1 r2)
+          | None, r | r, None -> r)
+      None bounds
+  in
+  match (best cls.Predicate.lowers, best cls.Predicate.uppers) with
+  | Some r1, Some r2 -> Some (Float.max r1 r2)
+  | _ -> None
+
+(* Classify a conjunctive predicate over (u, e): routed by key equality,
+   contained in a spatial window around the unit, or global. *)
+let classify_pred ~(schema : Schema.t) ~uenv (p : Predicate.t) :
+    [ `Keyed of Expr.t | `Windowed of (string * float) list | `Global of string ] =
+  let cls = Predicate.classify p in
+  match List.assoc_opt (Schema.key_index schema) cls.Predicate.cat_eqs with
+  | Some e -> `Keyed e
+  | None -> (
+    match spatial_axes schema with
+    | [] -> `Global "schema declares no spatial attributes"
+    | axes -> (
+      let windows =
+        List.map
+          (fun (name, slot) -> (name, axis_window ~uenv ~axis_slot:slot cls))
+          axes
+      in
+      match List.find_opt (fun (_, w) -> w = None) windows with
+      | Some (name, _) -> `Global (Fmt.str "no bounded window on %s" name)
+      | None -> `Windowed (List.map (fun (n, w) -> (n, Option.get w)) windows)))
+
+(* Is the key-naming expression provably inside the key attribute's
+   range?  Without a declared range the contract is still [0, +inf):
+   every engine path (scenario construction, checkpoint restore) assigns
+   keys from 0. *)
+let key_in_range ~(schema : Schema.t) ~uenv (e : Expr.t) : bool =
+  let lo, hi =
+    match Schema.range_at schema (Schema.key_index schema) with
+    | Some r -> r
+    | None -> (0., infinity)
+  in
+  (not (Expr.mentions_e e))
+  &&
+  let v, err = Absint.eval (abs_ctx uenv) e in
+  (not err)
+  && (not (Absint.may_nan v))
+  && match Absint.num_bounds v with Some (vlo, vhi) -> vlo >= lo && vhi <= hi | None -> false
+
+(* ------------------------------------------------------------------ *)
+(* Certificates *)
+
+let radius_of_regions regions =
+  List.fold_left
+    (fun acc (_, r) ->
+      match (acc, r) with
+      | None, _ -> None
+      | _, R_global _ -> None
+      | Some a, R_keyed -> Some a
+      | Some a, R_windowed ws ->
+        Some (List.fold_left (fun m (_, r) -> Float.max m r) a ws))
+    (Some 0.) regions
+
+let radius_of_effects effects =
+  List.fold_left
+    (fun acc e ->
+      match (acc, e) with
+      | None, _ -> None
+      | _, (C_all_unbounded _ | C_key false) -> None
+      | Some a, (C_self | C_key true) -> Some a
+      | Some a, C_all_bounded ws ->
+        Some (List.fold_left (fun m (_, r) -> Float.max m r) a ws))
+    (Some 0.) effects
+
+let certify_script ?(pos_of = fun (_ : string) -> Ast.no_pos) (prog : Core_ir.program)
+    (s : Core_ir.script) : cert * Diagnostic.t list =
+  let schema = prog.Core_ir.schema in
+  let info = Absint.analyze_script ~pos_of ~trust_ranges:true prog s in
+  let pos = pos_of s.Core_ir.name in
+  let diags = ref [] in
+  let add ~rule fmt =
+    Fmt.kstr
+      (fun msg -> diags := Rules.diag ~pos ~context:s.Core_ir.name ~rule "%s" msg :: !diags)
+      fmt
+  in
+  let regions =
+    List.map
+      (fun (i, uenv) ->
+        let agg = prog.Core_ir.aggregates.(i) in
+        let region =
+          match classify_pred ~schema ~uenv agg.Aggregate.where_ with
+          | `Keyed _ -> R_keyed
+          | `Windowed ws -> R_windowed ws
+          | `Global reason ->
+            add ~rule:"S001" "aggregate %s reads an unbounded region (%s)"
+              agg.Aggregate.name reason;
+            R_global reason
+        in
+        (agg.Aggregate.name, region))
+      info.Absint.agg_sites
+  in
+  let effects =
+    List.map
+      (fun ((c : Core_ir.effect_clause), uenv) ->
+        match c.Core_ir.target with
+        | Core_ir.Self -> C_self
+        | Core_ir.Key e ->
+          let proven = key_in_range ~schema ~uenv e in
+          if not proven then
+            add ~rule:"S003" "key expression %a may escape the proven key range" Expr.pp e;
+          C_key proven
+        | Core_ir.All p -> (
+          match classify_pred ~schema ~uenv p with
+          | `Keyed e ->
+            let proven = key_in_range ~schema ~uenv e in
+            if not proven then
+              add ~rule:"S003" "key expression %a may escape the proven key range" Expr.pp e;
+            C_key proven
+          | `Windowed ws -> C_all_bounded ws
+          | `Global reason ->
+            add ~rule:"S002" "all-target effect has no bounded spatial window (%s)" reason;
+            C_all_unbounded reason))
+      info.Absint.effect_sites
+  in
+  let summary = Effect_race.summarize_script prog s in
+  let reads = List.map (Schema.name_at schema) summary.Effect_race.reads in
+  let writes =
+    List.sort_uniq compare
+      (List.map
+         (fun (w : Effect_race.write) ->
+           ( Schema.name_at schema w.Effect_race.attr,
+             Effect_race.target_kind_name w.Effect_race.target ))
+         summary.Effect_race.writes)
+  in
+  (* Aggregates are recorded per call site; identical (name, region)
+     entries add nothing to the certificate, but the same aggregate can
+     legitimately appear twice when path refinement classifies two sites
+     differently.  Effect classes stay per clause in body order.  The
+     same first-occurrence dedup applies to the diagnostics: one finding
+     per distinct message, not one per site. *)
+  let dedup xs =
+    List.rev (List.fold_left (fun acc x -> if List.mem x acc then acc else x :: acc) [] xs)
+  in
+  let regions = dedup regions in
+  let write_radius = radius_of_effects effects in
+  let cert =
+    {
+      script = s.Core_ir.name;
+      reads;
+      writes;
+      regions;
+      effects;
+      read_radius = radius_of_regions regions;
+      write_radius;
+      shard_local = write_radius <> None;
+    }
+  in
+  (cert, dedup (List.rev !diags))
+
+let certify (prog : Core_ir.program) : cert list =
+  List.map (fun s -> fst (certify_script prog s)) prog.Core_ir.scripts
+
+let check ?pos_of (prog : Core_ir.program) : Diagnostic.t list =
+  List.concat_map (fun s -> snd (certify_script ?pos_of prog s)) prog.Core_ir.scripts
+
+(* ------------------------------------------------------------------ *)
+(* Rendering *)
+
+let region_class = function
+  | R_keyed -> "keyed"
+  | R_windowed _ -> "windowed"
+  | R_global _ -> "global"
+
+let eclass_name = function
+  | C_self -> "self"
+  | C_key true -> "key"
+  | C_key false -> "key-unproven"
+  | C_all_bounded _ -> "all-bounded"
+  | C_all_unbounded _ -> "all-unbounded"
+
+let pp_radius ppf = function
+  | None -> Fmt.string ppf "unbounded"
+  | Some r -> Fmt.pf ppf "%g" r
+
+let pp_windows ppf ws =
+  Fmt.(list ~sep:(any ", ") (pair ~sep:(any " ") string (fmt "%g"))) ppf ws
+
+let pp_cert ppf (c : cert) =
+  Fmt.pf ppf "@[<v>script %s: %s (write radius %a, read radius %a)@," c.script
+    (if c.shard_local then "shard-local" else "unbounded")
+    pp_radius c.write_radius pp_radius c.read_radius;
+  Fmt.pf ppf "  reads: %a@," Fmt.(list ~sep:(any ", ") string) c.reads;
+  Fmt.pf ppf "  writes: %a@,"
+    Fmt.(list ~sep:(any "; ") (pair ~sep:(any " via ") string string))
+    c.writes;
+  List.iter
+    (fun (name, r) ->
+      match r with
+      | R_keyed -> Fmt.pf ppf "  aggregate %s: keyed@," name
+      | R_windowed ws -> Fmt.pf ppf "  aggregate %s: windowed (%a)@," name pp_windows ws
+      | R_global reason -> Fmt.pf ppf "  aggregate %s: global (%s)@," name reason)
+    c.regions;
+  List.iter
+    (fun e ->
+      match e with
+      | C_self -> Fmt.pf ppf "  effect self@,"
+      | C_key proven ->
+        Fmt.pf ppf "  effect key: %s@," (if proven then "proven in-range" else "UNPROVEN")
+      | C_all_bounded ws -> Fmt.pf ppf "  effect all: bounded (%a)@," pp_windows ws
+      | C_all_unbounded reason -> Fmt.pf ppf "  effect all: UNBOUNDED (%s)@," reason)
+    c.effects;
+  Fmt.pf ppf "@]"
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_radius = function None -> "null" | Some r -> Fmt.str "%g" r
+
+let json_windows ws =
+  String.concat ","
+    (List.map (fun (n, r) -> Fmt.str {|{"axis":"%s","radius":%g}|} (json_escape n) r) ws)
+
+let cert_to_json (c : cert) : string =
+  let regions =
+    String.concat ","
+      (List.map
+         (fun (name, r) ->
+           let extra =
+             match r with
+             | R_keyed -> ""
+             | R_windowed ws -> Fmt.str {|,"windows":[%s]|} (json_windows ws)
+             | R_global reason -> Fmt.str {|,"reason":"%s"|} (json_escape reason)
+           in
+           Fmt.str {|{"aggregate":"%s","class":"%s"%s}|} (json_escape name) (region_class r)
+             extra)
+         c.regions)
+  in
+  let effects =
+    String.concat ","
+      (List.map
+         (fun e ->
+           let extra =
+             match e with
+             | C_self | C_key _ -> ""
+             | C_all_bounded ws -> Fmt.str {|,"windows":[%s]|} (json_windows ws)
+             | C_all_unbounded reason -> Fmt.str {|,"reason":"%s"|} (json_escape reason)
+           in
+           Fmt.str {|{"class":"%s"%s}|} (eclass_name e) extra)
+         c.effects)
+  in
+  let strings xs = String.concat "," (List.map (fun s -> Fmt.str {|"%s"|} (json_escape s)) xs) in
+  let writes =
+    String.concat ","
+      (List.map
+         (fun (a, t) ->
+           Fmt.str {|{"attr":"%s","target":"%s"}|} (json_escape a) (json_escape t))
+         c.writes)
+  in
+  Fmt.str
+    {|{"script":"%s","shard_local":%b,"read_radius":%s,"write_radius":%s,"reads":[%s],"writes":[%s],"regions":[%s],"effects":[%s]}|}
+    (json_escape c.script) c.shard_local (json_radius c.read_radius)
+    (json_radius c.write_radius) (strings c.reads) writes regions effects
+
+let certs_to_json (cs : cert list) : string =
+  Fmt.str "[%s]" (String.concat "," (List.map cert_to_json cs))

@@ -1,0 +1,54 @@
+(** Footprint analysis: per-script shard-locality certificates (rules
+    S001-S003), the static contract a sharded/distributed simulation's
+    halo protocol builds against.
+
+    A certificate records the attributes a script reads and writes, the
+    class of every aggregate read region (key-routed, spatially windowed
+    around the unit, or global) and of every effect clause (self,
+    key-routed, spatially bounded all, or unbounded all), plus
+    conservative interaction radii derived by interval analysis. *)
+
+open Sgl_relalg
+open Sgl_lang
+
+type region =
+  | R_keyed
+  | R_windowed of (string * float) list (* spatial axis, radius *)
+  | R_global of string (* reason *)
+
+type eclass =
+  | C_self
+  | C_key of bool (* target proven inside the key range *)
+  | C_all_bounded of (string * float) list
+  | C_all_unbounded of string
+
+type cert = {
+  script : string;
+  reads : string list;
+  writes : (string * string) list; (* attribute, target-kind name *)
+  regions : (string * region) list; (* aggregate name, read region *)
+  effects : eclass list; (* one per effect clause, body order *)
+  read_radius : float option; (* None = unbounded *)
+  write_radius : float option; (* None = unbounded *)
+  shard_local : bool; (* every effect lands within a bounded radius *)
+}
+
+(** The spatial dimensions used for window detection: the conventional
+    float attributes ["posx"]/["posy"] when the schema declares them. *)
+val spatial_axes : Schema.t -> (string * int) list
+
+(** One script's certificate together with its S001-S003 findings. *)
+val certify_script :
+  ?pos_of:(string -> Ast.pos) -> Core_ir.program -> Core_ir.script -> cert * Diagnostic.t list
+
+(** Certificates for every script of the program. *)
+val certify : Core_ir.program -> cert list
+
+(** S001-S003 over every script. *)
+val check : ?pos_of:(string -> Ast.pos) -> Core_ir.program -> Diagnostic.t list
+
+val region_class : region -> string
+val eclass_name : eclass -> string
+val pp_cert : cert Fmt.t
+val cert_to_json : cert -> string
+val certs_to_json : cert list -> string

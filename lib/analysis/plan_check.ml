@@ -94,26 +94,34 @@ let validate_shape ~(schema : Schema.t) ~(aggs : Aggregate.t array) ~(script : s
 
 (* Normalize one guarded act: drop guards that pruning legally discharges
    (a constant-true condition taken on its true branch, constant-false on
-   its false branch), return [None] for acts behind an unsatisfiable guard
-   (pruning deletes them), and set-normalize what remains — sinking never
-   duplicates a guard, but nested duplicates compare equal either way. *)
-let normalize_guarded ((guards, clauses) : Plan.guard list * Core_ir.effect_clause list) :
+   its false branch, and any condition [prove] decides — the same facts
+   [Rewrite.simplify ~prove] prunes with), return [None] for acts behind
+   an unsatisfiable guard (pruning deletes them), and set-normalize what
+   remains — sinking never duplicates a guard, but nested duplicates
+   compare equal either way. *)
+let normalize_guarded ?(prove = fun (_ : Expr.t) -> None)
+    ((guards, clauses) : Plan.guard list * Core_ir.effect_clause list) :
     ((bool * Expr.t) list * Core_ir.effect_clause list) option =
   let rec walk acc = function
     | [] -> Some acc
     | (polarity, Expr.Const (Value.Bool b)) :: rest ->
       if b = polarity then walk acc rest (* tautological guard: discharged *)
       else None (* unreachable act: pruned *)
-    | g :: rest -> walk (g :: acc) rest
+    | ((polarity, g) as guard) :: rest -> begin
+      match prove g with
+      | Some b -> if b = polarity then walk acc rest else None
+      | None -> walk (guard :: acc) rest
+    end
   in
   Option.map (fun gs -> (List.sort_uniq compare gs, clauses)) (walk [] guards)
 
-let guarded_effects (p : Plan.t) : ((bool * Expr.t) list * Core_ir.effect_clause list) list =
-  List.sort compare (List.filter_map normalize_guarded (Plan.guarded_acts p))
+let guarded_effects ?prove (p : Plan.t) :
+    ((bool * Expr.t) list * Core_ir.effect_clause list) list =
+  List.sort compare (List.filter_map (normalize_guarded ?prove) (Plan.guarded_acts p))
 
-let validate_rewrite ~(script : string) ?(pos = Ast.no_pos) ~(original : Plan.t)
+let validate_rewrite ~(script : string) ?(pos = Ast.no_pos) ?prove ~(original : Plan.t)
     ~(optimized : Plan.t) () : Diagnostic.t list =
-  let before = guarded_effects original and after = guarded_effects optimized in
+  let before = guarded_effects ?prove original and after = guarded_effects ?prove optimized in
   if before = after then []
   else begin
     let count = List.length in
@@ -134,21 +142,23 @@ let validate_rewrite ~(script : string) ?(pos = Ast.no_pos) ~(original : Plan.t)
    pair of the plan must survive into the loop program and vice versa.
    Clause-multiset equality under ⊕-commutativity implies the compiled
    kernel contributes exactly the plan's effects. *)
-let clause_effects (gas : (Plan.guard list * Core_ir.effect_clause list) list) :
+let clause_effects ?prove (gas : (Plan.guard list * Core_ir.effect_clause list) list) :
     ((bool * Expr.t) list * Core_ir.effect_clause) list =
   List.sort compare
     (List.concat_map
        (fun ga ->
-         match normalize_guarded ga with
+         match normalize_guarded ?prove ga with
          | None -> []
          | Some (gs, clauses) -> List.map (fun c -> (gs, c)) clauses)
        gas)
 
-let validate_lowering ~(script : string) ?(pos = Ast.no_pos) (optimized : Plan.t) :
+let validate_lowering ~(script : string) ?(pos = Ast.no_pos) ?prove (optimized : Plan.t) :
     Diagnostic.t list =
   let lowered = Loop_ir.Lower.lower optimized in
-  let want = clause_effects (Plan.guarded_acts optimized) in
-  let got = clause_effects (List.map (fun (g, c) -> (g, [ c ])) (Loop_ir.guarded_clauses lowered)) in
+  let want = clause_effects ?prove (Plan.guarded_acts optimized) in
+  let got =
+    clause_effects ?prove (List.map (fun (g, c) -> (g, [ c ])) (Loop_ir.guarded_clauses lowered))
+  in
   if want = got then []
   else
     [
@@ -162,16 +172,18 @@ let validate_lowering ~(script : string) ?(pos = Ast.no_pos) (optimized : Plan.t
 (* Whole-program validation *)
 
 let validate_program ?(optimize = true) ?(pos_of : string -> Ast.pos = fun _ -> Ast.no_pos)
-    (prog : Core_ir.program) : Diagnostic.t list =
+    ?(prove : string -> Expr.t -> bool option = fun _ _ -> None) (prog : Core_ir.program) :
+    Diagnostic.t list =
   let schema = prog.Core_ir.schema in
   let aggs = prog.Core_ir.aggregates in
   List.concat_map
     (fun (s : Core_ir.script) ->
       let name = s.Core_ir.name in
       let pos = pos_of name in
+      let prove = prove name in
       let original = Plan.of_core schema s.Core_ir.body in
-      let optimized = if optimize then Rewrite.optimize ~aggs original else original in
+      let optimized = if optimize then Rewrite.optimize ~prove ~aggs original else original in
       validate_shape ~schema ~aggs ~script:name ~pos optimized
-      @ validate_rewrite ~script:name ~pos ~original ~optimized ()
-      @ validate_lowering ~script:name ~pos optimized)
+      @ validate_rewrite ~script:name ~pos ~prove ~original ~optimized ()
+      @ validate_lowering ~script:name ~pos ~prove optimized)
     prog.Core_ir.scripts

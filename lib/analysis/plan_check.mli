@@ -18,15 +18,21 @@ val validate_shape :
   Diagnostic.t list
 
 (** Normalized multiset of guarded effects: each reachable [Act] with its
-    set-normalized non-constant guards (constant guards are discharged the
-    way pruning does).  Exposed for tests. *)
+    set-normalized non-constant guards (constant guards — and guards the
+    optional [prove] decides — are discharged the way pruning does).
+    Exposed for tests. *)
 val guarded_effects :
-  Plan.t -> ((bool * Sgl_relalg.Expr.t) list * Core_ir.effect_clause list) list
+  ?prove:(Expr.t -> bool option) ->
+  Plan.t ->
+  ((bool * Sgl_relalg.Expr.t) list * Core_ir.effect_clause list) list
 
-(** V002: guarded-effect ⊕-equivalence of a rewrite. *)
+(** V002: guarded-effect ⊕-equivalence of a rewrite.  When the rewrite ran
+    with an interval-fact prover, the same [prove] must be supplied here so
+    both sides discharge the same guards. *)
 val validate_rewrite :
   script:string ->
   ?pos:Ast.pos ->
+  ?prove:(Expr.t -> bool option) ->
   original:Plan.t ->
   optimized:Plan.t ->
   unit ->
@@ -37,9 +43,15 @@ val validate_rewrite :
     clauses (compared at clause granularity, since lowering splits an
     [Act]'s clause list into fused emissions and batch AoE ops). *)
 val validate_lowering :
-  script:string -> ?pos:Ast.pos -> Plan.t -> Diagnostic.t list
+  script:string -> ?pos:Ast.pos -> ?prove:(Expr.t -> bool option) -> Plan.t -> Diagnostic.t list
 
 (** Translate every script, rewrite it (unless [optimize] is [false]), and
-    run all three checks on the result. *)
+    run all three checks on the result.  [prove], indexed by script name,
+    feeds interval facts into the rewrite and — symmetrically — into the
+    guard normalization of both validators. *)
 val validate_program :
-  ?optimize:bool -> ?pos_of:(string -> Ast.pos) -> Core_ir.program -> Diagnostic.t list
+  ?optimize:bool ->
+  ?pos_of:(string -> Ast.pos) ->
+  ?prove:(string -> Expr.t -> bool option) ->
+  Core_ir.program ->
+  Diagnostic.t list

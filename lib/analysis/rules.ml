@@ -7,7 +7,11 @@
      decision phase and the incremental index cache silently assume;
    - V: plan translation validation — the optimizer's rewrites are checked,
      not trusted;
-   - P: performance lints tied to [Agg_plan.analyze] and plan structure.
+   - P: performance lints tied to [Agg_plan.analyze] and plan structure;
+   - S: shard-locality findings from the footprint analysis — how far a
+     script's reads and effects can reach across the map;
+   - N: numeric value-range findings from interval abstract
+     interpretation ([Absint]).
 
    Waiving: rules carry no per-site suppression (scripts are small); a
    build that accepts a finding documents it and runs without [--werror],
@@ -139,6 +143,56 @@ let all : t list =
          comparisons, integer arithmetic, environment reads), so the fused kernel \
          materializes boxed tuples inside its per-row loop instead of loading typed \
          columns";
+    };
+    {
+      id = "S001";
+      severity = Diagnostic.Info;
+      title = "unbounded read region";
+      rationale =
+        "an aggregate scans environment tuples without a key equality or a bounded \
+         spatial window: under sharding every probe crosses all shards (global reads \
+         such as army centroids are often intentional, hence informational)";
+    };
+    {
+      id = "S002";
+      severity = Diagnostic.Warn;
+      title = "unbounded all-target effect";
+      rationale =
+        "an All-target effect clause has no bounded spatial window: the write set \
+         spans every shard, so the script cannot run shard-locally";
+    };
+    {
+      id = "S003";
+      severity = Diagnostic.Warn;
+      title = "key expression may escape proven bounds";
+      rationale =
+        "a Key-target effect names a unit through an expression whose interval is not \
+         contained in the key attribute's declared range: the routed write may miss \
+         or land on an arbitrary shard";
+    };
+    {
+      id = "N001";
+      severity = Diagnostic.Warn;
+      title = "possible division by zero";
+      rationale =
+        "interval analysis cannot exclude a zero divisor in an int or vector division, \
+         which raises at runtime and aborts the tick";
+    };
+    {
+      id = "N002";
+      severity = Diagnostic.Warn;
+      title = "sqrt of possibly negative value";
+      rationale =
+        "the operand's interval includes negative values: sqrt yields nan, which then \
+         poisons comparisons (nan orders below every number) and stored positions";
+    };
+    {
+      id = "N003";
+      severity = Diagnostic.Warn;
+      title = "guard subsumed by interval facts";
+      rationale =
+        "the branch condition is always true or always false given schema ranges and \
+         derived intervals (beyond what constant folding sees): one arm is dead";
     };
   ]
 

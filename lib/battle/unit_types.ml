@@ -6,19 +6,44 @@
 
 open Sgl_relalg
 
+(* Declared attribute ranges are the contract the interval analyses lean
+   on: keys are assigned from 0, unit classes and armor are non-negative
+   profile data, positions live on the non-negative map lattice (movement
+   only ever targets in-bounds cells and resurrection re-places on the
+   grid).  Health is deliberately unranged — it transiently goes negative
+   before the death rule fires.  Likewise morale/reload/cooldown, which
+   post-processing decays. *)
+let inf = infinity
+
+(* Finite upper bounds for the profile-sourced attributes, computed from
+   the profiles themselves so the declared contract cannot drift from the
+   data.  attack_range and sight bound the footprint analysis's
+   interaction radii, so their finiteness is load-bearing. *)
+let max_profile f =
+  List.fold_left
+    (fun m c -> Float.max m (f (D20.profile_of c)))
+    0.
+    [ D20.Knight; D20.Archer; D20.Healer ]
+
 let schema () : Schema.t =
   Schema.create
     [
-      Schema.attr "key" Value.TInt;
-      Schema.attr "player" Value.TInt;
-      Schema.attr "kind" Value.TInt; (* D20.class_id *)
-      Schema.attr "posx" Value.TFloat;
-      Schema.attr "posy" Value.TFloat;
+      Schema.attr ~range:(0., inf) "key" Value.TInt;
+      Schema.attr ~range:(0., inf) "player" Value.TInt;
+      Schema.attr ~range:(0., inf) "kind" Value.TInt; (* D20.class_id *)
+      Schema.attr ~range:(0., inf) "posx" Value.TFloat;
+      Schema.attr ~range:(0., inf) "posy" Value.TFloat;
       Schema.attr "health" Value.TFloat;
-      Schema.attr "max_health" Value.TFloat;
-      Schema.attr "armor" Value.TInt;
-      Schema.attr "attack_range" Value.TFloat;
-      Schema.attr "sight" Value.TFloat;
+      Schema.attr
+        ~range:(0., max_profile (fun p -> float_of_int p.D20.max_health))
+        "max_health" Value.TFloat;
+      Schema.attr
+        ~range:(0., max_profile (fun p -> float_of_int p.D20.armor))
+        "armor" Value.TInt;
+      Schema.attr
+        ~range:(0., max_profile (fun p -> p.D20.attack_range))
+        "attack_range" Value.TFloat;
+      Schema.attr ~range:(0., max_profile (fun p -> p.D20.sight)) "sight" Value.TFloat;
       Schema.attr "morale" Value.TInt;
       Schema.attr "reload" Value.TInt;
       Schema.attr "cooldown" Value.TInt;

@@ -158,6 +158,12 @@ type t = {
      reopens the cache cold rather than against a delta whose mutations
      were undone. *)
   mutable pending_delta : Delta.t option;
+  (* Per-column CRCs behind the last state digest, tagged with the tick it
+     was computed at.  Lets the next commit's digest recompute only the
+     columns the tick dirtied (same [Delta] contract the columnar mirror's
+     copy-on-write refresh trusts) and recombine the rest.  Dropped on
+     restore; a missing or stale entry falls back to a full pass. *)
+  mutable digest_cache : (int * Codec.digest_cache) option;
   mutable tick : int;
   timings : timings;
   (* The per-simulation telemetry registry: always enabled, private to
@@ -201,8 +207,16 @@ let make_engine ~(schema : Schema.t) ~(aggregates : Aggregate.t array)
   | Fused ->
     (* Kernels specialize the plans, not the evaluator: the indexed
        evaluator underneath still owns aggregate evaluation, AoE
-       combination and the cross-tick index cache. *)
-    Fus { evaluator = Eval.indexed ~schema ~aggregates (); kernels = Exec.fuse compiled }
+       combination and the cross-tick index cache.  The interval-fact
+       folding oracle runs with untrusted schema ranges (the engine must
+       stay correct on stores that violate the declared contracts), so it
+       only discharges expressions that are constant on *every* store. *)
+    let oracle = Sgl_analysis.Absint.make_oracle compiled.Exec.prog in
+    Fus
+      {
+        evaluator = Eval.indexed ~schema ~aggregates ();
+        kernels = Exec.fuse ~fold:oracle.Sgl_analysis.Absint.fold compiled;
+      }
 
 let create ?(fault_policy = Fail) ?(fault_log_capacity = 64) ?(index_cache = true)
     ?(columnar = true) (config : config) ~(evaluator : evaluator_kind)
@@ -210,7 +224,14 @@ let create ?(fault_policy = Fail) ?(fault_log_capacity = 64) ?(index_cache = tru
   let schema = config.prog.Core_ir.schema in
   let aggregates = config.prog.Core_ir.aggregates in
   let tel = Telemetry.Registry.create ~enabled:true () in
-  let compiled = Exec.compile ~optimize:config.optimize config.prog in
+  (* Interval facts for the optimizer's guard pruning.  Untrusted ranges:
+     folding decisions must hold on any store, declared contracts or not.
+     The cross-evaluator conformance harness and V002 validation (which
+     discharges guards with this same prover) keep the hook honest. *)
+  let oracle = Sgl_analysis.Absint.make_oracle config.prog in
+  let compiled =
+    Exec.compile ~optimize:config.optimize ~prove:oracle.Sgl_analysis.Absint.prove config.prog
+  in
   {
     config;
     compiled;
@@ -224,6 +245,7 @@ let create ?(fault_policy = Fail) ?(fault_log_capacity = 64) ?(index_cache = tru
     columnar;
     index_cache;
     pending_delta = None;
+    digest_cache = None;
     tick = 0;
     timings =
       { decision = Timer.create (); post = Timer.create (); movement = Timer.create ();
@@ -340,8 +362,27 @@ let state_of (t : t) : Checkpoint.state =
   }
 
 (* CRC-32 of the canonical encoding of the current unit array — the
-   fingerprint journal records and recovery differentials compare. *)
-let state_digest (t : t) : int = Codec.units_digest t.units
+   fingerprint journal records and recovery differentials compare.
+
+   Incremental: when the last digest describes the previous tick and the
+   committed tick's delta summary is available and non-structural, only
+   the dirtied columns are re-encoded; everything else recombines from
+   the cached per-column CRCs.  Structural ticks (deaths, resurrections),
+   rollbacks and cache-off runs fall back to the full pass, and recovery
+   verification always recomputes from scratch, cross-checking the
+   incremental path against the journaled values every replayed tick. *)
+let state_digest (t : t) : int =
+  match t.digest_cache with
+  | Some (tick, cache) when tick = t.tick -> Codec.digest_of_cache cache
+  | prev ->
+    let cache =
+      match (prev, t.pending_delta) with
+      | Some (tick, cache), Some d when tick = t.tick - 1 && not (Delta.structural d) ->
+        Codec.units_digest_incremental cache ~dirty:(Delta.dirty_attrs d) t.units
+      | _ -> Codec.units_digest_cache t.units
+    in
+    t.digest_cache <- Some (t.tick, cache);
+    Codec.digest_of_cache cache
 
 (* Write a checkpoint generation now, then rotate the journal onto it.
    Ordering matters for crash safety: the new generation is durable before
@@ -380,7 +421,7 @@ let journal_commit (t : t) (p : persistence) : unit =
       {
         Journal.j_tick = t.tick;
         j_units = Array.length t.units;
-        j_digest = Codec.units_digest t.units;
+        j_digest = state_digest t;
         j_deaths = Telemetry.Counter.value t.c_deaths;
         j_resurrections = Telemetry.Counter.value t.c_resurrections;
         j_structural = structural;
@@ -583,7 +624,7 @@ let sample_of (t : t) (pre : pre_step) ~(tick_s : float) : tick_sample =
   {
     s_tick = t.tick;
     s_units = Array.length t.units;
-    s_digest = Codec.units_digest t.units;
+    s_digest = state_digest t;
     s_tick_s = tick_s;
     s_decision_s = Timer.elapsed t.timings.decision -. pre.pre_decision_s;
     s_post_s = Timer.elapsed t.timings.post -. pre.pre_post_s;

@@ -12,8 +12,8 @@
    mixed-tag or vec columns (the same promotion rules as the in-memory
    {!Sgl_relalg.Colstore}, so the encoding stays canonical).  Version 1
    files (row-major UNIT section) load unchanged; both decode to the
-   identical unit array, and the journal's row-based [units_digest] is
-   computed over materialized rows either way.
+   identical unit array, and the journal's [units_digest] is computed
+   over materialized rows either way.
 
    Writes are atomic — encode fully, write a ".tmp" sibling, fsync,
    rename, fsync the directory — so the only artifacts a crash can leave

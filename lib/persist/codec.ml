@@ -253,8 +253,54 @@ let read_sections (r : R.t) : (string * string) list =
 (* ------------------------------------------------------------------ *)
 (* State fingerprints *)
 
-let units_digest (units : Tuple.t array) : int =
-  let b = W.create ~size:(64 * (1 + Array.length units)) () in
-  W.u32 b (Array.length units);
-  Array.iter (W.tuple b) units;
-  Crc32.string (W.contents b)
+(* The digest is the CRC-32 of a canonical *column-major* encoding:
+
+     u32 count | u16 arity | column 0 values | column 1 values | ...
+
+   where a column's bytes are the [W.value] encodings of that attribute
+   down the array.  Column-major order is what makes the digest
+   incrementally maintainable: the CRC of each column is cached with its
+   byte length, and a committed tick that dirtied only a few columns
+   (per the {!Sgl_relalg.Delta} summary — the same contract the columnar
+   mirror's copy-on-write refresh trusts) recombines cached clean-column
+   CRCs with recomputed dirty ones via {!Sgl_util.Crc32.combine} in
+   O(dirty data + log clean data) instead of re-encoding the world. *)
+
+type digest_cache = {
+  dc_units : int; (* row count the cached columns describe *)
+  dc_cols : (int * int) array; (* per column: CRC-32, encoded byte length *)
+}
+
+let column_digest (units : Tuple.t array) (j : int) : int * int =
+  let b = W.create ~size:(16 * (1 + Array.length units)) () in
+  Array.iter (fun (u : Tuple.t) -> W.value b u.(j)) units;
+  let s = W.contents b in
+  (Crc32.string s, String.length s)
+
+let digest_of_cache (c : digest_cache) : int =
+  let hdr = W.create ~size:8 () in
+  W.u32 hdr c.dc_units;
+  W.u16 hdr (Array.length c.dc_cols);
+  Array.fold_left
+    (fun acc (crc, len) -> Crc32.combine acc crc ~len_b:len)
+    (Crc32.string (W.contents hdr))
+    c.dc_cols
+
+let units_digest_cache (units : Tuple.t array) : digest_cache =
+  let arity = if Array.length units = 0 then 0 else Tuple.arity units.(0) in
+  { dc_units = Array.length units; dc_cols = Array.init arity (column_digest units) }
+
+let units_digest (units : Tuple.t array) : int = digest_of_cache (units_digest_cache units)
+
+let units_digest_incremental (prev : digest_cache) ~(dirty : int list)
+    (units : Tuple.t array) : digest_cache =
+  let arity = if Array.length units = 0 then 0 else Tuple.arity units.(0) in
+  if Array.length units <> prev.dc_units || arity <> Array.length prev.dc_cols then
+    (* shape changed under a non-structural claim: recompute rather than
+       trust a summary that cannot be right *)
+    units_digest_cache units
+  else begin
+    let cols = Array.copy prev.dc_cols in
+    List.iter (fun j -> if j >= 0 && j < arity then cols.(j) <- column_digest units j) dirty;
+    { prev with dc_cols = cols }
+  end

@@ -113,7 +113,29 @@ val read_sections : R.t -> (string * string) list
 
 (** {1 State fingerprints} *)
 
-(** CRC-32 of the canonical encoding of the unit array, in array order —
+(** CRC-32 of the canonical column-major encoding of the unit array —
     bit-identical across evaluators and runs by the engine's determinism
-    guarantee. *)
+    guarantee.  Column-major so per-column CRCs can be cached and the
+    digest of a lightly-changed array re-assembled from them (see
+    {!units_digest_incremental}); the full and incremental paths always
+    agree. *)
 val units_digest : Tuple.t array -> int
+
+(** Per-column CRCs (with encoded byte lengths) behind one digest. *)
+type digest_cache
+
+(** Full computation, retaining the per-column CRCs for later
+    incremental updates. *)
+val units_digest_cache : Tuple.t array -> digest_cache
+
+(** The digest value a cache denotes — equal to [units_digest] of the
+    array it was computed from. *)
+val digest_of_cache : digest_cache -> int
+
+(** [units_digest_incremental prev ~dirty units] re-derives the cache for
+    [units] given [prev] (valid for an array of the same shape) by
+    recomputing only the columns listed in [dirty] — sound exactly when
+    every column that changed since [prev] is listed (the
+    {!Sgl_relalg.Delta} dirty-attribute contract).  Falls back to a full
+    recomputation when the row count or arity differs from [prev]. *)
+val units_digest_incremental : digest_cache -> dirty:int list -> Tuple.t array -> digest_cache

@@ -12,7 +12,11 @@
 open Sgl_util
 
 let magic = "SGLJRNL\x01"
-let version = 1
+
+(* Version 2: [j_digest] is the column-major [Codec.units_digest].
+   Version 1 files carry row-major digests that would spuriously diverge
+   under replay verification, so they are refused outright. *)
+let version = 2
 
 type entry = {
   j_tick : int;

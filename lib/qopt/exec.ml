@@ -16,7 +16,8 @@ type compiled = {
   rewrites : Rewrite.rewrite_stats;
 }
 
-let compile ?(optimize = true) (prog : Core_ir.program) : compiled =
+let compile ?(optimize = true) ?(prove = fun (_ : string) (_ : Expr.t) -> None)
+    (prog : Core_ir.program) : compiled =
   let schema = prog.Core_ir.schema in
   let stats = Rewrite.no_stats () in
   let plans =
@@ -24,7 +25,10 @@ let compile ?(optimize = true) (prog : Core_ir.program) : compiled =
       (fun (s : Core_ir.script) ->
         let plan = Plan.of_core schema s.Core_ir.body in
         let plan =
-          if optimize then Rewrite.optimize ~stats ~aggs:prog.Core_ir.aggregates plan else plan
+          if optimize then
+            Rewrite.optimize ~stats ~prove:(prove s.Core_ir.name) ~aggs:prog.Core_ir.aggregates
+              plan
+          else plan
         in
         (s.Core_ir.name, plan))
       prog.Core_ir.scripts
@@ -225,10 +229,11 @@ type fused = (string * Loop_ir.Compile.kernel) list
 let tel_fused_kernels = Sgl_util.Telemetry.counter "fused.kernels"
 let tel_fused_rows = Sgl_util.Telemetry.counter "fused.rows"
 
-let fuse (c : compiled) : fused =
+let fuse ?(fold = fun (_ : string) (_ : Expr.t) -> None) (c : compiled) : fused =
   let schema = c.prog.Core_ir.schema in
   List.map
-    (fun (name, plan) -> (name, Loop_ir.Compile.compile ~schema (Loop_ir.Lower.lower plan)))
+    (fun (name, plan) ->
+      (name, Loop_ir.Compile.compile ~fold:(fold name) ~schema (Loop_ir.Lower.lower plan)))
     c.plans
 
 (* Mirrors [run_group]: the ["exec.group"] injection point fires first and

@@ -14,8 +14,12 @@ type compiled = {
 
 exception Exec_error of string
 
-(** Translate and (by default) optimize every entry script. *)
-val compile : ?optimize:bool -> Core_ir.program -> compiled
+(** Translate and (by default) optimize every entry script.  [prove],
+    indexed by script name, feeds interval facts into the rewrite's
+    condition pruning (see {!Rewrite.simplify}); validation must then run
+    with the same prover. *)
+val compile :
+  ?optimize:bool -> ?prove:(string -> Expr.t -> bool option) -> Core_ir.program -> compiled
 
 val find_plan : compiled -> string -> Plan.t option
 
@@ -82,8 +86,10 @@ type fused = (string * Loop_ir.Compile.kernel) list
 
 (** Lower and compile every plan of [compiled].  Done once per scenario;
     the evaluator remains a run-time parameter of the kernels, so the same
-    [fused] serves every tick and survives [Degrade] demotion. *)
-val fuse : compiled -> fused
+    [fused] serves every tick and survives [Degrade] demotion.  [fold],
+    indexed by script name, is the interval-fact constant-folding oracle
+    handed to {!Loop_ir.Compile.compile}. *)
+val fuse : ?fold:(string -> Expr.t -> Value.t option) -> compiled -> fused
 
 (** [run_tick] driven by fused kernels instead of plan walking.
     Bit-identical to {!run_tick} with the same evaluator: kernels mirror

@@ -240,10 +240,22 @@ module Compile = struct
     | Known _ -> fold_node run
     | Dyn _ -> Dyn run
 
-  let rec compile_expr (expr : Expr.t) : comp =
-    match expr with
-    | Expr.Const v -> Known v
-    | Expr.UAttr i ->
+  (* [fold] is an external constant-folding oracle (interval facts from
+     the analysis layer): when it pins [expr] to a single value the node
+     compiles to [Known] outright, including over unit-slot reads the
+     structural folder below must treat as dynamic.  The oracle is
+     value-level only — it never touches effect-clause structure — so
+     lowering validation (V003) is unaffected.  Skipping a [Random] call
+     is sound here because the per-row streams are pure in the draw
+     index. *)
+  let rec compile_expr ?(fold = fun (_ : Expr.t) -> None) (expr : Expr.t) : comp =
+    let compile_expr e = compile_expr ~fold e in
+    match fold expr with
+    | Some v -> Known v
+    | None -> begin
+      match expr with
+      | Expr.Const v -> Known v
+      | Expr.UAttr i ->
       Dyn
         (fun u _ _ ->
           if i >= Array.length u then eval_error "unit slot %d out of range" i;
@@ -316,10 +328,13 @@ module Compile = struct
       fold2 ca cb (fun u e r ->
           let va = fa u e r and vb = fb u e r in
           if Value.compare_num va vb >= 0 then va else vb)
-    | Expr.Random a ->
-      (* Never folds: the draw depends on the row's random stream. *)
-      let fa = dyn (compile_expr a) in
-      Dyn (fun u e r -> Value.Int (r (Value.to_int (fa u e r))))
+      | Expr.Random a ->
+        (* Never folds structurally: the draw depends on the row's random
+           stream.  (The [fold] oracle above may still discharge it when
+           the interval pins the draw, e.g. [random(1)].) *)
+        let fa = dyn (compile_expr a) in
+        Dyn (fun u e r -> Value.Int (r (Value.to_int (fa u e r))))
+    end
 
   (* ---------------------------------------------------------------- *)
   (* Columnar specialization of scalar binds.
@@ -390,11 +405,11 @@ module Compile = struct
      kernel invocation (the env carries the tick's columnar mirror, which
      changes between invocations).  The trailing [int] is the kernel-row
      index, used to map into [env.ids] for column loads. *)
-  let compile_step (schema : Schema.t) ~(columnar : bool) (step : step) :
+  let compile_step (schema : Schema.t) ~(columnar : bool) ~fold (step : step) :
       env -> Tuple.t -> (int -> int) -> int -> unit =
     match step with
     | Bind_col (slot, e) ->
-      let f = dyn (compile_expr e) in
+      let f = dyn (compile_expr ~fold e) in
       let generic : env -> Tuple.t -> (int -> int) -> int -> unit =
         fun _env -> fun row rand _i -> row.(slot) <- f row None rand
       in
@@ -416,7 +431,7 @@ module Compile = struct
     | Emit c ->
       let ups =
         Array.of_list
-          (List.map (fun (attr, e) -> (attr, dyn (compile_expr e))) c.Core_ir.updates)
+          (List.map (fun (attr, e) -> (attr, dyn (compile_expr ~fold e))) c.Core_ir.updates)
       in
       let emit env (row : Tuple.t) rand (target : Tuple.t) =
         let key = Tuple.key schema target in
@@ -429,7 +444,7 @@ module Compile = struct
         match c.Core_ir.target with
         | Core_ir.Self -> fun env -> fun row rand _i -> emit env row rand row
         | Core_ir.Key key_expr ->
-          let kf = dyn (compile_expr key_expr) in
+          let kf = dyn (compile_expr ~fold key_expr) in
           fun env ->
             fun row rand _i ->
               begin
@@ -458,13 +473,13 @@ module Compile = struct
      the selection is non-empty, mirroring the interpreter's skip of empty
      sub-plans (in particular: no aggregate batch is ever evaluated over
      zero rows). *)
-  let rec compile_prog (schema : Schema.t) ~(columnar : bool) (p : t) :
+  let rec compile_prog (schema : Schema.t) ~(columnar : bool) ~fold (p : t) :
       state -> int array -> unit =
-    let compile_prog schema = compile_prog schema ~columnar in
+    let compile_prog schema = compile_prog schema ~columnar ~fold in
     match p with
     | Halt -> fun _ _ -> ()
     | Pass (steps, k) ->
-      let mks = List.map (compile_step schema ~columnar) steps in
+      let mks = List.map (compile_step schema ~columnar ~fold) steps in
       let kk = compile_prog schema k in
       fun st sel ->
         (* resolve the steps against this invocation's env (columnar
@@ -503,7 +518,7 @@ module Compile = struct
           ~acc:st.env.acc;
         kk st sel
     | Partition (c, a, b) ->
-      let cf = dyn (compile_expr c) in
+      let cf = dyn (compile_expr ~fold c) in
       let ka = compile_prog schema a and kb = compile_prog schema b in
       fun st sel ->
         let n = Array.length sel in
@@ -537,8 +552,8 @@ module Compile = struct
     let safe = columnar_ok ~schema p in
     List.filter (fun (_, e) -> (not safe) || Option.is_none (float_plan schema e)) (bind_steps p)
 
-  let compile ~(schema : Schema.t) (p : t) : kernel =
-    let run = compile_prog schema ~columnar:(columnar_ok ~schema p) p in
+  let compile ?(fold = fun (_ : Expr.t) -> None) ~(schema : Schema.t) (p : t) : kernel =
+    let run = compile_prog schema ~columnar:(columnar_ok ~schema p) ~fold p in
     fun env ~rows ~rands ->
       if Array.length rows > 0 then begin
         (* Trust the columnar mirror only when the id map covers the rows

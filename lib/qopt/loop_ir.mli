@@ -95,8 +95,13 @@ module Compile : sig
   (** Compile a loop program once into composed closures.  Expression
       evaluation mirrors {!Sgl_relalg.Expr.eval} operation-for-operation
       (bit-identical results, including error behaviour), with
-      [Random]-free constant subtrees folded at compile time. *)
-  val compile : schema:Schema.t -> t -> kernel
+      [Random]-free constant subtrees folded at compile time.  [fold] is
+      an external constant-folding oracle (interval facts): an expression
+      it pins compiles to the constant even when the structural folder
+      sees dynamic reads.  The oracle must only answer when every store
+      the kernel can meet evaluates the expression to exactly that value
+      — {!Sgl_analysis} derives such oracles from the abstract domain. *)
+  val compile : ?fold:(Expr.t -> Value.t option) -> schema:Schema.t -> t -> kernel
 
   (** The scalar binds of [p] that stay on the boxed-row path even when a
       columnar mirror is available — i.e. the kernel materializes tuples

@@ -25,20 +25,24 @@ type rewrite_stats = {
 
 let no_stats () = { sunk = 0; dropped = 0; pruned = 0 }
 
-(* One pass of structural cleanups. *)
-let rec simplify stats (p : Plan.t) : Plan.t =
+(* One pass of structural cleanups.  [prove] is an external decision
+   procedure for selection conditions (interval facts from the analysis
+   layer); a decided condition prunes exactly like a constant one, and
+   translation validation discharges the corresponding guards with the
+   same prover, so V002 equivalence is preserved by construction. *)
+let rec simplify ?(prove = fun (_ : Expr.t) -> None) stats (p : Plan.t) : Plan.t =
   match p with
   | Plan.Nop -> Plan.Nop
   | Plan.Act clauses -> Plan.Act clauses
   | Plan.Bind (slot, b, k) -> begin
-    match simplify stats k with
+    match simplify ~prove stats k with
     | Plan.Nop ->
       stats.dropped <- stats.dropped + 1;
       Plan.Nop
     | k' -> Plan.Bind (slot, b, k')
   end
   | Plan.Select (c, a, b) -> begin
-    let a = simplify stats a and b = simplify stats b in
+    let a = simplify ~prove stats a and b = simplify ~prove stats b in
     match c with
     | Expr.Const (Value.Bool true) ->
       stats.pruned <- stats.pruned + 1;
@@ -46,10 +50,21 @@ let rec simplify stats (p : Plan.t) : Plan.t =
     | Expr.Const (Value.Bool false) ->
       stats.pruned <- stats.pruned + 1;
       b
-    | _ -> if a = Plan.Nop && b = Plan.Nop then Plan.Nop else Plan.Select (c, a, b)
+    | _ -> begin
+      match prove c with
+      | Some true ->
+        stats.pruned <- stats.pruned + 1;
+        a
+      | Some false ->
+        stats.pruned <- stats.pruned + 1;
+        b
+      | None -> if a = Plan.Nop && b = Plan.Nop then Plan.Nop else Plan.Select (c, a, b)
+    end
   end
   | Plan.Both plans -> begin
-    let plans = List.filter (fun q -> q <> Plan.Nop) (List.map (simplify stats) plans) in
+    let plans =
+      List.filter (fun q -> q <> Plan.Nop) (List.map (simplify ~prove stats) plans)
+    in
     match plans with
     | [] -> Plan.Nop
     | [ q ] -> q
@@ -113,11 +128,11 @@ let rec sink stats ~aggs (p : Plan.t) : Plan.t =
   end
 
 (* Fixpoint driver: simplify and sink until the plan stops changing. *)
-let optimize ?(stats = no_stats ()) ~(aggs : Aggregate.t array) (p : Plan.t) : Plan.t =
+let optimize ?(stats = no_stats ()) ?prove ~(aggs : Aggregate.t array) (p : Plan.t) : Plan.t =
   let rec fix p n =
     if n > 50 then p
     else begin
-      let p' = sink stats ~aggs (simplify stats p) in
+      let p' = sink stats ~aggs (simplify ?prove stats p) in
       if p' = p then p else fix p' (n + 1)
     end
   in

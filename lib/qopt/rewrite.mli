@@ -13,11 +13,17 @@ type rewrite_stats = {
 
 val no_stats : unit -> rewrite_stats
 
-(** One structural-cleanup pass. *)
-val simplify : rewrite_stats -> Plan.t -> Plan.t
+(** One structural-cleanup pass.  [prove] decides selection conditions
+    with facts the structural folder cannot see (interval analysis);
+    a decided condition is pruned exactly like a constant one and counts
+    toward [pruned].  Callers pairing this with translation validation
+    must hand the same prover to the validator so the discharged guards
+    match. *)
+val simplify : ?prove:(Expr.t -> bool option) -> rewrite_stats -> Plan.t -> Plan.t
 
 (** One sinking pass. *)
 val sink : rewrite_stats -> aggs:Aggregate.t array -> Plan.t -> Plan.t
 
 (** Fixpoint of [simplify] and [sink]. *)
-val optimize : ?stats:rewrite_stats -> aggs:Aggregate.t array -> Plan.t -> Plan.t
+val optimize :
+  ?stats:rewrite_stats -> ?prove:(Expr.t -> bool option) -> aggs:Aggregate.t array -> Plan.t -> Plan.t

@@ -7,7 +7,14 @@
 
 type tag = Const | Sum | Max | Min | Pmax
 
-type attr = { name : string; ty : Value.ty; tag : tag }
+(* [range] is an optional declared value range [lo, hi] (inclusive, in the
+   numeric order of {!Value.compare_num}) that every stored value of the
+   attribute is promised to satisfy.  It is a contract, not an invariant the
+   store enforces: the static analyses in [sgl_analysis] treat it as ground
+   truth, so a schema should only declare ranges the engine actually
+   maintains.  Ranges are advisory metadata — they take no part in schema
+   equality for persistence and are not serialized. *)
+type attr = { name : string; ty : Value.ty; tag : tag; range : (float * float) option }
 
 type t = {
   attrs : attr array;
@@ -19,7 +26,7 @@ exception Schema_error of string
 
 let schema_error fmt = Fmt.kstr (fun s -> raise (Schema_error s)) fmt
 
-let attr ?(tag = Const) name ty = { name; ty; tag }
+let attr ?(tag = Const) ?range name ty = { name; ty; tag; range }
 
 let create attrs =
   let attrs = Array.of_list attrs in
@@ -44,6 +51,7 @@ let attr_at t i = t.attrs.(i)
 let name_at t i = t.attrs.(i).name
 let ty_at t i = t.attrs.(i).ty
 let tag_at t i = t.attrs.(i).tag
+let range_at t i = t.attrs.(i).range
 let find_opt t name = Hashtbl.find_opt t.by_name name
 
 let find t name =

@@ -7,7 +7,11 @@
     attribute holding (priority, value), combined by maximum priority. *)
 type tag = Const | Sum | Max | Min | Pmax
 
-type attr = { name : string; ty : Value.ty; tag : tag }
+(** [range] optionally declares an inclusive value range [(lo, hi)] every
+    stored value of the attribute satisfies.  Advisory metadata consumed by
+    the interval analyses in [sgl_analysis]; not serialized and excluded
+    from persisted-schema equality. *)
+type attr = { name : string; ty : Value.ty; tag : tag; range : (float * float) option }
 
 type t
 
@@ -16,9 +20,9 @@ exception Schema_error of string
 (** Raise a formatted {!Schema_error}. *)
 val schema_error : ('a, Format.formatter, unit, 'b) format4 -> 'a
 
-(** [attr ?tag name ty] builds an attribute description; [tag] defaults to
-    [Const]. *)
-val attr : ?tag:tag -> string -> Value.ty -> attr
+(** [attr ?tag ?range name ty] builds an attribute description; [tag]
+    defaults to [Const] and [range] to unconstrained. *)
+val attr : ?tag:tag -> ?range:float * float -> string -> Value.ty -> attr
 
 (** Raises {!Schema_error} on duplicate names or a missing/ill-typed key. *)
 val create : attr list -> t
@@ -29,6 +33,9 @@ val attr_at : t -> int -> attr
 val name_at : t -> int -> string
 val ty_at : t -> int -> Value.ty
 val tag_at : t -> int -> tag
+
+(** The attribute's declared value range, when one was given to {!attr}. *)
+val range_at : t -> int -> (float * float) option
 val find_opt : t -> string -> int option
 
 (** Raises {!Schema_error} when the attribute does not exist. *)

@@ -35,4 +35,46 @@ let update (crc : t) (s : string) ~(pos : int) ~(len : int) : t =
 
 let string (s : string) : t = update empty s ~pos:0 ~len:(String.length s)
 
+(* Digest of a concatenation from the two digests and the second length
+   alone (zlib's crc32_combine).  CRC is linear over GF(2): extending
+   stream A by [len_b] zero bytes is a linear map on the 32-bit state,
+   built by repeated squaring of the single-zero-bit matrix, and the
+   pre/post-conditioning of the two halves cancels under the final xor.
+   Cost is O(log len_b) 32x32 bit-matrix squarings — independent of the
+   data, which is what makes column-incremental digests pay off. *)
+let gf2_times (m : int array) (v : int) : int =
+  let s = ref 0 and v = ref v and i = ref 0 in
+  while !v <> 0 do
+    if !v land 1 <> 0 then s := !s lxor m.(!i);
+    v := !v lsr 1;
+    incr i
+  done;
+  !s
+
+let gf2_square (m : int array) : int array = Array.map (gf2_times m) m
+
+let combine (a : t) (b : t) ~(len_b : int) : t =
+  if len_b < 0 then invalid_arg "Crc32.combine: negative length";
+  if len_b = 0 then a
+  else begin
+    (* one-zero-bit operator: state v |-> (v >> 1) xor (poly if v land 1) *)
+    let bit = Array.make 32 0 in
+    bit.(0) <- poly;
+    for n = 1 to 31 do
+      bit.(n) <- 1 lsl (n - 1)
+    done;
+    (* square up to the four-zero-bit operator; the loop's first squaring
+       then lands on one whole zero byte *)
+    let m = ref (gf2_square (gf2_square bit)) in
+    let crc = ref a and len = ref len_b in
+    let looping = ref true in
+    while !looping do
+      m := gf2_square !m;
+      if !len land 1 <> 0 then crc := gf2_times !m !crc;
+      len := !len lsr 1;
+      if !len = 0 then looping := false
+    done;
+    !crc lxor b
+  end
+
 let to_hex (t : t) : string = Printf.sprintf "%08x" (t land 0xFFFFFFFF)

@@ -17,4 +17,14 @@ val update_bytes : t -> Bytes.t -> pos:int -> len:int -> t
 (** [string s] is [update empty s ~pos:0 ~len:(String.length s)]. *)
 val string : string -> t
 
+(** [combine a b ~len_b] is the digest of the concatenation [A ^ B] given
+    [a = string A], [b = string B] and [len_b = String.length B] — without
+    touching the data (zlib's [crc32_combine], GF(2) matrix exponentiation,
+    O(log len_b)).  The law [combine (string a) (string b)
+    ~len_b:(String.length b) = string (a ^ b)] is what lets a composite
+    digest be re-assembled from per-part digests when only some parts
+    changed.
+    @raise Invalid_argument on a negative [len_b]. *)
+val combine : t -> t -> len_b:int -> t
+
 val to_hex : t -> string

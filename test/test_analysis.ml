@@ -61,7 +61,7 @@ let catalogue () =
       | Some r -> Alcotest.(check string) "find returns the rule" id r.Rules.id
       | None -> Alcotest.failf "rule %s missing from catalogue" id)
     [ "T001"; "R001"; "R002"; "R003"; "R004"; "V001"; "V002"; "V003"; "P001"; "P002"; "P003";
-      "P004"; "P005"; "P006" ];
+      "P004"; "P005"; "P006"; "S001"; "S002"; "S003"; "N001"; "N002"; "N003" ];
   Alcotest.(check bool) "unknown id reports as error" true
     (Rules.severity "Z999" = Diagnostic.Error);
   (* severities pinned: R003/R004/P001/P004/P005 warn, P002/P003 info, rest error *)
@@ -82,6 +82,12 @@ let catalogue () =
       ("P004", Diagnostic.Warn);
       ("P005", Diagnostic.Warn);
       ("P006", Diagnostic.Info);
+      ("S001", Diagnostic.Info);
+      ("S002", Diagnostic.Warn);
+      ("S003", Diagnostic.Warn);
+      ("N001", Diagnostic.Warn);
+      ("N002", Diagnostic.Warn);
+      ("N003", Diagnostic.Warn);
     ];
   (* the INTERNALS catalogue table stays in sync: every rule id appears *)
   let ic = open_in_bin "../docs/INTERNALS.md" in
@@ -381,6 +387,12 @@ let fixtures_flagged () =
       ("p004_dead_let", "P004", false);
       ("p005_const_cond", "P005", false);
       ("p006_boxed_bind", "P006", false);
+      ("s001_unbounded_read", "S001", false);
+      ("s002_global_effect", "S002", false);
+      ("s003_key_escape", "S003", false);
+      ("n001_div_zero", "N001", false);
+      ("n002_sqrt_neg", "N002", false);
+      ("n003_subsumed_guard", "N003", false);
     ]
   in
   List.iter
